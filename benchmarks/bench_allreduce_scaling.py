@@ -1,0 +1,72 @@
+"""Claim: "the overall cost of AllReduce is proportional with the
+number of participating processes."
+
+Measures the modeled AllReduce cost on the calibrated Frontier-like
+machine as the group grows, via actually-executed collectives on a
+traced virtual world.  Asserts monotone growth and near-linearity of
+the variable part for the ring algorithm (the regime behind the
+paper's claim), and contrasts the logarithmic recursive-doubling
+algorithm as an ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.vmpi import AllreduceAlgorithm, Communicator, VirtualWorld
+
+MESSAGE_ELEMENTS = 2048  # ~16 KiB field-sized message
+
+
+def measured_cost(world, p, algorithm):
+    comm = Communicator(world, range(p), label=f"ar{p}")
+    data = {r: np.ones(MESSAGE_ELEMENTS) for r in range(p)}
+    before = world.elapsed(range(p))
+    comm.allreduce(data, algorithm=algorithm)
+    return world.elapsed(range(p)) - before
+
+
+def test_allreduce_cost_vs_participants(benchmark, frontier32):
+    world = VirtualWorld(frontier32, trace=False)
+    sizes = [2, 4, 8, 16, 32, 64, 128, 256]
+
+    def sweep():
+        return {
+            p: measured_cost(world, p, AllreduceAlgorithm.RING) for p in sizes
+        }
+
+    costs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("ring AllReduce cost vs participants (calibrated frontier-like):")
+    for p, c in costs.items():
+        print(f"  p={p:>4d}: {c * 1e3:8.3f} ms")
+
+    values = [costs[p] for p in sizes]
+    assert all(b > a for a, b in zip(values, values[1:]))  # monotone
+
+    # variable part (cost - overhead) grows ~linearly with p for the
+    # inter-node points: compare growth from p=32 to p=256 (8x ranks)
+    o = frontier32.per_call_overhead_s
+    var32, var256 = costs[32] - o, costs[256] - o
+    assert var256 / var32 == pytest.approx(255 / 31, rel=0.15)
+
+
+def test_recursive_doubling_is_logarithmic(frontier32):
+    """Ablation: tree algorithms break the paper's linear-cost premise."""
+    world = VirtualWorld(frontier32, trace=False)
+    o = frontier32.per_call_overhead_s
+    c32 = measured_cost(world, 32, AllreduceAlgorithm.RECURSIVE_DOUBLING) - o
+    c256 = measured_cost(world, 256, AllreduceAlgorithm.RECURSIVE_DOUBLING) - o
+    # log2(256)/log2(32) = 8/5, far below the ring's ~8x
+    assert c256 / c32 == pytest.approx(8 / 5, rel=0.15)
+
+
+def test_intra_node_group_is_cheap(frontier32):
+    """Groups inside one node (XGYRO's per-member comm_1) avoid the
+    inter-node latency entirely."""
+    world = VirtualWorld(frontier32, trace=False)
+    intra = measured_cost(world, 8, AllreduceAlgorithm.RING)  # 1 node
+    inter = measured_cost(world, 16, AllreduceAlgorithm.RING)  # 2 nodes
+    o = frontier32.per_call_overhead_s
+    assert (inter - o) > 10 * (intra - o)

@@ -1,0 +1,103 @@
+"""Ablation: the memory-for-compute trade behind cmat.
+
+The paper: precomputing the collisional propagator "does drastically
+increase the memory usage but allows for order of magnitude compute
+speedup in the collision step, which uses an implicit time-stepping
+algorithm."
+
+This bench measures it for real (wall time, pytest-benchmark): an
+implicit collision step executed as (a) the precomputed-cmat
+matrix-vector product vs (b) a fresh LU solve every step.  The
+amortised speedup and the memory price are both reported.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cgyro import small_test
+from repro.collision import CmatPropagator, CollisionOperator, apply_propagator
+from repro.grid import ConfigGrid, GridDims, VelocityGrid
+
+
+@pytest.fixture(scope="module")
+def setup():
+    # a mid-size velocity space: nv = 128
+    inp = small_test(n_energy=4, n_xi=16, n_species=2)
+    dims = inp.grid_dims()
+    op = CollisionOperator(
+        dims, VelocityGrid.build(dims), ConfigGrid.build(dims), inp.collision_params()
+    )
+    prop = CmatPropagator(op, dt=inp.delta_t)
+    ics = list(range(8))
+    ns = [0, 1]
+    rng = np.random.default_rng(0)
+    h = rng.normal(size=(len(ics), dims.nv, len(ns))) + 1j * rng.normal(
+        size=(len(ics), dims.nv, len(ns))
+    )
+    return op, prop, ics, ns, h, inp.delta_t
+
+
+def test_precomputed_cmat_apply(benchmark, setup):
+    """(a) the CGYRO way: build once, apply as a matvec every step."""
+    op, prop, ics, ns, h, dt = setup
+    cmat = prop.build(ics, ns)  # the one-off cost, amortised
+    result = benchmark(lambda: apply_propagator(cmat, h))
+    assert result.shape == h.shape
+
+
+def test_direct_solve_every_step(benchmark, setup):
+    """(b) the memory-lean alternative: factor + solve each step."""
+    op, prop, ics, ns, h, dt = setup
+    nv = op.dims.nv
+    eye = np.eye(nv)
+    profile = op.nu_profile()
+
+    def solve_step():
+        out = np.empty_like(h)
+        for j, n in enumerate(ns):
+            c_n = op.mode_matrix(n)
+            for i, ic in enumerate(ics):
+                out[i, :, j] = np.linalg.solve(
+                    eye - dt * profile[ic] * c_n, h[i, :, j]
+                )
+        return out
+
+    result = benchmark(solve_step)
+    assert result.shape == h.shape
+
+
+def test_tradeoff_magnitudes(setup):
+    """Apply beats solve by ~an order of magnitude; results agree; the
+    memory price is the nv^2 blocks."""
+    import time
+
+    op, prop, ics, ns, h, dt = setup
+    cmat = prop.build(ics, ns)
+
+    t0 = time.perf_counter()
+    for _ in range(20):
+        fast = apply_propagator(cmat, h)
+    t_apply = (time.perf_counter() - t0) / 20
+
+    eye = np.eye(op.dims.nv)
+    profile = op.nu_profile()
+    t0 = time.perf_counter()
+    for _ in range(3):
+        slow = np.empty_like(h)
+        for j, n in enumerate(ns):
+            c_n = op.mode_matrix(n)
+            for i, ic in enumerate(ics):
+                slow[i, :, j] = np.linalg.solve(
+                    eye - dt * profile[ic] * c_n, h[i, :, j]
+                )
+    t_solve = (time.perf_counter() - t0) / 3
+
+    np.testing.assert_allclose(fast, slow, rtol=1e-8, atol=1e-12)
+    speedup = t_solve / t_apply
+    mem = cmat.nbytes
+    print(f"\nimplicit collision step: precomputed apply {t_apply*1e3:.2f} ms "
+          f"vs per-step solve {t_solve*1e3:.2f} ms -> {speedup:.1f}x speedup "
+          f"for {mem/2**20:.1f} MiB of cmat")
+    assert speedup > 4.0  # "order of magnitude" at full nl03c nv=256+

@@ -1,0 +1,64 @@
+"""Ablation: the cost of electromagnetic runs.
+
+CGYRO "implements the complete Sugama electromagnetic gyrokinetic
+theory"; the reproduction's EM mode (``beta_e > 0``) adds the parallel
+current moment to every field solve — a third AllReduce per chunk per
+RK stage — and the A_parallel coupling to the RHS.  This bench
+quantifies the communication overhead of that third moment at the
+nl03c configuration, and confirms the EM ensemble still reaps the full
+XGYRO saving (cmat is beta-independent, so EM members share exactly
+like electrostatic ones).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cgyro import CgyroSimulation
+from repro.cgyro.presets import NL03C_SCALED_MEM_PER_RANK, nl03c_scaled
+from repro.machine import frontier_like
+from repro.vmpi import VirtualWorld
+from repro.xgyro import XgyroEnsemble
+
+
+def one_step_str_comm(machine, inp):
+    world = VirtualWorld(machine, trace=False)
+    sim = CgyroSimulation(world, range(world.n_ranks), inp)
+    sim.streaming_phase()
+    return world.category_time("str_comm", sim.ranks)
+
+
+def test_em_adds_one_third_more_str_comm(benchmark):
+    """3 moments instead of 2 -> str AllReduce time x1.5 exactly (the
+    per-call cost is message-size-insensitive at these sizes)."""
+    machine = frontier_like(n_nodes=32, mem_per_rank_bytes=NL03C_SCALED_MEM_PER_RANK)
+    es = nl03c_scaled(nonlinear=False)
+    em = nl03c_scaled(nonlinear=False, beta_e=0.01)
+
+    t_es = benchmark.pedantic(
+        lambda: one_step_str_comm(machine, es), rounds=1, iterations=1
+    )
+    t_em = one_step_str_comm(machine, em)
+    print()
+    print(f"str comm per step: ES {t_es:.4f} s, EM {t_em:.4f} s "
+          f"({t_em / t_es:.2f}x)")
+    assert t_em / t_es == pytest.approx(1.5, rel=0.02)
+
+
+def test_em_ensemble_keeps_the_sharing_win():
+    """EM members share the same cmat (beta is a sweep parameter) and
+    keep the k-fold memory reduction."""
+    machine = frontier_like(n_nodes=32, mem_per_rank_bytes=NL03C_SCALED_MEM_PER_RANK)
+    base = nl03c_scaled(nonlinear=False, beta_e=0.01, steps_per_report=1)
+    inputs = [
+        base.with_updates(dlntdr=(3.0 + 0.1 * m, 3.0 + 0.1 * m), name=f"em{m}")
+        for m in range(8)
+    ]
+    world = VirtualWorld(machine, enforce_memory=True)
+    ens = XgyroEnsemble(world, inputs)  # validates + fits memory
+    per_rank = world.ledgers[0].size_of("cmat")
+    from repro.collision.cmat import cmat_total_bytes
+
+    total = sum(world.ledgers[r].size_of("cmat") for r in range(world.n_ranks))
+    print(f"\nEM ensemble: shared cmat {per_rank} B/rank, one copy total")
+    assert total == cmat_total_bytes(ens.members[0].dims)

@@ -1,0 +1,86 @@
+"""Ablation: ensemble size sweep.
+
+The paper: "Since cmat is now shared between all the simulations in an
+ensemble, its size does not change [with] the number of simulations
+... And since all other buffers do grow linearly with the number of
+simulations, cmat's relative memory consumption proportionally
+decreases" and the AllReduce groups shrink with k.
+
+Sweeps k = 1, 2, 4, 8 members of the scaled nl03c on the fixed
+32-node machine (analytic path, cross-checked elsewhere against the
+executed simulator) and prints per-reporting-step wall / str comm /
+per-rank cmat.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cgyro.presets import nl03c_scaled
+from repro.grid import Decomposition
+from repro.perf import predict_xgyro_interval
+from repro.perf.memory import cmat_bytes_per_rank
+
+
+def sweep_table(machine, inp, total_ranks, ks):
+    rows = {}
+    dims = inp.grid_dims()
+    for k in ks:
+        pred = predict_xgyro_interval(k, inp, machine, total_ranks)
+        decomp = Decomposition.choose(dims, total_ranks // k)
+        rows[k] = {
+            "wall": pred.total,
+            "str_comm": pred.str_comm,
+            "cmat_per_rank": cmat_bytes_per_rank(inp, decomp, ensemble_size=k),
+            "p1": decomp.n_proc_1,
+        }
+    return rows
+
+
+def test_ensemble_size_sweep(benchmark, frontier32):
+    inp = nl03c_scaled()
+    ks = [1, 2, 4, 8]
+    rows = benchmark.pedantic(
+        lambda: sweep_table(frontier32, inp, 256, ks), rounds=1, iterations=1
+    )
+    dims = inp.grid_dims()
+    print()
+    print("ensemble-size sweep, scaled nl03c on 32 frontier-like nodes")
+    print(f"{'k':>3s} {'P1/member':>10s} {'wall s/report':>14s} "
+          f"{'str comm s':>11s} {'cmat B/rank':>12s} {'private would be':>17s}")
+    for k, row in rows.items():
+        decomp = Decomposition.choose(dims, 256 // k)
+        private = cmat_bytes_per_rank(inp, decomp, ensemble_size=1)
+        print(
+            f"{k:>3d} {row['p1']:>10d} {row['wall']:>14.1f} "
+            f"{row['str_comm']:>11.1f} {row['cmat_per_rank']:>12d} "
+            f"{private:>17d}"
+        )
+        # the paper's memory claim: at the member's rank count, a
+        # private cmat would be k times larger than the shared slice
+        assert private == k * row["cmat_per_rank"]
+
+    # shared cmat per rank does not grow with k on fixed nodes
+    # ("its size does not change if we change the number of
+    # simulations in a XGYRO ensemble")
+    assert len({row["cmat_per_rank"] for row in rows.values()}) == 1
+
+    # aggregate str comm: the whole k=8 scan spends far less str time
+    # than 8 sequential full-width runs (paper: 33 s vs 145 s)
+    assert rows[8]["str_comm"] < 8 * rows[1]["str_comm"] / 3
+
+    # throughput: k concurrent members on the same nodes always beat
+    # running them sequentially at full width
+    for k in ks:
+        if k > 1:
+            assert rows[k]["wall"] < k * rows[1]["wall"], f"k={k}"
+
+
+def test_benefit_grows_with_ensemble_size(frontier32):
+    """Speedup over the sequential baseline increases with k."""
+    inp = nl03c_scaled()
+    rows = sweep_table(frontier32, inp, 256, [1, 2, 4, 8])
+    speedups = [k * rows[1]["wall"] / rows[k]["wall"] for k in (2, 4, 8)]
+    print(f"\nspeedups vs sequential at k=2,4,8: "
+          f"{', '.join(f'{s:.2f}x' for s in speedups)}")
+    assert all(b > a for a, b in zip(speedups, speedups[1:]))

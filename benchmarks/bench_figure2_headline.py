@@ -1,0 +1,70 @@
+"""Figure 2 — the headline benchmark.
+
+Paper: 8 variants of nl03c on 32 Frontier nodes; sequentially with
+CGYRO the reporting step costs 375 s (str comm 145 s), as an XGYRO
+ensemble 250 s (str comm 33 s): a 1.5x speedup driven by a ~4.4x str
+communication reduction.
+
+This bench executes both modes end-to-end on the virtual machine
+(really moving the bytes through the virtual collectives, really
+applying the shared cmat), prints the same per-category rows, and
+asserts the paper's shape: who wins, by roughly what factor, and that
+str comm is the dominant difference.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf import figure2_comparison, render_figure2
+from repro.perf.calibrate import PAPER_TARGETS
+
+
+@pytest.fixture(scope="module")
+def figure2(frontier32, nl03c_sweep):
+    return figure2_comparison(
+        nl03c_sweep, frontier32, measure_steps=1, enforce_memory=True
+    )
+
+
+def test_figure2_headline(benchmark, frontier32, nl03c_sweep, figure2):
+    """Regenerate Figure 2 and check the paper's claims."""
+    # benchmark the cheap re-rendering path on the measured result;
+    # the heavy end-to-end run happened once in the fixture
+    benchmark.pedantic(
+        lambda: render_figure2(figure2, paper=PAPER_TARGETS),
+        rounds=3,
+        iterations=1,
+    )
+    print()
+    print(render_figure2(figure2, paper=PAPER_TARGETS))
+
+    res = figure2
+    # paper's numbers: 375 vs 250 (1.5x); 145 vs 33 (4.39x)
+    assert res.cgyro_sum.wall_s == pytest.approx(375.0, rel=0.10)
+    assert res.xgyro.wall_s == pytest.approx(250.0, rel=0.10)
+    assert res.cgyro_sum.str_comm_s == pytest.approx(145.0, rel=0.10)
+    assert res.xgyro.str_comm_s == pytest.approx(33.0, rel=0.10)
+    assert 1.3 < res.speedup < 1.9
+    assert 3.4 < res.str_comm_reduction < 5.4
+    # "The major difference, as expected, is the time spent performing
+    # the str communication"
+    diffs = {
+        cat: res.cgyro_sum.categories.get(cat, 0.0)
+        - res.xgyro.categories.get(cat, 0.0)
+        for cat in set(res.cgyro_sum.categories) | set(res.xgyro.categories)
+    }
+    assert max(diffs, key=lambda c: diffs[c]) == "str_comm"
+
+
+def test_figure2_member_physics_is_a_true_sweep(figure2):
+    """The ensemble really runs 8 *different* simulations: member
+    fluxes differ across the gradient sweep, matching what the
+    sequential baseline computes for the same inputs."""
+    import numpy as np
+
+    fluxes = [row.flux for row in figure2.xgyro_rows]
+    for a, b in zip(fluxes, fluxes[1:]):
+        assert not np.allclose(a, b, rtol=1e-3, atol=0.0)
+    for ens_row, seq_row in zip(figure2.xgyro_rows, figure2.cgyro_rows):
+        np.testing.assert_allclose(ens_row.flux, seq_row.flux, rtol=1e-8)

@@ -1,0 +1,47 @@
+"""Claim: "for the benchmark input nl03c the constant cmat is 10x the
+size of all the other memory buffers combined."
+
+Measured from the enforced per-rank memory ledgers of an executed
+nl03c simulation (not from formulas), at several strong-scaling points
+— the paper also notes the ratio "does not change with strong
+scaling, i.e. when nc_loc becomes smaller".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cgyro import CgyroSimulation
+from repro.machine import frontier_like
+from repro.machine.model import MiB
+from repro.vmpi import VirtualWorld
+
+
+def measured_ratio(machine, inp, n_ranks):
+    world = VirtualWorld(machine, n_ranks=n_ranks)
+    sim = CgyroSimulation(world, range(n_ranks), inp)
+    ledger = world.ledgers[0]
+    cmat = ledger.size_of("cmat")
+    other = ledger.in_use_bytes - cmat
+    return cmat / other, ledger
+
+
+def test_memory_breakdown(benchmark, nl03c):
+    machine = frontier_like(n_nodes=32, mem_per_rank_bytes=64 * MiB)
+    ratio, ledger = benchmark.pedantic(
+        lambda: measured_ratio(machine, nl03c, 256), rounds=1, iterations=1
+    )
+    print()
+    print(f"nl03c per-rank memory at 256 ranks (P1=32): cmat/other = {ratio:.1f}x")
+    print(ledger.report())
+    # the paper's "10x" at the full decomposition
+    assert 8.0 < ratio < 13.0
+
+
+@pytest.mark.parametrize("n_ranks", [64, 128, 256])
+def test_ratio_strong_scaling_invariant(nl03c, n_ranks):
+    """cmat and the state buffers shrink together under strong scaling."""
+    machine = frontier_like(n_nodes=32, mem_per_rank_bytes=256 * MiB)
+    ratio, _ = measured_ratio(machine, nl03c, n_ranks)
+    print(f"  {n_ranks} ranks: cmat/other = {ratio:.2f}x")
+    assert 8.0 < ratio < 13.0

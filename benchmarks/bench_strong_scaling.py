@@ -1,0 +1,71 @@
+"""Strong scaling of a single CGYRO simulation (context from ref [2]).
+
+"While CGYRO can linearly scale compute over multiple nodes,
+communication overheads do increase with node count" — the premise
+that makes squeezing simulations onto fewer nodes (XGYRO) profitable.
+
+Sweeps one scaled-nl03c simulation over 8..64 Frontier-like nodes and
+checks: compute time falls ~linearly, communication time *rises*, and
+the communication fraction therefore grows with node count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cgyro.presets import nl03c_scaled
+from repro.machine import frontier_like
+from repro.machine.model import MiB
+from repro.perf import predict_cgyro_interval
+
+COMM = ("str_comm", "coll_comm", "nl_comm")
+
+
+def scaling_table(inp, node_counts):
+    rows = {}
+    for n_nodes in node_counts:
+        machine = frontier_like(n_nodes=n_nodes, mem_per_rank_bytes=64 * MiB)
+        pred = predict_cgyro_interval(inp, machine, n_nodes * 8)
+        comm = sum(pred.categories.get(c, 0.0) for c in COMM)
+        compute = pred.total - comm
+        rows[n_nodes] = {
+            "total": pred.total,
+            "comm": comm,
+            "compute": compute,
+            "fraction": comm / pred.total,
+        }
+    return rows
+
+
+def test_strong_scaling(benchmark):
+    inp = nl03c_scaled()
+    nodes = [8, 16, 32, 64]
+    rows = benchmark.pedantic(lambda: scaling_table(inp, nodes), rounds=1, iterations=1)
+    print()
+    print("single-simulation strong scaling (per reporting step):")
+    print(f"{'nodes':>6s} {'total s':>9s} {'compute s':>10s} {'comm s':>8s} {'comm %':>7s}")
+    for n, row in rows.items():
+        print(
+            f"{n:>6d} {row['total']:>9.1f} {row['compute']:>10.1f} "
+            f"{row['comm']:>8.1f} {row['fraction']:>6.1%}"
+        )
+    # compute scales ~linearly with node count
+    assert rows[8]["compute"] == pytest.approx(
+        4 * rows[32]["compute"], rel=0.10
+    )
+    # communication fraction grows monotonically with node count
+    fractions = [rows[n]["fraction"] for n in nodes]
+    assert all(b > a for a, b in zip(fractions, fractions[1:]))
+    # and the absolute communication time rises too
+    comms = [rows[n]["comm"] for n in nodes]
+    assert comms[-1] > comms[0]
+
+
+def test_scaling_efficiency_degrades(benchmark=None):
+    """Parallel efficiency at 64 nodes is visibly below 8-node level."""
+    inp = nl03c_scaled()
+    rows = scaling_table(inp, [8, 64])
+    speedup = rows[8]["total"] / rows[64]["total"]
+    efficiency = speedup / 8.0
+    print(f"\n8->64 node speedup {speedup:.2f}x, efficiency {efficiency:.1%}")
+    assert efficiency < 0.9

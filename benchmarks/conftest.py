@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks run the *scaled nl03c* scenario from DESIGN.md: a
+Frontier-like 32-node machine whose per-rank memory budget is scaled
+alongside the problem dimensions so the paper's memory arithmetic is
+preserved.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cgyro.presets import NL03C_SCALED_MEM_PER_RANK, nl03c_scaled
+from repro.machine import frontier_like
+
+
+@pytest.fixture(scope="session")
+def frontier32():
+    """The 32-node Frontier-like machine of the headline benchmark."""
+    return frontier_like(n_nodes=32, mem_per_rank_bytes=NL03C_SCALED_MEM_PER_RANK)
+
+
+@pytest.fixture(scope="session")
+def nl03c():
+    """The scaled nl03c input."""
+    return nl03c_scaled()
+
+
+@pytest.fixture(scope="session")
+def nl03c_sweep(nl03c):
+    """8 nl03c variants — a temperature-gradient parameter sweep, the
+    kind of study the paper says shares cmat."""
+    return [
+        nl03c.with_updates(dlntdr=(3.0 + 0.1 * m, 3.0 + 0.1 * m), name=f"nl03c.m{m}")
+        for m in range(8)
+    ]

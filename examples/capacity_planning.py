@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Capacity planning: how many nodes does a fusion study need?
+
+Uses the memory model to answer the questions a user of the real
+tools plans allocations with:
+
+1. why does one nl03c-class simulation need >= 32 nodes? (the cmat
+   dominance breakdown);
+2. how many nodes does a k-member parameter scan need, sequentially
+   vs with a shared cmat?
+3. how many *more* simulations fit a fixed 32-node allocation as the
+   ensemble grows (the paper's "more simulations completed on the same
+   compute budget")?
+
+Everything here is closed-form arithmetic cross-checked elsewhere
+against the enforced per-rank ledgers, so it runs instantly.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+from repro.cgyro.presets import NL03C_SCALED_MEM_PER_RANK, nl03c_scaled
+from repro.grid import Decomposition
+from repro.machine import frontier_like
+from repro.perf import cmat_dominance_ratio, min_nodes_required, predict_xgyro_interval
+from repro.perf.memory import cmat_bytes_per_rank, state_bytes_per_rank
+
+
+def main() -> None:
+    inp = nl03c_scaled()
+    machine = frontier_like(n_nodes=64, mem_per_rank_bytes=NL03C_SCALED_MEM_PER_RANK)
+    dims = inp.grid_dims()
+
+    # ---- 1. why 32 nodes? ---------------------------------------------
+    print(f"input: {inp.name}  grid {dims.describe()}")
+    print(f"cmat dominance: {cmat_dominance_ratio(inp):.1f}x all other buffers")
+    for n_nodes in (16, 32):
+        ranks = n_nodes * machine.ranks_per_node
+        dec = Decomposition.choose(dims, ranks)
+        cmat = cmat_bytes_per_rank(inp, dec)
+        state = state_bytes_per_rank(inp, dec)
+        fits = "fits" if cmat + state <= machine.mem_per_rank_bytes else "OOM"
+        print(
+            f"  {n_nodes} nodes ({ranks} ranks, P1={dec.n_proc_1}): "
+            f"cmat {cmat} B + state {state} B per rank "
+            f"vs budget {machine.mem_per_rank_bytes:.0f} B -> {fits}"
+        )
+    print(f"  minimum nodes for one simulation: "
+          f"{min_nodes_required(inp, machine)}")
+
+    # ---- 2. node needs of a k-member scan ------------------------------
+    print("\nnodes needed for a k-member gradient scan:")
+    print(f"{'k':>3s} {'sequential CGYRO':>17s} {'XGYRO shared cmat':>18s}")
+    for k in (1, 2, 4, 8):
+        seq = min_nodes_required(inp, machine)  # one at a time, reused
+        shared = min_nodes_required(inp, machine, ensemble_size=k)
+        print(f"{k:>3d} {seq:>17d} {shared:>18d}")
+
+    # ---- 3. throughput on a fixed 32-node allocation -------------------
+    alloc = frontier_like(n_nodes=32, mem_per_rank_bytes=NL03C_SCALED_MEM_PER_RANK)
+    print("\nthroughput on a fixed 32-node allocation "
+          "(simulations finished per simulated hour):")
+    base_wall = None
+    for k in (1, 2, 4, 8):
+        pred = predict_xgyro_interval(k, inp, alloc, 256)
+        per_hour = 3600.0 / pred.total * k
+        if base_wall is None:
+            base_wall = 3600.0 / pred.total  # sequential rate
+        gain = per_hour / base_wall
+        print(f"  k={k}: interval {pred.total:7.1f} s  ->  "
+              f"{per_hour:5.1f} reporting intervals/hour  ({gain:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

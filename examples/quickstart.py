@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: run one CGYRO-like simulation on a virtual cluster.
+
+Builds a small linear input, runs it distributed over 8 virtual ranks
+(2 nodes x 4), prints the CGYRO-style per-phase timing table and the
+flux spectrum, and cross-checks the distributed state against the
+serial reference solver.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cgyro import CgyroSimulation, SerialReference, render_report, small_test
+from repro.machine import generic_cluster
+from repro.vmpi import VirtualWorld
+
+
+def main() -> None:
+    # 1. describe the simulation (the input.cgyro equivalent)
+    inp = small_test(
+        name="quickstart",
+        dlntdr=(6.0, 6.0),       # temperature-gradient drive
+        nu=0.05,                 # collisionality
+        steps_per_report=10,
+    )
+    print(f"grid: {inp.grid_dims().describe()}")
+
+    # 2. build the virtual machine and run distributed
+    machine = generic_cluster(n_nodes=2, ranks_per_node=4)
+    world = VirtualWorld(machine)
+    sim = CgyroSimulation(world, range(8), inp)
+    print(f"decomposition: {sim.decomp.describe()}")
+    print(f"machine: {machine.describe()}\n")
+
+    rows = sim.run(3)
+    print(render_report(rows, label=inp.name))
+
+    # 3. physics output: flux spectrum per toroidal mode
+    flux, phi2 = sim.diagnostics()
+    print("\nflux spectrum Q(n):")
+    for n, (q, p2) in enumerate(zip(flux, phi2)):
+        print(f"  n={n}: Q={q:+.3e}  |phi|^2={p2:.3e}")
+
+    # 4. verify against the serial reference implementation
+    ref = SerialReference(inp)
+    ref.run(sim.step_count)
+    err = np.max(np.abs(sim.gather_h() - ref.h)) / np.max(np.abs(ref.h))
+    print(f"\nmax relative deviation from serial reference: {err:.2e}")
+    assert err < 1e-9, "distributed run must match the reference"
+
+    # 5. fluid-moment view of the final state
+    from repro.cgyro import MomentCalculator
+
+    moments = MomentCalculator(sim.fields).compute(sim.gather_h())
+    print("\nrms gyro-fluid perturbations (species x mode-summed):")
+    for s, name in enumerate(inp.species):
+        dn = np.sqrt((np.abs(moments.density[s]) ** 2).mean())
+        dt_ = np.sqrt((np.abs(moments.temperature[s]) ** 2).mean())
+        print(f"  {name.name}: |dn| = {dn:.3e}  |dT| = {dt_:.3e}")
+
+    # 6. where did the (simulated) memory go?
+    print("\nper-rank memory:")
+    print(sim.memory_report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy shim so editable installs work without the `wheel` package.
+
+`pip install -e .` on an offline machine (no build isolation, no wheel)
+falls back to `setup.py develop`, which this file enables; all project
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""The CGYRO-like solver substrate.
+
+A reduced-physics but complete-in-structure spectral drift-kinetic
+solver with CGYRO's three phases (streaming / nonlinear / collisional),
+tensor layouts, communicator structure and timing categories.  See
+DESIGN.md section 2 for exactly what is preserved relative to the real
+code and why it suffices for the paper's claims.
+
+Entry points:
+
+- :class:`CgyroInput` + presets — validated inputs;
+- :class:`CgyroSimulation` — the distributed solver (lockstep SPMD on
+  a :class:`~repro.vmpi.VirtualWorld`);
+- :class:`SerialReference` — single-array reference implementation;
+- :class:`PrivateCollisionScheme` — stock cmat placement (the thing
+  XGYRO swaps out).
+"""
+
+from repro.cgyro.collision_scheme import CollisionScheme, PrivateCollisionScheme
+from repro.cgyro.history import TimeHistory
+from repro.cgyro.io import parse_input_file, write_input_file, write_timing_csv
+from repro.cgyro.linear import LinearSolver, ModeResult
+from repro.cgyro.moments import FluidMoments, MomentCalculator
+from repro.cgyro.params import CgyroInput
+from repro.cgyro.presets import linear_benchmark, nl03c_scaled, small_test
+from repro.cgyro.reference import SerialReference, initial_condition
+from repro.cgyro.restart import load_checkpoint, save_checkpoint
+from repro.cgyro.solver import CgyroSimulation
+from repro.cgyro.timing import (
+    CATEGORY_ORDER,
+    COMM_CATEGORIES,
+    ReportRow,
+    render_report,
+    sum_rows,
+)
+
+__all__ = [
+    "CgyroInput",
+    "CgyroSimulation",
+    "SerialReference",
+    "initial_condition",
+    "CollisionScheme",
+    "PrivateCollisionScheme",
+    "small_test",
+    "linear_benchmark",
+    "nl03c_scaled",
+    "ReportRow",
+    "CATEGORY_ORDER",
+    "COMM_CATEGORIES",
+    "render_report",
+    "sum_rows",
+    "LinearSolver",
+    "ModeResult",
+    "FluidMoments",
+    "MomentCalculator",
+    "TimeHistory",
+    "save_checkpoint",
+    "load_checkpoint",
+    "parse_input_file",
+    "write_input_file",
+    "write_timing_csv",
+]

@@ -1,0 +1,46 @@
+"""Flop-count conventions for charging simulated compute time.
+
+The virtual world charges compute as ``flops / machine.flops_per_rank``.
+These constants make the per-kernel accounting explicit and testable;
+absolute realism is not required (the machine's effective rate is a
+calibrated quantity), but *relative* costs between kernels and their
+scaling with local block sizes must be right, because they determine
+how compute time redistributes when XGYRO shrinks the per-member rank
+count.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Streaming RHS: theta stencils, drift/drive multiplies, FLR factors —
+#: roughly 20 complex ops per element per stage.
+RHS_FLOPS_PER_ELEMENT = 120.0
+
+#: Velocity-space moment accumulation: two moments (field + upwind),
+#: one complex multiply-add each.
+MOMENT_FLOPS_PER_ELEMENT = 16.0
+
+#: Field assembly (divide by dielectric, small).
+FIELD_SOLVE_FLOPS_PER_ELEMENT = 8.0
+
+#: RK4 linear combination work per element per step.
+RK_COMBINE_FLOPS_PER_ELEMENT = 24.0
+
+#: Diagnostics (flux spectrum accumulation).
+DIAG_FLOPS_PER_ELEMENT = 12.0
+
+
+def fft_flops(batch: int, length: int) -> float:
+    """Split-radix-style estimate: ``5 N log2 N`` per transform."""
+    if length <= 1:
+        return 0.0
+    return 5.0 * batch * length * math.log2(length)
+
+
+def bracket_flops(n_conf: int, n_iv: int, nt: int, padded: int) -> float:
+    """Nonlinear toroidal bracket: 8 padded FFTs + pointwise products."""
+    batch = n_conf * n_iv
+    transforms = 8.0 * fft_flops(batch, padded)
+    pointwise = 6.0 * 2.0 * batch * padded
+    return transforms + pointwise

@@ -1,0 +1,194 @@
+"""Field solve: gyro-averaged velocity moments and the dielectrics.
+
+The electrostatic potential per configuration point and toroidal mode,
+
+    phi(ic, n) = sum_iv  A(iv, n) h(ic, iv, n)  /  D(n),
+
+with gyro-average weight ``A = w * z * dens * J`` and FLR factor
+``J(iv, n) = exp(-(n k_theta_rho)^2 e / 2)``; the dielectric ``D(n)``
+is the Debye-regularised quasineutrality response.  A second moment —
+the *upwind field* ``psi_u = sum_iv w |vpar| J h`` — feeds the upwind
+dissipation correction.  With ``beta_e > 0`` (electromagnetic runs,
+per the Sugama theory CGYRO implements) a third moment — the parallel
+current ``sum_iv w z dens vth vpar J h`` — yields A_parallel through
+Ampere's law, ``D_A(n) = 2 (n k_theta_rho)^2 / beta_e + lambda_D``.
+
+The velocity sums are what force the str-phase AllReduce over the nv
+communicator: in the STR layout each rank holds only ``nv_loc`` of the
+``nv`` points.  :meth:`FieldSolver.partial_moments` computes one
+rank's (or one chunk's) contribution; summing the partials — serially
+or via AllReduce — and calling :meth:`FieldSolver.assemble` yields a
+:class:`FieldState`.  Serial reference and distributed solver share
+this code path, which is what makes their equivalence testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import InputError
+from repro.cgyro.params import CgyroInput
+from repro.grid.dims import GridDims
+from repro.grid.velocity import VelocityGrid
+
+
+@dataclass
+class FieldState:
+    """Solved fields on a (nc, nt-subset) slab.
+
+    ``apar`` is ``None`` for electrostatic runs (``beta_e == 0``).
+    """
+
+    phi: np.ndarray
+    psi_u: np.ndarray
+    apar: Optional[np.ndarray] = None
+
+
+def flr_table(vgrid: VelocityGrid, k_theta_rho: float, nt: int) -> np.ndarray:
+    """FLR reduction factor ``J(iv, n)``, shape ``(nv, nt)``."""
+    e = vgrid.flat_energy()
+    n = np.arange(nt)
+    b = (k_theta_rho * n) ** 2
+    return np.exp(-0.5 * np.outer(e, b))
+
+
+class FieldSolver:
+    """Precomputed moment weights and dielectric for one input."""
+
+    def __init__(self, inp: CgyroInput, dims: GridDims, vgrid: VelocityGrid) -> None:
+        self.inp = inp
+        self.dims = dims
+        self.vgrid = vgrid
+        nt = dims.nt
+        self.j_table = flr_table(vgrid, inp.k_theta_rho, nt)  # (nv, nt)
+        w = vgrid.flat_weights()
+        spec = vgrid.flat_species()
+        z = np.array([inp.species[s].z for s in spec])
+        dens = np.array([inp.species[s].dens for s in spec])
+        vth = np.array([inp.species[s].vth for s in spec])
+        #: field moment weight, shape (nv, nt)
+        self.field_weight = (w * z * dens)[:, None] * self.j_table
+        #: upwind moment weight, shape (nv, nt)
+        self.upwind_weight = (w * np.abs(vgrid.flat_vpar()))[:, None] * self.j_table
+        #: parallel-current moment weight (EM only), shape (nv, nt)
+        self.current_weight = (
+            (w * z * dens * vth * vgrid.flat_vpar())[:, None] * self.j_table
+        )
+        #: dielectric, shape (nt,)
+        self.dielectric = self._build_dielectric()
+        #: Ampere dielectric for A_parallel (EM only), shape (nt,)
+        self.apar_dielectric = self._build_apar_dielectric()
+
+    @property
+    def electromagnetic(self) -> bool:
+        """Whether the run solves for A_parallel."""
+        return self.inp.beta_e > 0.0
+
+    @property
+    def n_moments(self) -> int:
+        """Moments accumulated per field solve (2 ES, 3 EM)."""
+        return 3 if self.electromagnetic else 2
+
+    def _build_dielectric(self) -> np.ndarray:
+        d = np.full(self.dims.nt, self.inp.lambda_debye)
+        w = self.vgrid.flat_weights()
+        spec = self.vgrid.flat_species()
+        for s, sp in enumerate(self.inp.species):
+            mask = spec == s
+            gamma_n = (w[mask, None] * self.j_table[mask, :] ** 2).sum(axis=0)
+            d += sp.z**2 * sp.dens / sp.temp * (1.0 - gamma_n)
+        if np.any(d <= 0):
+            raise InputError("dielectric must be positive; increase lambda_debye")
+        # i-delta model of non-adiabatic electrons: a phase shift in the
+        # field response that opens the resistive-drift-wave growth
+        # channel for n > 0 (a sweep parameter — not in the cmat
+        # signature)
+        delta = self.inp.nonadiabatic_delta
+        if delta != 0.0:
+            n_modes = np.arange(self.dims.nt)
+            return d * (1.0 - 1j * delta * np.sign(n_modes))
+        return d
+
+    def _build_apar_dielectric(self) -> np.ndarray:
+        """Ampere's-law response ``2 k_perp^2 / beta_e`` (+ Debye floor).
+
+        Returns ones for electrostatic runs (never used there).
+        """
+        if not self.electromagnetic:
+            return np.ones(self.dims.nt)
+        n_modes = np.arange(self.dims.nt)
+        k_perp2 = (self.inp.k_theta_rho * n_modes) ** 2
+        return 2.0 * k_perp2 / self.inp.beta_e + self.inp.lambda_debye
+
+    # ------------------------------------------------------------------
+    def partial_moments(
+        self,
+        h: np.ndarray,
+        iv_idx: Sequence[int],
+        nt_idx: Sequence[int],
+    ) -> np.ndarray:
+        """Moment contributions of a velocity subset.
+
+        Parameters
+        ----------
+        h:
+            Field block, shape ``(nc, len(iv_idx), len(nt_idx))``.
+        iv_idx, nt_idx:
+            Global velocity / toroidal indices of the block's axes.
+
+        Returns
+        -------
+        Stacked partial moments, shape ``(n_moments, nc, len(nt_idx))``
+        — row 0 the field moment, row 1 the upwind moment, row 2 (EM
+        runs only) the parallel current.
+        """
+        iv_idx = np.asarray(iv_idx)
+        nt_idx = np.asarray(nt_idx)
+        if h.shape[1] != iv_idx.size or h.shape[2] != nt_idx.size:
+            raise InputError(
+                f"block shape {h.shape} inconsistent with {iv_idx.size} iv / "
+                f"{nt_idx.size} nt indices"
+            )
+        sel = np.ix_(iv_idx, nt_idx)
+        rows = [
+            np.einsum("cvt,vt->ct", h, self.field_weight[sel], optimize=True),
+            np.einsum("cvt,vt->ct", h, self.upwind_weight[sel], optimize=True),
+        ]
+        if self.electromagnetic:
+            rows.append(
+                np.einsum("cvt,vt->ct", h, self.current_weight[sel], optimize=True)
+            )
+        return np.stack(rows)
+
+    def assemble(
+        self, summed_moments: np.ndarray, nt_idx: Sequence[int]
+    ) -> FieldState:
+        """Fields from fully-summed moments.
+
+        ``summed_moments`` is the sum of :meth:`partial_moments` over
+        the *complete* velocity space, shape ``(n_moments, nc,
+        len(nt_idx))``.
+        """
+        nt_idx = np.asarray(nt_idx)
+        if summed_moments.shape[0] != self.n_moments:
+            raise InputError(
+                f"expected {self.n_moments} moment rows, got "
+                f"{summed_moments.shape[0]}"
+            )
+        phi = summed_moments[0] / self.dielectric[nt_idx][None, :]
+        psi_u = summed_moments[1]
+        apar = None
+        if self.electromagnetic:
+            apar = summed_moments[2] / self.apar_dielectric[nt_idx][None, :]
+        return FieldState(phi=phi, psi_u=psi_u, apar=apar)
+
+    def solve_serial(self, h_global: np.ndarray) -> FieldState:
+        """Reference field solve on the full ``(nc, nv, nt)`` tensor."""
+        d = self.dims
+        if h_global.shape != (d.nc, d.nv, d.nt):
+            raise InputError(f"expected global shape, got {h_global.shape}")
+        moments = self.partial_moments(h_global, range(d.nv), range(d.nt))
+        return self.assemble(moments, range(d.nt))

@@ -1,0 +1,87 @@
+"""Nonlinear phase: the quadratic toroidal bracket.
+
+A reduced ExB bracket coupling toroidal modes,
+
+    NL(h, phi)_n = c_nl * [ (i n' k_th phi) *conv* (i k_r h)
+                          - (i k_r phi)    *conv* (i n' k_th h) ]_n ,
+
+evaluated pseudo-spectrally: both factors are zero-padded to at least
+``3/2 * nt`` (de-aliasing), FFT'd along the toroidal axis, multiplied
+pointwise in toroidal angle, and transformed back — which is why the
+nl phase needs the *complete* nt dimension locally (the NL layout),
+reached via the comm_2 AllToAll.
+
+Radial coupling is reduced to the local ``k_r(ic)`` factor (no radial
+convolution); the paper "mostly ignores the nl phase", so structure —
+tensor shapes, transpose pattern, FFT cost scaling — is what matters
+here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InputError
+
+
+def padded_length(nt: int) -> int:
+    """De-aliased transform length: next power of two >= 3*nt/2."""
+    target = max(1, (3 * nt + 1) // 2)
+    length = 1
+    while length < target:
+        length *= 2
+    return length
+
+
+def _conv(a: np.ndarray, b: np.ndarray, m: int, nt: int) -> np.ndarray:
+    """Zero-padded circular convolution along the last axis."""
+    fa = np.fft.fft(a, n=m, axis=-1)
+    fb = np.fft.fft(b, n=m, axis=-1)
+    return np.fft.ifft(fa * fb, axis=-1)[..., :nt]
+
+
+def toroidal_bracket(
+    h: np.ndarray,
+    phi: np.ndarray,
+    k_radial: np.ndarray,
+    *,
+    k_theta_rho: float,
+    nl_coeff: float,
+) -> np.ndarray:
+    """Evaluate the bracket on an NL-layout block.
+
+    Parameters
+    ----------
+    h:
+        State block with complete toroidal axis,
+        shape ``(n_conf, n_iv, nt)``.
+    phi:
+        Potential on the same configuration slice, ``(n_conf, nt)``.
+    k_radial:
+        Radial wavenumber of each local configuration point,
+        ``(n_conf,)``.
+    k_theta_rho, nl_coeff:
+        Model coefficients from the input.
+
+    Returns
+    -------
+    Bracket contribution, same shape as ``h``.
+    """
+    if h.ndim != 3:
+        raise InputError(f"h must be 3D (n_conf, n_iv, nt), got {h.shape}")
+    n_conf, n_iv, nt = h.shape
+    if phi.shape != (n_conf, nt):
+        raise InputError(f"phi shape {phi.shape} != ({n_conf}, {nt})")
+    if k_radial.shape != (n_conf,):
+        raise InputError(f"k_radial shape {k_radial.shape} != ({n_conf},)")
+    if nl_coeff == 0.0:
+        return np.zeros_like(h)
+    m = padded_length(nt)
+    n_modes = np.arange(nt)
+    dphi_alpha = (1j * k_theta_rho * n_modes)[None, :] * phi  # (n_conf, nt)
+    dphi_rad = (1j * k_radial)[:, None] * phi
+    dh_alpha = (1j * k_theta_rho * n_modes)[None, None, :] * h
+    dh_rad = (1j * k_radial)[:, None, None] * h
+    term1 = _conv(dphi_alpha[:, None, :], dh_rad, m, nt)
+    term2 = _conv(dphi_rad[:, None, :], dh_alpha, m, nt)
+    return nl_coeff * (term1 - term2)

@@ -1,0 +1,102 @@
+"""Per-phase timing, CGYRO-style.
+
+CGYRO prints a timing line per reporting step with one column per
+phase; Figure 2 of the paper is built from exactly those columns.  The
+reproduction mirrors this: the virtual world accumulates simulated time
+under the category labels below, and :class:`ReportRow` captures the
+per-interval deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+#: Canonical phase categories, in CGYRO timing-output order.
+CATEGORY_ORDER = (
+    "str_comm",
+    "str_compute",
+    "nl_comm",
+    "nl_compute",
+    "coll_comm",
+    "coll_compute",
+    "diag",
+    "cmat_build",
+)
+
+#: Categories counted as communication.
+COMM_CATEGORIES = ("str_comm", "nl_comm", "coll_comm")
+
+
+def snapshot(world, ranks: Iterable[int]) -> Dict[str, float]:
+    """Current per-category times (max over ``ranks``) plus elapsed."""
+    ranks = list(ranks)
+    out = {c: world.category_time(c, ranks) for c in CATEGORY_ORDER}
+    out["elapsed"] = world.elapsed(ranks)
+    return out
+
+
+def delta(after: Dict[str, float], before: Dict[str, float]) -> Dict[str, float]:
+    """Per-category difference of two snapshots."""
+    return {k: after[k] - before.get(k, 0.0) for k in after}
+
+
+@dataclass
+class ReportRow:
+    """One reporting interval of one simulation (or ensemble member)."""
+
+    step: int
+    time: float
+    wall_s: float
+    categories: Dict[str, float]
+    flux: np.ndarray = dc_field(default_factory=lambda: np.zeros(0))
+    phi2: np.ndarray = dc_field(default_factory=lambda: np.zeros(0))
+
+    @property
+    def comm_s(self) -> float:
+        """Total communication time in the interval."""
+        return sum(self.categories.get(c, 0.0) for c in COMM_CATEGORIES)
+
+    @property
+    def str_comm_s(self) -> float:
+        """Streaming-phase communication time (the paper's key column)."""
+        return self.categories.get("str_comm", 0.0)
+
+
+def render_report(rows: List[ReportRow], *, label: str = "") -> str:
+    """CGYRO-style timing table for a list of report rows."""
+    cols = [c for c in CATEGORY_ORDER if any(r.categories.get(c, 0.0) > 0 for r in rows)]
+    header = f"{'step':>6s} {'time':>9s} " + " ".join(f"{c:>12s}" for c in cols)
+    header += f" {'TOTAL':>12s}"
+    lines = [f"timing [{label}]" if label else "timing", header]
+    for r in rows:
+        line = f"{r.step:>6d} {r.time:>9.4f} " + " ".join(
+            f"{r.categories.get(c, 0.0):>12.4f}" for c in cols
+        )
+        line += f" {r.wall_s:>12.4f}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def sum_rows(rows: List[ReportRow]) -> Optional[ReportRow]:
+    """Aggregate rows by summing wall time and categories.
+
+    Used for the "sum of 8 independent CGYRO simulations" side of
+    Figure 2 (sequential runs: wall times add).
+    """
+    if not rows:
+        return None
+    cats: Dict[str, float] = {}
+    for r in rows:
+        for k, v in r.categories.items():
+            cats[k] = cats.get(k, 0.0) + v
+    return ReportRow(
+        step=rows[-1].step,
+        time=rows[-1].time,
+        wall_s=sum(r.wall_s for r in rows),
+        categories=cats,
+        flux=rows[-1].flux,
+        phi2=rows[-1].phi2,
+    )

@@ -1,0 +1,289 @@
+"""Command-line interface.
+
+Mirrors how the real tools are driven — a simulation directory with an
+``input.cgyro`` (or an ``input.xgyro`` listing member directories) and
+a launcher invocation — against the virtual machine:
+
+    python -m repro run-cgyro  DIR   --nodes 4 --machine generic --reports 2
+    python -m repro run-xgyro  FILE  --nodes 4 --machine generic --reports 1
+    python -m repro plan       DIR   --members 8
+    python -m repro linear     DIR   --modes 1,2,3
+    python -m repro figure2    [--measure-steps 1]
+
+Every command prints human-readable tables; ``run-*`` optionally write
+``out.cgyro.timing`` CSVs next to the inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.cgyro import CgyroSimulation, render_report
+from repro.cgyro.io import parse_input_file, write_timing_csv
+from repro.cgyro.linear import LinearSolver
+from repro.cgyro.presets import NL03C_SCALED_MEM_PER_RANK, nl03c_scaled
+from repro.machine import frontier_like, generic_cluster, single_node
+from repro.machine.model import MachineModel
+from repro.perf import (
+    cmat_dominance_ratio,
+    figure2_comparison,
+    min_nodes_required,
+    render_figure2,
+)
+from repro.perf.calibrate import PAPER_TARGETS
+from repro.vmpi import VirtualWorld
+from repro.xgyro import XgyroEnsemble
+from repro.xgyro.input import parse_ensemble
+
+
+def _machine_from_args(args: argparse.Namespace) -> MachineModel:
+    if args.machine == "frontier":
+        return frontier_like(
+            n_nodes=args.nodes, mem_per_rank_bytes=NL03C_SCALED_MEM_PER_RANK
+        )
+    if args.machine == "generic":
+        return generic_cluster(n_nodes=args.nodes, ranks_per_node=args.ranks_per_node)
+    if args.machine == "single":
+        return single_node(ranks=args.ranks_per_node)
+    raise ReproError(f"unknown machine {args.machine!r}")
+
+
+def _add_machine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--machine",
+        choices=["frontier", "generic", "single"],
+        default="generic",
+        help="machine preset (default: generic)",
+    )
+    parser.add_argument("--nodes", type=int, default=2, help="node count")
+    parser.add_argument(
+        "--ranks-per-node", type=int, default=4, help="ranks per node (non-frontier)"
+    )
+
+
+def _input_from_dir(directory: str):
+    path = Path(directory)
+    if path.is_dir():
+        path = path / "input.cgyro"
+    return parse_input_file(path), path.parent
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+def cmd_run_cgyro(args: argparse.Namespace) -> int:
+    inp, directory = _input_from_dir(args.directory)
+    machine = _machine_from_args(args)
+    world = VirtualWorld(machine, enforce_memory=args.enforce_memory)
+    sim = CgyroSimulation(world, range(world.n_ranks), inp)
+    if args.resume:
+        sim.load_checkpoint(args.resume)
+        print(f"resumed from {args.resume} at step {sim.step_count}")
+    print(f"{inp.name}: {sim.decomp.describe()} on {machine.name}")
+    rows = sim.run(args.reports)
+    print(render_report(rows, label=inp.name))
+    flux, phi2 = rows[-1].flux, rows[-1].phi2
+    print("flux Q(n): " + " ".join(f"{q:+.3e}" for q in flux))
+    print("amp |phi|^2(n): " + " ".join(f"{p:.3e}" for p in phi2))
+    if args.timing_out:
+        write_timing_csv(rows, args.timing_out)
+        print(f"timing written to {args.timing_out}")
+    if args.checkpoint:
+        sim.save_checkpoint(args.checkpoint)
+        print(f"checkpoint written to {args.checkpoint}")
+    return 0
+
+
+def cmd_run_xgyro(args: argparse.Namespace) -> int:
+    inputs = parse_ensemble(args.input)
+    machine = _machine_from_args(args)
+    world = VirtualWorld(machine, enforce_memory=args.enforce_memory)
+    ensemble = XgyroEnsemble(world, inputs)
+    member = ensemble.members[0]
+    print(
+        f"xgyro ensemble: k={ensemble.n_members} members x "
+        f"{len(member.ranks)} ranks on {machine.name}; "
+        f"shared cmat {world.ledgers[0].size_of('cmat')} B/rank"
+    )
+    for _ in range(args.reports):
+        report = ensemble.run_report_interval()
+        ens = report.ensemble
+        print(
+            f"step {ens.step}: wall {ens.wall_s:.3f} s, "
+            f"str comm {ens.str_comm_s:.3f} s, comm total {ens.comm_s:.3f} s"
+        )
+        for m, row in zip(ensemble.members, report.member_rows):
+            print(
+                f"  {m.inp.name:<20s} flux "
+                + " ".join(f"{q:+.3e}" for q in row.flux)
+            )
+    if args.timing_out:
+        write_timing_csv([r.ensemble for r in [report]], args.timing_out)
+        print(f"timing written to {args.timing_out}")
+    return 0
+
+
+def cmd_study(args: argparse.Namespace) -> int:
+    from repro.xgyro.study import XgyroStudy
+
+    machine = _machine_from_args(args)
+    study = XgyroStudy(args.directory, machine, enforce_memory=args.enforce_memory)
+    study.run(args.reports)
+    study.write_outputs(checkpoints=not args.no_checkpoints)
+    print(study.summary())
+    print(f"\noutputs written under {study.study_dir}")
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    inp, _ = _input_from_dir(args.directory)
+    machine = _machine_from_args(args)
+    print(f"{inp.name}: grid {inp.grid_dims().describe()}")
+    print(f"cmat dominance: {cmat_dominance_ratio(inp):.1f}x other buffers")
+    for k in range(1, args.members + 1):
+        try:
+            nodes = min_nodes_required(inp, machine, ensemble_size=k)
+            print(f"  {k} member(s) sharing cmat: {nodes} node(s) of {machine.name}")
+        except ReproError as exc:
+            print(f"  {k} member(s): does not fit ({exc})")
+    return 0
+
+
+def cmd_linear(args: argparse.Namespace) -> int:
+    inp, _ = _input_from_dir(args.directory)
+    if inp.nonlinear:
+        inp = inp.with_updates(nonlinear=False)
+        print("note: NONLINEAR_FLAG disabled for linear analysis")
+    solver = LinearSolver(inp)
+    modes = (
+        [int(m) for m in args.modes.split(",")]
+        if args.modes
+        else list(range(1, inp.n_toroidal))
+    )
+    print(f"{inp.name}: linear spectrum ({args.method})")
+    print(f"{'n':>4s} {'gamma':>12s} {'omega':>12s} {'stable':>8s}")
+    for res in solver.spectrum(modes=modes, method=args.method, tol=args.tol):
+        tag = "NO" if res.unstable else "yes"
+        print(f"{res.n_mode:>4d} {res.gamma:>12.6f} {res.omega:>12.6f} {tag:>8s}")
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.cgyro.presets import small_test
+    from repro.cgyro.verification import (
+        split_step_convergence,
+        streaming_convergence,
+    )
+
+    if args.directory:
+        inp, _ = _input_from_dir(args.directory)
+        inp = inp.with_updates(nonlinear=False)
+    else:
+        inp = small_test(dlntdr=(4.0, 4.0), nu=0.1, upwind_coeff=0.2)
+    print(f"verification on {inp.name}: streaming RK4 self-convergence")
+    stream = streaming_convergence(inp)
+    print(stream.render())
+    print("\nfull split step (streaming + implicit collisions)")
+    split = split_step_convergence(inp)
+    print(split.render())
+    ok = 3.0 < stream.observed_order < 5.0 and 0.5 < split.observed_order < 2.0
+    print(f"\nverification {'PASSED' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
+def cmd_figure2(args: argparse.Namespace) -> int:
+    machine = frontier_like(
+        n_nodes=32, mem_per_rank_bytes=NL03C_SCALED_MEM_PER_RANK
+    )
+    base = nl03c_scaled()
+    inputs = [
+        base.with_updates(dlntdr=(3.0 + 0.1 * m, 3.0 + 0.1 * m), name=f"nl03c.m{m}")
+        for m in range(8)
+    ]
+    result = figure2_comparison(
+        inputs, machine, measure_steps=args.measure_steps, enforce_memory=True
+    )
+    print(render_figure2(result, paper=PAPER_TARGETS))
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="XGYRO shared-cmat reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run-cgyro", help="run one simulation")
+    p.add_argument("directory", help="simulation dir (or input.cgyro path)")
+    _add_machine_args(p)
+    p.add_argument("--reports", type=int, default=1)
+    p.add_argument("--enforce-memory", action="store_true")
+    p.add_argument("--timing-out", default=None)
+    p.add_argument("--checkpoint", default=None)
+    p.add_argument("--resume", default=None)
+    p.set_defaults(func=cmd_run_cgyro)
+
+    p = sub.add_parser("run-xgyro", help="run an ensemble")
+    p.add_argument("input", help="input.xgyro path")
+    _add_machine_args(p)
+    p.add_argument("--reports", type=int, default=1)
+    p.add_argument("--enforce-memory", action="store_true")
+    p.add_argument("--timing-out", default=None)
+    p.set_defaults(func=cmd_run_xgyro)
+
+    p = sub.add_parser(
+        "study", help="run a full on-disk ensemble study with outputs"
+    )
+    p.add_argument("directory", help="study dir containing input.xgyro")
+    _add_machine_args(p)
+    p.add_argument("--reports", type=int, default=1)
+    p.add_argument("--enforce-memory", action="store_true")
+    p.add_argument("--no-checkpoints", action="store_true")
+    p.set_defaults(func=cmd_study)
+
+    p = sub.add_parser("plan", help="memory/node capacity planning")
+    p.add_argument("directory")
+    _add_machine_args(p)
+    p.add_argument("--members", type=int, default=8)
+    p.set_defaults(func=cmd_plan)
+
+    p = sub.add_parser("linear", help="linear growth-rate spectrum")
+    p.add_argument("directory")
+    p.add_argument("--modes", default=None, help="comma-separated mode list")
+    p.add_argument("--method", choices=["arnoldi", "power"], default="arnoldi")
+    p.add_argument("--tol", type=float, default=1e-8)
+    p.set_defaults(func=cmd_linear)
+
+    p = sub.add_parser("figure2", help="regenerate the paper's Figure 2")
+    p.add_argument("--measure-steps", type=int, default=1)
+    p.set_defaults(func=cmd_figure2)
+
+    p = sub.add_parser(
+        "verify", help="numerical verification: temporal convergence orders"
+    )
+    p.add_argument("directory", nargs="?", default=None,
+                   help="optional case dir (defaults to a built-in input)")
+    p.set_defaults(func=cmd_verify)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Collision operator and the collisional constant tensor ``cmat``.
+
+This package is the reproduction's stand-in for CGYRO's Sugama
+collision operator (DESIGN.md section 2).  It builds, per configuration
+point ``ic`` and toroidal mode ``n``, a dense ``nv x nv`` collision
+matrix composed of:
+
+- Lorentz pitch-angle scattering (Legendre-spectral, exact on the
+  Gauss-Legendre pitch grid),
+- energy diffusion (symmetric, particle-conserving),
+- momentum-restoring conservation corrections coupling species, and
+- an FLR-like gyro-diffusive damping that carries the toroidal-mode
+  dependence.
+
+The *constant tensor* ``cmat`` stores the implicit propagator
+``(I - dt * C(ic, n))^{-1}`` — computed once per simulation and applied
+every collisional step, trading memory (``nv^2 * nc * nt`` doubles) for
+an order-of-magnitude cheaper implicit solve, exactly the trade-off the
+paper describes.  :class:`CmatSignature` captures which inputs influence
+the tensor's values; ensembles whose members share a signature can share
+one distributed copy (the XGYRO optimisation).
+"""
+
+from repro.collision.cmat import CmatPropagator, apply_propagator, cmat_total_bytes
+from repro.collision.energy_diff import energy_diffusion_matrix
+from repro.collision.lorentz import lorentz_matrix
+from repro.collision.operator import CollisionOperator
+from repro.collision.params import CollisionParams, SpeciesParams
+from repro.collision.signature import CmatSignature
+
+__all__ = [
+    "SpeciesParams",
+    "CollisionParams",
+    "lorentz_matrix",
+    "energy_diffusion_matrix",
+    "CollisionOperator",
+    "CmatPropagator",
+    "apply_propagator",
+    "cmat_total_bytes",
+    "CmatSignature",
+]

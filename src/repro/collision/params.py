@@ -1,0 +1,118 @@
+"""Parameters of the collision model.
+
+:class:`SpeciesParams` describes one plasma species; note that the
+*gradient drives* (``dlnn_dr``, ``dlnt_dr``) live in the solver input,
+not here — they do not influence the collision operator, which is
+exactly the property XGYRO exploits for parameter-sweep ensembles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.errors import InputError
+
+
+@dataclass(frozen=True)
+class SpeciesParams:
+    """One species: name, charge number, mass, density, temperature.
+
+    Units are normalised (deuterium mass, electron charge, reference
+    density/temperature = 1 conventions).
+    """
+
+    name: str
+    z: float
+    mass: float
+    dens: float
+    temp: float
+
+    def __post_init__(self) -> None:
+        if self.mass <= 0:
+            raise InputError(f"species {self.name!r}: mass must be > 0")
+        if self.dens <= 0:
+            raise InputError(f"species {self.name!r}: dens must be > 0")
+        if self.temp <= 0:
+            raise InputError(f"species {self.name!r}: temp must be > 0")
+        if self.z == 0:
+            raise InputError(f"species {self.name!r}: charge must be nonzero")
+
+    @property
+    def vth(self) -> float:
+        """Thermal velocity ``sqrt(temp / mass)``."""
+        return (self.temp / self.mass) ** 0.5
+
+
+#: A conventional deuterium + electron pair (mass ratio reduced to 60
+#: as gyrokinetic codes commonly do for benchmarks).
+DEFAULT_SPECIES: Tuple[SpeciesParams, ...] = (
+    SpeciesParams(name="D", z=1.0, mass=1.0, dens=1.0, temp=1.0),
+    SpeciesParams(name="e", z=-1.0, mass=1.0 / 60.0, dens=1.0, temp=1.0),
+)
+
+
+@dataclass(frozen=True)
+class CollisionParams:
+    """Everything the collision operator (and hence cmat) depends on.
+
+    Parameters
+    ----------
+    nu:
+        Base collision frequency (the ``NU_EE``-like knob).
+    energy_diff_coeff:
+        Relative strength of energy diffusion vs pitch scattering.
+    flr_coeff:
+        Strength of the FLR-like gyro-diffusive damping; carries the
+        toroidal-mode (``n``) dependence of cmat.
+    nu_profile_eps:
+        Amplitude of the poloidal modulation of the collision
+        frequency, ``nu(ic) = nu * (1 + eps * cos(theta))``; carries
+        the configuration (``ic``) dependence of cmat.
+    conserve_momentum:
+        Apply the momentum-restoring correction (exact conservation).
+    conserve_energy:
+        Additionally restore kinetic energy (exact conservation of the
+        ``sum w T e f`` functional).
+    species:
+        The species set.
+    """
+
+    nu: float = 0.1
+    energy_diff_coeff: float = 0.5
+    flr_coeff: float = 0.01
+    nu_profile_eps: float = 0.2
+    conserve_momentum: bool = True
+    conserve_energy: bool = False
+    species: Tuple[SpeciesParams, ...] = field(default=DEFAULT_SPECIES)
+
+    def __post_init__(self) -> None:
+        if self.nu < 0:
+            raise InputError(f"nu must be >= 0, got {self.nu}")
+        if self.energy_diff_coeff < 0:
+            raise InputError("energy_diff_coeff must be >= 0")
+        if self.flr_coeff < 0:
+            raise InputError("flr_coeff must be >= 0")
+        if not -1.0 < self.nu_profile_eps < 1.0:
+            raise InputError(
+                f"nu_profile_eps must lie in (-1, 1), got {self.nu_profile_eps}"
+            )
+        if len(self.species) == 0:
+            raise InputError("at least one species is required")
+        object.__setattr__(self, "species", tuple(self.species))
+
+    @property
+    def n_species(self) -> int:
+        """Number of species."""
+        return len(self.species)
+
+    def species_collision_rate(self, s: int) -> float:
+        """Effective collision rate of species ``s``.
+
+        Classical-like scaling ``nu * z_s^2 * sum_s' z_s'^2 n_s' /
+        (sqrt(m_s) * T_s^(3/2))`` — heavier/hotter species collide
+        less.
+        """
+        sp = self.species[s]
+        field_sum = sum(o.z**2 * o.dens for o in self.species)
+        return self.nu * sp.z**2 * field_sum / (sp.mass**0.5 * sp.temp**1.5)

@@ -1,0 +1,106 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class.  Sub-hierarchies mirror the major
+subsystems (virtual MPI, machine/memory model, decomposition, solver
+input, ensemble validation).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class VmpiError(ReproError):
+    """Base class for virtual-MPI substrate errors."""
+
+
+class CommunicatorError(VmpiError):
+    """A communicator was constructed or used inconsistently.
+
+    Raised, e.g., when a collective is invoked with data for a rank set
+    that does not match the communicator's membership, or when a rank is
+    translated through a communicator it does not belong to.
+    """
+
+
+class CollectiveError(VmpiError):
+    """A collective call received malformed buffers.
+
+    Examples: an ``alltoall`` send list whose length differs from the
+    communicator size, or an ``allreduce`` whose per-rank arrays have
+    mismatched shapes.
+    """
+
+
+class MachineError(ReproError):
+    """Base class for machine-model errors."""
+
+
+class MemoryLimitExceeded(MachineError):
+    """A simulated rank attempted to allocate past its memory budget.
+
+    Attributes
+    ----------
+    rank:
+        World rank whose ledger overflowed (or ``None`` for a
+        stand-alone ledger).
+    requested_bytes:
+        Size of the allocation that failed.
+    in_use_bytes:
+        Bytes already allocated when the request was made.
+    limit_bytes:
+        The ledger's capacity.
+    breakdown:
+        Mapping of live allocation name -> bytes, for diagnostics.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        rank: "int | None" = None,
+        requested_bytes: int = 0,
+        in_use_bytes: int = 0,
+        limit_bytes: int = 0,
+        breakdown: "dict[str, int] | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.rank = rank
+        self.requested_bytes = requested_bytes
+        self.in_use_bytes = in_use_bytes
+        self.limit_bytes = limit_bytes
+        self.breakdown = dict(breakdown or {})
+
+
+class PlacementError(MachineError):
+    """Rank-to-node placement was inconsistent with the machine model."""
+
+
+class DecompositionError(ReproError):
+    """A domain decomposition request cannot be satisfied.
+
+    Raised when the processor grid does not divide the phase-space
+    dimensions, or when the requested rank count cannot be factored into
+    a valid (toroidal x velocity/configuration) grid.
+    """
+
+
+class InputError(ReproError):
+    """A solver input parameter (or input file) is invalid."""
+
+
+class EnsembleValidationError(ReproError):
+    """An XGYRO ensemble is invalid.
+
+    The dominant case: member inputs disagree on a parameter that
+    influences the collisional constant tensor (``cmat``), so the tensor
+    cannot be shared.  The offending parameter names are carried in
+    :attr:`mismatched_fields`.
+    """
+
+    def __init__(self, message: str, *, mismatched_fields: "tuple[str, ...]" = ()) -> None:
+        super().__init__(message)
+        self.mismatched_fields = tuple(mismatched_fields)

@@ -1,0 +1,149 @@
+"""Processor-grid decomposition for one simulation.
+
+A simulation with ``n_proc = P1 * P2`` ranks arranges them on a 2D
+grid, local rank ``= i2 * P1 + i1`` (CGYRO convention — the P1
+direction is fastest, so one toroidal group occupies *consecutive*
+ranks, which is what makes small P1 groups land inside a node under
+block placement):
+
+- ``P2 = n_proc_2`` groups each own ``nt_loc = nt / P2`` toroidal
+  modes;
+- within a group, the ``P1 = n_proc_1`` ranks split **nv** in the
+  streaming phase (``nv_loc = nv / P1``, nc complete) and **nc** in the
+  collisional phase (``nc_loc = nc / P1``, nv complete).
+
+The paper's Figure 1 communicators map to:
+
+- ``comm_1`` (size P1, within a toroidal group): str AllReduce (field +
+  upwind) *and* the str<->coll AllToAll — CGYRO reuses one
+  communicator for both, which is precisely what XGYRO has to undo;
+- ``comm_2`` (size P2, across groups): the str<->nl transpose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import DecompositionError
+from repro.grid.dims import GridDims
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """A validated P1 x P2 processor grid for given dimensions."""
+
+    dims: GridDims
+    n_proc_1: int
+    n_proc_2: int
+
+    def __post_init__(self) -> None:
+        p1, p2 = self.n_proc_1, self.n_proc_2
+        if p1 < 1 or p2 < 1:
+            raise DecompositionError(f"processor counts must be >= 1, got {p1} x {p2}")
+        if self.dims.nt % p2 != 0:
+            raise DecompositionError(
+                f"n_proc_2={p2} must divide nt={self.dims.nt}"
+            )
+        if self.dims.nv % p1 != 0:
+            raise DecompositionError(
+                f"n_proc_1={p1} must divide nv={self.dims.nv} (str split)"
+            )
+        if self.dims.nc % p1 != 0:
+            raise DecompositionError(
+                f"n_proc_1={p1} must divide nc={self.dims.nc} (coll split)"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_proc(self) -> int:
+        """Total ranks of the simulation."""
+        return self.n_proc_1 * self.n_proc_2
+
+    @property
+    def nc_loc(self) -> int:
+        """Configuration points per rank in the coll layout."""
+        return self.dims.nc // self.n_proc_1
+
+    @property
+    def nv_loc(self) -> int:
+        """Velocity points per rank in the str layout."""
+        return self.dims.nv // self.n_proc_1
+
+    @property
+    def nt_loc(self) -> int:
+        """Toroidal modes per rank."""
+        return self.dims.nt // self.n_proc_2
+
+    # ------------------------------------------------------------------
+    # rank <-> grid coordinates (local rank within the simulation)
+    # ------------------------------------------------------------------
+    def coords_of(self, local_rank: int) -> Tuple[int, int]:
+        """Grid coordinates ``(i1, i2)`` of a local rank."""
+        if not 0 <= local_rank < self.n_proc:
+            raise DecompositionError(
+                f"local rank {local_rank} out of range [0, {self.n_proc})"
+            )
+        i2, i1 = divmod(local_rank, self.n_proc_1)
+        return i1, i2
+
+    def local_rank_of(self, i1: int, i2: int) -> int:
+        """Local rank at grid coordinates ``(i1, i2)``."""
+        if not (0 <= i1 < self.n_proc_1 and 0 <= i2 < self.n_proc_2):
+            raise DecompositionError(f"grid coords ({i1}, {i2}) out of range")
+        return i2 * self.n_proc_1 + i1
+
+    def group_ranks(self, i2: int) -> Tuple[int, ...]:
+        """Local ranks of toroidal group ``i2`` (a comm_1 group)."""
+        return tuple(self.local_rank_of(i1, i2) for i1 in range(self.n_proc_1))
+
+    def cross_group_ranks(self, i1: int) -> Tuple[int, ...]:
+        """Local ranks with the same i1 across groups (a comm_2 group)."""
+        return tuple(self.local_rank_of(i1, i2) for i2 in range(self.n_proc_2))
+
+    # ------------------------------------------------------------------
+    # index slices owned by grid coordinates
+    # ------------------------------------------------------------------
+    def nc_slice(self, i1: int) -> slice:
+        """Global nc range owned by column ``i1`` in the coll layout."""
+        return slice(i1 * self.nc_loc, (i1 + 1) * self.nc_loc)
+
+    def nv_slice(self, i1: int) -> slice:
+        """Global nv range owned by column ``i1`` in the str layout."""
+        return slice(i1 * self.nv_loc, (i1 + 1) * self.nv_loc)
+
+    def nt_slice(self, i2: int) -> slice:
+        """Global nt range owned by toroidal group ``i2``."""
+        return slice(i2 * self.nt_loc, (i2 + 1) * self.nt_loc)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def choose(cls, dims: GridDims, n_proc: int) -> "Decomposition":
+        """Pick a valid (P1, P2) for ``n_proc`` ranks.
+
+        Mirrors CGYRO's preference: use as many toroidal groups as
+        possible (P2 = nt when it divides n_proc), since the toroidal
+        split is communication-free; fall back to the largest valid P2.
+        Raises :class:`DecompositionError` when no factoring works.
+        """
+        if n_proc < 1:
+            raise DecompositionError(f"n_proc must be >= 1, got {n_proc}")
+        candidates: List[int] = [
+            p2 for p2 in range(min(dims.nt, n_proc), 0, -1)
+            if dims.nt % p2 == 0 and n_proc % p2 == 0
+        ]
+        for p2 in candidates:
+            p1 = n_proc // p2
+            if dims.nv % p1 == 0 and dims.nc % p1 == 0:
+                return cls(dims, p1, p2)
+        raise DecompositionError(
+            f"no valid (P1, P2) decomposition of {n_proc} ranks for grid "
+            f"[{dims.describe()}]"
+        )
+
+    def describe(self) -> str:
+        """Compact human-readable summary."""
+        return (
+            f"{self.n_proc} ranks = P1:{self.n_proc_1} x P2:{self.n_proc_2}; "
+            f"nc_loc={self.nc_loc}, nv_loc={self.nv_loc}, nt_loc={self.nt_loc}"
+        )

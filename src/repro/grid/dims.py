@@ -1,0 +1,118 @@
+"""Phase-space dimensions.
+
+:class:`GridDims` carries the six resolution parameters and exposes the
+three collapsed tensor dimensions the paper reasons in terms of:
+``nc`` (configuration), ``nv`` (velocity) and ``nt`` (toroidal).  Index
+(un)flattening helpers define the canonical orderings used everywhere:
+
+- ``ic = ir * n_theta + it``             (radial-major),
+- ``iv = (is * n_energy + ie) * n_xi + ix``  (species-major),
+- ``n``  in ``[0, nt)``                  (toroidal mode index).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import InputError
+
+
+@dataclass(frozen=True)
+class GridDims:
+    """Resolution of the five phase-space coordinates plus species.
+
+    Parameters
+    ----------
+    n_radial, n_theta:
+        Configuration-space resolution; ``nc = n_radial * n_theta``.
+    n_energy, n_xi, n_species:
+        Velocity-space resolution; ``nv = n_energy * n_xi * n_species``.
+    n_toroidal:
+        Number of toroidal modes; ``nt = n_toroidal``.
+    """
+
+    n_radial: int
+    n_theta: int
+    n_energy: int
+    n_xi: int
+    n_species: int
+    n_toroidal: int
+
+    def __post_init__(self) -> None:
+        for name in (
+            "n_radial",
+            "n_theta",
+            "n_energy",
+            "n_xi",
+            "n_species",
+            "n_toroidal",
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                raise InputError(f"{name} must be a positive integer, got {value!r}")
+
+    # ------------------------------------------------------------------
+    # collapsed dimensions
+    # ------------------------------------------------------------------
+    @property
+    def nc(self) -> int:
+        """Configuration dimension: ``n_radial * n_theta``."""
+        return self.n_radial * self.n_theta
+
+    @property
+    def nv(self) -> int:
+        """Velocity dimension: ``n_energy * n_xi * n_species``."""
+        return self.n_energy * self.n_xi * self.n_species
+
+    @property
+    def nt(self) -> int:
+        """Toroidal dimension: ``n_toroidal``."""
+        return self.n_toroidal
+
+    @property
+    def state_size(self) -> int:
+        """Elements in one full (nc, nv, nt) tensor."""
+        return self.nc * self.nv * self.nt
+
+    # ------------------------------------------------------------------
+    # index flattening
+    # ------------------------------------------------------------------
+    def ic_of(self, ir: int, itheta: int) -> int:
+        """Flatten a configuration index (radial-major)."""
+        if not (0 <= ir < self.n_radial and 0 <= itheta < self.n_theta):
+            raise InputError(f"config index ({ir}, {itheta}) out of range")
+        return ir * self.n_theta + itheta
+
+    def unpack_ic(self, ic: int) -> Tuple[int, int]:
+        """Inverse of :meth:`ic_of`: returns ``(ir, itheta)``."""
+        if not 0 <= ic < self.nc:
+            raise InputError(f"ic {ic} out of range [0, {self.nc})")
+        return divmod(ic, self.n_theta)
+
+    def iv_of(self, ispec: int, ienergy: int, ixi: int) -> int:
+        """Flatten a velocity index (species-major)."""
+        ok = (
+            0 <= ispec < self.n_species
+            and 0 <= ienergy < self.n_energy
+            and 0 <= ixi < self.n_xi
+        )
+        if not ok:
+            raise InputError(f"velocity index ({ispec}, {ienergy}, {ixi}) out of range")
+        return (ispec * self.n_energy + ienergy) * self.n_xi + ixi
+
+    def unpack_iv(self, iv: int) -> Tuple[int, int, int]:
+        """Inverse of :meth:`iv_of`: returns ``(ispec, ienergy, ixi)``."""
+        if not 0 <= iv < self.nv:
+            raise InputError(f"iv {iv} out of range [0, {self.nv})")
+        rest, ixi = divmod(iv, self.n_xi)
+        ispec, ienergy = divmod(rest, self.n_energy)
+        return ispec, ienergy, ixi
+
+    def describe(self) -> str:
+        """Compact human-readable summary."""
+        return (
+            f"nc={self.nc} ({self.n_radial}r x {self.n_theta}th), "
+            f"nv={self.nv} ({self.n_species}s x {self.n_energy}e x {self.n_xi}xi), "
+            f"nt={self.nt}"
+        )

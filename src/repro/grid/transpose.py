@@ -1,0 +1,119 @@
+"""AllToAll transposes between phase layouts.
+
+Each function moves one toroidal group's (or cross-group's) blocks
+between two layouts via a single vector AllToAll on the appropriate
+communicator, exactly mirroring CGYRO's phase transitions:
+
+- :func:`transpose_str_to_coll` / :func:`transpose_coll_to_str` run on
+  a **comm_1** group (P1 ranks of one toroidal group, in i1 order) —
+  the communicator the str AllReduce also uses in stock CGYRO
+  (Figure 1);
+- :func:`transpose_str_to_nl` / :func:`transpose_nl_to_str` run on a
+  **comm_2** group (P2 ranks sharing an i1 column, in i2 order).
+
+Inputs and outputs are keyed by *world rank* (the communicator's
+members); communicator rank ``j`` must correspond to grid coordinate
+``i1 = j`` (comm_1) or ``i2 = j`` (comm_2), which is how the solver
+constructs them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.errors import DecompositionError
+from repro.grid.decomp import Decomposition
+from repro.grid.layouts import Layout, block_shape, nc_nl_slice
+from repro.vmpi.communicator import Communicator
+
+
+def _check_blocks(
+    comm: Communicator,
+    blocks: Mapping[int, np.ndarray],
+    layout: Layout,
+    decomp: Decomposition,
+    expected_size: int,
+    what: str,
+) -> None:
+    if comm.size != expected_size:
+        raise DecompositionError(
+            f"{what}: communicator size {comm.size} != expected {expected_size}"
+        )
+    shape = block_shape(layout, decomp)
+    for r in comm.ranks:
+        if r not in blocks:
+            raise DecompositionError(f"{what}: missing block for world rank {r}")
+        if blocks[r].shape != shape:
+            raise DecompositionError(
+                f"{what}: rank {r} block shape {blocks[r].shape} != {shape}"
+            )
+
+
+def transpose_str_to_coll(
+    comm1: Communicator,
+    blocks: Mapping[int, np.ndarray],
+    decomp: Decomposition,
+) -> Dict[int, np.ndarray]:
+    """STR -> COLL within one toroidal group.
+
+    Input blocks ``(nc, nv_loc, nt_loc)``; output ``(nc_loc, nv,
+    nt_loc)`` with nv assembled in comm-rank (= i1) order.
+    """
+    _check_blocks(comm1, blocks, Layout.STR, decomp, decomp.n_proc_1, "str->coll")
+    send = {
+        r: [blocks[r][decomp.nc_slice(j), :, :] for j in range(comm1.size)]
+        for r in comm1.ranks
+    }
+    recv = comm1.alltoall(send)
+    return {r: np.concatenate(recv[r], axis=1) for r in comm1.ranks}
+
+
+def transpose_coll_to_str(
+    comm1: Communicator,
+    blocks: Mapping[int, np.ndarray],
+    decomp: Decomposition,
+) -> Dict[int, np.ndarray]:
+    """COLL -> STR within one toroidal group (inverse transpose)."""
+    _check_blocks(comm1, blocks, Layout.COLL, decomp, decomp.n_proc_1, "coll->str")
+    send = {
+        r: [blocks[r][:, decomp.nv_slice(j), :] for j in range(comm1.size)]
+        for r in comm1.ranks
+    }
+    recv = comm1.alltoall(send)
+    return {r: np.concatenate(recv[r], axis=0) for r in comm1.ranks}
+
+
+def transpose_str_to_nl(
+    comm2: Communicator,
+    blocks: Mapping[int, np.ndarray],
+    decomp: Decomposition,
+) -> Dict[int, np.ndarray]:
+    """STR -> NL across toroidal groups.
+
+    Input blocks ``(nc, nv_loc, nt_loc)``; output ``(nc_nl_loc, nv_loc,
+    nt)`` with nt assembled in comm-rank (= i2) order.
+    """
+    _check_blocks(comm2, blocks, Layout.STR, decomp, decomp.n_proc_2, "str->nl")
+    send = {
+        r: [blocks[r][nc_nl_slice(decomp, j), :, :] for j in range(comm2.size)]
+        for r in comm2.ranks
+    }
+    recv = comm2.alltoall(send)
+    return {r: np.concatenate(recv[r], axis=2) for r in comm2.ranks}
+
+
+def transpose_nl_to_str(
+    comm2: Communicator,
+    blocks: Mapping[int, np.ndarray],
+    decomp: Decomposition,
+) -> Dict[int, np.ndarray]:
+    """NL -> STR across toroidal groups (inverse transpose)."""
+    _check_blocks(comm2, blocks, Layout.NL, decomp, decomp.n_proc_2, "nl->str")
+    send = {
+        r: [blocks[r][:, :, decomp.nt_slice(j)] for j in range(comm2.size)]
+        for r in comm2.ranks
+    }
+    recv = comm2.alltoall(send)
+    return {r: np.concatenate(recv[r], axis=0) for r in comm2.ranks}

@@ -1,0 +1,141 @@
+"""Parametric model of an HPC machine.
+
+The model is intentionally simple: a machine is a homogeneous set of
+nodes, each hosting a fixed number of ranks (one rank per GPU/GCD in the
+Frontier picture).  Two link classes exist — intra-node (shared memory /
+xGMI) and inter-node (NIC) — each described by a latency and a
+bandwidth.  The inter-node bandwidth is *per node* and is shared by all
+ranks of that node participating in a collective, which is how NIC
+contention enters the cost model.
+
+A fixed ``per_call_overhead_s`` charges the host-side cost of staging a
+collective (buffer packing, device-host transfer, launch) that real
+GPU-resident codes such as CGYRO pay on every MPI call; it is the
+p-independent offset that keeps observed AllReduce scaling sub-linear
+(see DESIGN.md, section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import MachineError
+
+#: Convenience byte multipliers.
+KiB = 1024
+MiB = 1024**2
+GiB = 1024**3
+
+
+@dataclass(frozen=True)
+class LinkParams:
+    """Latency/bandwidth pair describing one link class.
+
+    Parameters
+    ----------
+    latency_s:
+        One-way message latency in seconds.
+    bandwidth_Bps:
+        Sustained bandwidth in bytes/second.  For the inter-node link
+        this is the *per-node* NIC bandwidth, shared by the node's
+        communicating ranks.
+    """
+
+    latency_s: float
+    bandwidth_Bps: float
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise MachineError(f"latency must be >= 0, got {self.latency_s}")
+        if self.bandwidth_Bps <= 0:
+            raise MachineError(f"bandwidth must be > 0, got {self.bandwidth_Bps}")
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """A homogeneous multi-node machine.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (appears in reports).
+    n_nodes:
+        Number of nodes available to a job.
+    ranks_per_node:
+        MPI ranks hosted per node (1 per GPU/GCD on Frontier: 8).
+    mem_per_rank_bytes:
+        Memory budget of one rank (HBM of one GCD on Frontier).
+    flops_per_rank:
+        Effective sustained compute rate of one rank, in flop/s.  This
+        is a *calibrated effective* rate, not a peak.
+    intra:
+        Link parameters for ranks on the same node.
+    inter:
+        Link parameters between nodes; bandwidth is per-node NIC.
+    per_call_overhead_s:
+        Fixed host-side overhead charged once per collective call.
+    topology:
+        Optional :class:`~repro.machine.topology.DragonflyTopology`
+        refining inter-node costs with group-locality factors; ``None``
+        models a flat network.
+    """
+
+    name: str
+    n_nodes: int
+    ranks_per_node: int
+    mem_per_rank_bytes: float
+    flops_per_rank: float
+    intra: LinkParams
+    inter: LinkParams
+    per_call_overhead_s: float = 0.0
+    topology: "object | None" = None
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise MachineError(f"n_nodes must be >= 1, got {self.n_nodes}")
+        if self.ranks_per_node < 1:
+            raise MachineError(f"ranks_per_node must be >= 1, got {self.ranks_per_node}")
+        if self.mem_per_rank_bytes <= 0:
+            raise MachineError("mem_per_rank_bytes must be > 0")
+        if self.flops_per_rank <= 0:
+            raise MachineError("flops_per_rank must be > 0")
+        if self.per_call_overhead_s < 0:
+            raise MachineError("per_call_overhead_s must be >= 0")
+
+    @property
+    def n_ranks(self) -> int:
+        """Total ranks the machine can host."""
+        return self.n_nodes * self.ranks_per_node
+
+    @property
+    def mem_per_node_bytes(self) -> float:
+        """Aggregate memory budget of one node."""
+        return self.mem_per_rank_bytes * self.ranks_per_node
+
+    @property
+    def total_memory_bytes(self) -> float:
+        """Aggregate memory budget of the whole machine."""
+        return self.mem_per_node_bytes * self.n_nodes
+
+    def with_nodes(self, n_nodes: int) -> "MachineModel":
+        """Return a copy of this machine resized to ``n_nodes`` nodes."""
+        return replace(self, n_nodes=n_nodes)
+
+    def compute_seconds(self, flops: float) -> float:
+        """Seconds one rank needs to execute ``flops`` floating ops."""
+        if flops < 0:
+            raise MachineError(f"flops must be >= 0, got {flops}")
+        return flops / self.flops_per_rank
+
+    def describe(self) -> str:
+        """One-paragraph human-readable description."""
+        return (
+            f"{self.name}: {self.n_nodes} nodes x {self.ranks_per_node} ranks "
+            f"({self.n_ranks} ranks), {self.mem_per_rank_bytes / MiB:.2f} MiB/rank, "
+            f"{self.flops_per_rank / 1e9:.2f} GF/s/rank, "
+            f"intra {self.intra.latency_s * 1e6:.2f} us / "
+            f"{self.intra.bandwidth_Bps / GiB:.1f} GiB/s, "
+            f"inter {self.inter.latency_s * 1e6:.2f} us / "
+            f"{self.inter.bandwidth_Bps / GiB:.1f} GiB/s per node, "
+            f"call overhead {self.per_call_overhead_s * 1e6:.1f} us"
+        )

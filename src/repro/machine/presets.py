@@ -1,0 +1,86 @@
+"""Machine presets.
+
+``frontier_like`` is the calibrated stand-in for the paper's testbed
+(OLCF Frontier: 8 GCDs/node, 64 GiB HBM per GCD, Slingshot NICs).  The
+latency/bandwidth/overhead constants are *effective* values chosen so
+that the simulated Figure 2 numbers land in the paper's ballpark (see
+DESIGN.md section 5 and EXPERIMENTS.md); they are not vendor specs.
+
+Because the reproduction runs a dimensionally *scaled-down* nl03c (the
+full cmat does not fit a workstation), benchmarks typically pass a
+scaled ``mem_per_rank_bytes`` so the memory *arithmetic* of the paper —
+one simulation needs >= 32 nodes — is preserved at the scaled size.
+"""
+
+from __future__ import annotations
+
+from repro.machine.model import GiB, MiB, LinkParams, MachineModel
+
+
+def frontier_like(
+    n_nodes: int = 32,
+    *,
+    ranks_per_node: int = 8,
+    mem_per_rank_bytes: float = 64.0 * GiB,
+    flops_per_rank: float = 1.219734e7,
+    inter_latency_s: float = 1.540863e-4,
+    per_call_overhead_s: float = 8.249401e-3,
+) -> MachineModel:
+    """A Frontier-like machine with *calibrated* effective parameters.
+
+    The default overhead/latency/rate constants are the output of
+    :func:`repro.perf.calibrate.calibrate_machine`: they were fitted so
+    that the scaled-down nl03c Figure-2 scenario reproduces the paper's
+    published timings (375 s vs 250 s total; 145 s vs 33 s str comm).
+    They are *effective* values that absorb the dimensional scale-down
+    of the benchmark (the real nl03c moves ~10^3 x more bytes per
+    collective), not Frontier vendor specs — see DESIGN.md section 5
+    and EXPERIMENTS.md.
+    """
+    return MachineModel(
+        name=f"frontier-like-{n_nodes}n",
+        n_nodes=n_nodes,
+        ranks_per_node=ranks_per_node,
+        mem_per_rank_bytes=mem_per_rank_bytes,
+        flops_per_rank=flops_per_rank,
+        intra=LinkParams(latency_s=2.0e-6, bandwidth_Bps=50.0 * GiB),
+        inter=LinkParams(latency_s=inter_latency_s, bandwidth_Bps=25.0 * GiB),
+        per_call_overhead_s=per_call_overhead_s,
+    )
+
+
+def generic_cluster(
+    n_nodes: int = 4,
+    *,
+    ranks_per_node: int = 4,
+    mem_per_rank_bytes: float = 4.0 * GiB,
+) -> MachineModel:
+    """A small commodity cluster, handy for tests and examples."""
+    return MachineModel(
+        name=f"generic-cluster-{n_nodes}n",
+        n_nodes=n_nodes,
+        ranks_per_node=ranks_per_node,
+        mem_per_rank_bytes=mem_per_rank_bytes,
+        flops_per_rank=1.0e9,
+        intra=LinkParams(latency_s=1.0e-6, bandwidth_Bps=20.0 * GiB),
+        inter=LinkParams(latency_s=20.0e-6, bandwidth_Bps=10.0 * GiB),
+        per_call_overhead_s=5.0e-6,
+    )
+
+
+def single_node(
+    ranks: int = 8,
+    *,
+    mem_per_rank_bytes: float = 256.0 * MiB,
+) -> MachineModel:
+    """A single shared-memory node; all communication is intra-node."""
+    return MachineModel(
+        name=f"single-node-{ranks}r",
+        n_nodes=1,
+        ranks_per_node=ranks,
+        mem_per_rank_bytes=mem_per_rank_bytes,
+        flops_per_rank=1.0e9,
+        intra=LinkParams(latency_s=0.5e-6, bandwidth_Bps=40.0 * GiB),
+        inter=LinkParams(latency_s=0.5e-6, bandwidth_Bps=40.0 * GiB),
+        per_call_overhead_s=1.0e-6,
+    )

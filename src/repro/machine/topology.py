@@ -1,0 +1,74 @@
+"""Network topology refinements.
+
+The flat machine model charges one inter-node latency/bandwidth for
+any group spanning nodes.  Frontier's Slingshot network is a
+*dragonfly*: nodes are grouped; links within a group are one hop,
+links between groups traverse a global link (longer latency, and a
+taperable bandwidth).  :class:`DragonflyTopology` refines the cost
+model accordingly — group-local collectives stay cheap, machine-wide
+ones pay the global-link premium.
+
+This matters to the reproduction because XGYRO's placement argument is
+topology-sensitive: with contiguous member blocks, per-member
+communicators stay inside a node (or at worst a group), while the
+ensemble-wide coll communicator is the one paying global hops; a
+scattered placement destroys exactly this (see
+``benchmarks/bench_placement_ablation.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import MachineError
+
+
+@dataclass(frozen=True)
+class DragonflyTopology:
+    """Two-level dragonfly: groups of nodes plus global links.
+
+    Parameters
+    ----------
+    nodes_per_group:
+        Nodes per dragonfly group.
+    global_latency_factor:
+        Multiplier on the inter-node latency when a rank group spans
+        more than one dragonfly group (>= 1).
+    global_bandwidth_taper:
+        Multiplier (in (0, 1]) on the per-node NIC bandwidth when
+        crossing groups — models tapered global links.
+    """
+
+    nodes_per_group: int
+    global_latency_factor: float = 2.0
+    global_bandwidth_taper: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.nodes_per_group < 1:
+            raise MachineError(
+                f"nodes_per_group must be >= 1, got {self.nodes_per_group}"
+            )
+        if self.global_latency_factor < 1.0:
+            raise MachineError("global_latency_factor must be >= 1")
+        if not 0.0 < self.global_bandwidth_taper <= 1.0:
+            raise MachineError("global_bandwidth_taper must be in (0, 1]")
+
+    def group_of(self, node: int) -> int:
+        """Dragonfly group id of a node."""
+        if node < 0:
+            raise MachineError(f"node must be >= 0, got {node}")
+        return node // self.nodes_per_group
+
+    def spans_groups(self, nodes: Iterable[int]) -> bool:
+        """Whether a node set crosses a group boundary."""
+        groups = {self.group_of(n) for n in nodes}
+        return len(groups) > 1
+
+    def latency_factor(self, nodes: Iterable[int]) -> float:
+        """Latency multiplier for a collective over these nodes."""
+        return self.global_latency_factor if self.spans_groups(nodes) else 1.0
+
+    def bandwidth_factor(self, nodes: Iterable[int]) -> float:
+        """Bandwidth multiplier for a collective over these nodes."""
+        return self.global_bandwidth_taper if self.spans_groups(nodes) else 1.0

@@ -1,0 +1,195 @@
+"""Closed-form cost predictions.
+
+Mirrors, in algebra, exactly what the executed solver charges: the same
+collective counts, the same message sizes, the same flop formulas, the
+same placement-derived link parameters.  Tests assert that these
+predictions match the executed simulator, which pins both against
+drift.  Benchmarks use the analytic path when they need to sweep a
+large design space quickly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.cgyro import costs
+from repro.cgyro.nonlinear import padded_length
+from repro.collision.cmat import apply_flops
+from repro.cgyro.params import CgyroInput
+from repro.grid.decomp import Decomposition
+from repro.machine.model import MachineModel
+from repro.machine.placement import BlockPlacement, Placement
+from repro.vmpi.cost import CommCostModel
+
+
+@dataclass
+class AnalyticBreakdown:
+    """Predicted per-reporting-interval times by category (seconds)."""
+
+    categories: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        """Sum over categories (serial-phase solver: wall = sum)."""
+        return sum(self.categories.values())
+
+    @property
+    def str_comm(self) -> float:
+        """Streaming communication time."""
+        return self.categories.get("str_comm", 0.0)
+
+    def scaled(self, factor: float) -> "AnalyticBreakdown":
+        """Every category multiplied by ``factor``."""
+        return AnalyticBreakdown(
+            {k: v * factor for k, v in self.categories.items()}
+        )
+
+
+def _n_field_chunks(decomp: Decomposition, inp: CgyroInput) -> int:
+    nv_loc = decomp.nv_loc
+    chunk = min(nv_loc, inp.n_xi)
+    return -(-nv_loc // chunk)
+
+
+def _member_cost_model(
+    machine: MachineModel, placement: Optional[Placement], n_ranks: int
+) -> CommCostModel:
+    placement = placement or BlockPlacement(machine, n_ranks)
+    return CommCostModel(machine, placement)
+
+
+def predict_cgyro_interval(
+    inp: CgyroInput,
+    machine: MachineModel,
+    n_ranks: int,
+    *,
+    member_offset: int = 0,
+    n_members: int = 1,
+    total_ranks: Optional[int] = None,
+    include_diag: bool = True,
+) -> AnalyticBreakdown:
+    """Per-reporting-interval cost of one simulation (or XGYRO member).
+
+    For a plain CGYRO run leave the member arguments at their defaults;
+    for an XGYRO member pass its rank-block offset, the ensemble size
+    and the job's total rank count so group placement and the
+    ensemble-wide coll AllToAll are modeled on the right ranks.
+    """
+    dims = inp.grid_dims()
+    decomp = Decomposition.choose(dims, n_ranks)
+    total = total_ranks if total_ranks is not None else n_ranks * n_members
+    cm = _member_cost_model(machine, None, total)
+    steps = inp.steps_per_report
+    out: Dict[str, float] = {c: 0.0 for c in (
+        "str_comm", "str_compute", "nl_comm", "nl_compute",
+        "coll_comm", "coll_compute", "diag",
+    )}
+
+    # ---- str phase -------------------------------------------------
+    # group of P1 consecutive ranks starting at the member offset
+    comm1_ranks = list(range(member_offset, member_offset + decomp.n_proc_1))
+    n_chunks = _n_field_chunks(decomp, inp)
+    ar_bytes = dims.nc * decomp.nt_loc * 16  # one moment array
+    ar_cost = cm.collective_cost("allreduce", comm1_ranks, ar_bytes)
+    n_moments = 3 if inp.beta_e > 0 else 2  # field, upwind (+ current)
+    calls_per_step = 4 * n_chunks * n_moments  # stages x chunks x moments
+    out["str_comm"] = steps * calls_per_step * ar_cost
+
+    elements = dims.nc * decomp.nv_loc * decomp.nt_loc
+    str_flops = steps * (
+        4 * costs.RHS_FLOPS_PER_ELEMENT * elements
+        + 4 * costs.MOMENT_FLOPS_PER_ELEMENT * elements
+        + 4 * costs.FIELD_SOLVE_FLOPS_PER_ELEMENT * dims.nc * decomp.nt_loc
+        + 4 * costs.RK_COMBINE_FLOPS_PER_ELEMENT * elements
+    )
+    out["str_compute"] = machine.compute_seconds(str_flops)
+
+    # ---- nl phase ---------------------------------------------------
+    if inp.nonlinear:
+        comm2_ranks = [
+            member_offset + i2 * decomp.n_proc_1 for i2 in range(decomp.n_proc_2)
+        ]
+        block_bytes = elements * 16
+        a2a_cost = cm.collective_cost("alltoall", comm2_ranks, block_bytes)
+        phi_bytes = dims.nc * decomp.nt_loc * 16
+        phi_cost = cm.collective_cost("alltoall", comm2_ranks, phi_bytes)
+        out["nl_comm"] = steps * (2 * a2a_cost + phi_cost)
+        # nl's extra field solve is charged to str_comm/compute
+        out["str_comm"] += steps * n_chunks * n_moments * ar_cost
+        out["str_compute"] += machine.compute_seconds(
+            steps
+            * (
+                costs.MOMENT_FLOPS_PER_ELEMENT * elements
+                + costs.FIELD_SOLVE_FLOPS_PER_ELEMENT * dims.nc * decomp.nt_loc
+            )
+        )
+        out["nl_compute"] = machine.compute_seconds(
+            steps
+            * costs.bracket_flops(
+                dims.nc // decomp.n_proc_2,
+                decomp.nv_loc,
+                dims.nt,
+                padded_length(dims.nt),
+            )
+        )
+
+    # ---- coll phase -------------------------------------------------
+    if n_members == 1:
+        coll_ranks = comm1_ranks
+        nc_coll = decomp.nc_loc
+        member_factor = 1
+    else:
+        # ensemble-wide group: the i2 comm_1 groups of every member
+        per_member = n_ranks
+        coll_ranks = [
+            m * per_member + member_offset % per_member + i
+            for m in range(n_members)
+            for i in range(decomp.n_proc_1)
+        ]
+        nc_coll = dims.nc // (n_members * decomp.n_proc_1)
+        member_factor = n_members
+    block_bytes = elements * 16
+    coll_cost = cm.collective_cost("alltoall", coll_ranks, block_bytes)
+    out["coll_comm"] = steps * 2 * coll_cost
+    out["coll_compute"] = machine.compute_seconds(
+        steps
+        * member_factor
+        * apply_flops(nc_coll, decomp.nt_loc, dims.nv)
+    )
+
+    # ---- diagnostics (one per interval) ------------------------------
+    if include_diag:
+        sim_ranks = list(range(member_offset, member_offset + n_ranks))
+        out["diag"] = (
+            n_chunks * n_moments * ar_cost  # diag field solve
+            + cm.collective_cost("allreduce", sim_ranks, 2 * dims.nt * 8)
+            + machine.compute_seconds(
+                costs.DIAG_FLOPS_PER_ELEMENT * elements
+                + costs.MOMENT_FLOPS_PER_ELEMENT * elements
+                + costs.FIELD_SOLVE_FLOPS_PER_ELEMENT * dims.nc * decomp.nt_loc
+            )
+        )
+    return AnalyticBreakdown(out)
+
+
+def predict_xgyro_interval(
+    inputs_count: int,
+    inp: CgyroInput,
+    machine: MachineModel,
+    total_ranks: int,
+) -> AnalyticBreakdown:
+    """Wall-clock prediction for an XGYRO ensemble reporting interval.
+
+    Members are identical in cost, so the ensemble wall equals one
+    member's predicted interval with member-aware placement.
+    """
+    per_member = total_ranks // inputs_count
+    return predict_cgyro_interval(
+        inp,
+        machine,
+        per_member,
+        member_offset=0,
+        n_members=inputs_count,
+        total_ranks=total_ranks,
+    )

@@ -1,0 +1,118 @@
+"""Memory-budget arithmetic.
+
+Quantifies the two memory claims of the paper:
+
+- "for the benchmark input nl03c the constant cmat is 10x the size of
+  all the other memory buffers combined" —
+  :func:`cmat_dominance_ratio`;
+- "a single CGYRO simulation does require at least 32 nodes", and k
+  shared-cmat simulations fit where one private-cmat simulation did —
+  :func:`min_nodes_required`.
+
+The per-rank footprints used here are the same formulas the solver
+registers in the memory ledgers, so the arithmetic and the enforced
+reality cannot drift apart (tests compare them).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import DecompositionError
+from repro.cgyro.params import CgyroInput
+from repro.collision.cmat import cmat_block_bytes, cmat_total_bytes
+from repro.grid.decomp import Decomposition
+from repro.grid.layouts import Layout, block_nbytes
+from repro.machine.model import MachineModel
+
+#: Complex state buffers the solver registers besides cmat, expressed
+#: as multiples of one STR block (see CgyroSimulation._allocate_buffers):
+#: h, 4 RK stages, stage scratch, h_prev, upwind scratch, coll work.
+STATE_BLOCKS_LINEAR = 9.0
+#: Extra NL-layout workspaces when the nonlinear phase is enabled.
+STATE_BLOCKS_NL = 2.0
+#: Real-valued streaming factor tables, as STR-block fraction (8 vs 16 B).
+TABLE_BLOCKS = 0.5
+
+
+def state_bytes_per_rank(inp: CgyroInput, decomp: Decomposition) -> int:
+    """Estimated non-cmat per-rank bytes (matches the ledger to ~1%)."""
+    str_block = block_nbytes(Layout.STR, decomp)
+    blocks = STATE_BLOCKS_LINEAR + TABLE_BLOCKS
+    if inp.nonlinear:
+        blocks += STATE_BLOCKS_NL
+    n_field_arrays = 3 if inp.beta_e > 0 else 2
+    # the "fields" and "moment_work" ledger entries
+    fields = 2 * n_field_arrays * inp.grid_dims().nc * decomp.nt_loc * 16
+    return int(blocks * str_block) + fields
+
+
+def cmat_bytes_per_rank(
+    inp: CgyroInput, decomp: Decomposition, *, ensemble_size: int = 1
+) -> int:
+    """Per-rank cmat bytes; ``ensemble_size > 1`` means shared."""
+    dims = inp.grid_dims()
+    group = ensemble_size * decomp.n_proc_1
+    if dims.nc % group != 0:
+        raise DecompositionError(
+            f"nc={dims.nc} does not divide over {group} coll ranks"
+        )
+    return cmat_block_bytes(dims, dims.nc // group, decomp.nt_loc)
+
+
+def cmat_dominance_ratio(inp: CgyroInput) -> float:
+    """cmat bytes over all-other-state bytes (rank-count invariant).
+
+    The paper notes the ratio "does not change with strong scaling":
+    both cmat and state shrink by the same 1/P1 factor.
+    """
+    dims = inp.grid_dims()
+    decomp = Decomposition(dims, 1, 1)
+    return cmat_total_bytes(dims) / state_bytes_per_rank(inp, decomp)
+
+
+def total_bytes_per_rank(
+    inp: CgyroInput, n_ranks: int, *, ensemble_size: int = 1
+) -> int:
+    """Per-rank footprint of one simulation (or ensemble member) on
+    ``n_ranks`` ranks, with cmat shared over ``ensemble_size`` members."""
+    decomp = Decomposition.choose(inp.grid_dims(), n_ranks)
+    return state_bytes_per_rank(inp, decomp) + cmat_bytes_per_rank(
+        inp, decomp, ensemble_size=ensemble_size
+    )
+
+
+def min_nodes_required(
+    inp: CgyroInput,
+    machine: MachineModel,
+    *,
+    ensemble_size: int = 1,
+    max_nodes: Optional[int] = None,
+) -> int:
+    """Smallest node count on which the job fits.
+
+    For ``ensemble_size == 1``: one private-cmat simulation using every
+    rank of the nodes.  For k > 1: k members sharing cmat, the job
+    spanning all ranks of the nodes (each member gets 1/k of them).
+    Returns the node count, or raises :class:`DecompositionError` if
+    nothing up to ``max_nodes`` fits.
+    """
+    limit = max_nodes if max_nodes is not None else machine.n_nodes
+    budget = machine.mem_per_rank_bytes
+    for n_nodes in range(1, limit + 1):
+        total_ranks = n_nodes * machine.ranks_per_node
+        if total_ranks % ensemble_size != 0:
+            continue
+        per_member = total_ranks // ensemble_size
+        try:
+            needed = total_bytes_per_rank(
+                inp, per_member, ensemble_size=ensemble_size
+            )
+        except DecompositionError:
+            continue
+        if needed <= budget:
+            return n_nodes
+    raise DecompositionError(
+        f"{inp.name}: no node count up to {limit} fits "
+        f"{ensemble_size} member(s) on {machine.name}"
+    )

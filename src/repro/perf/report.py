@@ -1,0 +1,171 @@
+"""The Figure-2 comparison harness.
+
+Runs the same set of inputs two ways on the same virtual machine —
+
+- sequentially with CGYRO, each simulation on the full machine
+  (wall times add), and
+- as an XGYRO ensemble (one job, members concurrent, shared cmat) —
+
+and reports the per-reporting-step timing breakdown of both, exactly
+the quantity the paper's Figure 2 plots.  Because the simulated clock
+is deterministic and per-step costs are stationary, a short measured
+run can be *exactly* extrapolated to the preset's full reporting
+cadence; ``measure_steps`` controls the executed step count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import InputError
+from repro.cgyro.params import CgyroInput
+from repro.cgyro.timing import COMM_CATEGORIES, ReportRow, sum_rows
+from repro.machine.model import MachineModel
+from repro.vmpi.world import VirtualWorld
+from repro.xgyro.baseline import SequentialCgyroBaseline
+from repro.xgyro.driver import XgyroEnsemble
+
+
+def _scale_row(row: ReportRow, factor: float) -> ReportRow:
+    """Extrapolate a measured interval to the full reporting cadence.
+
+    Per-step phase costs are stationary, so every category scales
+    linearly with the step count — except diagnostics, which run once
+    per reporting interval regardless.  The wall is re-derived as the
+    category sum (phases serialise in lockstep, so the two agree).
+    """
+    cats = {
+        k: v * (1.0 if k == "diag" else factor)
+        for k, v in row.categories.items()
+    }
+    return ReportRow(
+        step=row.step,
+        time=row.time,
+        wall_s=sum(cats.values()),
+        categories=cats,
+        flux=row.flux,
+        phi2=row.phi2,
+    )
+
+
+@dataclass
+class Figure2Result:
+    """Both sides of the Figure-2 comparison, per reporting step."""
+
+    cgyro_rows: List[ReportRow]
+    cgyro_sum: ReportRow
+    xgyro_rows: List[ReportRow]
+    xgyro: ReportRow
+    n_members: int
+    steps_per_report: int
+    measured_steps: int
+
+    @property
+    def speedup(self) -> float:
+        """CGYRO-sequential wall over XGYRO wall (paper: ~1.5x)."""
+        return self.cgyro_sum.wall_s / self.xgyro.wall_s
+
+    @property
+    def str_comm_reduction(self) -> float:
+        """CGYRO-sum str comm over XGYRO str comm (paper: ~145/33)."""
+        return self.cgyro_sum.str_comm_s / self.xgyro.str_comm_s
+
+    def category_table(self) -> Dict[str, Dict[str, float]]:
+        """{'cgyro_sum'|'xgyro' -> category -> seconds} plus totals."""
+        out = {}
+        for name, row in (("cgyro_sum", self.cgyro_sum), ("xgyro", self.xgyro)):
+            cats = dict(row.categories)
+            cats["comm_total"] = row.comm_s
+            cats["TOTAL"] = row.wall_s
+            out[name] = cats
+        return out
+
+
+def figure2_comparison(
+    inputs: Sequence[CgyroInput],
+    machine: MachineModel,
+    *,
+    n_ranks: Optional[int] = None,
+    measure_steps: int = 2,
+    enforce_memory: bool = False,
+) -> Figure2Result:
+    """Run the two execution modes and assemble the comparison.
+
+    ``measure_steps`` steps are executed per simulation; results are
+    extrapolated to each input's ``steps_per_report`` (the simulated
+    per-step cost is stationary, so this is exact up to the one-off
+    diagnostics cost).
+    """
+    if len(inputs) == 0:
+        raise InputError("figure2_comparison needs at least one input")
+    if measure_steps < 1:
+        raise InputError("measure_steps must be >= 1")
+    full_steps = inputs[0].steps_per_report
+    factor = full_steps / measure_steps
+    short_inputs = [
+        inp.with_updates(steps_per_report=measure_steps) for inp in inputs
+    ]
+
+    baseline = SequentialCgyroBaseline(
+        machine, short_inputs, n_ranks=n_ranks, enforce_memory=enforce_memory
+    )
+    cgyro_rows = [_scale_row(r, factor) for r in baseline.run_report_interval()]
+    cgyro_sum = sum_rows(cgyro_rows)
+    assert cgyro_sum is not None
+
+    world = VirtualWorld(machine, n_ranks=n_ranks, enforce_memory=enforce_memory)
+    ensemble = XgyroEnsemble(world, short_inputs)
+    report = ensemble.run_report_interval()
+    xgyro_rows = [_scale_row(r, factor) for r in report.member_rows]
+    xgyro = _scale_row(report.ensemble, factor)
+
+    return Figure2Result(
+        cgyro_rows=cgyro_rows,
+        cgyro_sum=cgyro_sum,
+        xgyro_rows=xgyro_rows,
+        xgyro=xgyro,
+        n_members=len(inputs),
+        steps_per_report=full_steps,
+        measured_steps=measure_steps,
+    )
+
+
+def render_figure2(result: Figure2Result, *, paper: Optional[Dict[str, float]] = None) -> str:
+    """Text rendering of the Figure-2 bars.
+
+    ``paper`` may carry the published numbers
+    (``{"cgyro_total": 375, "xgyro_total": 250, ...}``) to print
+    alongside.
+    """
+    cats = ["str_comm", "coll_comm", "nl_comm", "str_compute", "nl_compute",
+            "coll_compute", "diag"]
+    lines = [
+        f"Figure 2 — {result.n_members} simulations, seconds per reporting "
+        f"step ({result.steps_per_report} time steps; measured "
+        f"{result.measured_steps}, extrapolated)",
+        f"{'category':<14s} {'CGYRO sum':>12s} {'XGYRO':>12s}",
+    ]
+    for c in cats:
+        a = result.cgyro_sum.categories.get(c, 0.0)
+        b = result.xgyro.categories.get(c, 0.0)
+        if a == 0.0 and b == 0.0:
+            continue
+        lines.append(f"{c:<14s} {a:>12.2f} {b:>12.2f}")
+    lines.append(
+        f"{'comm total':<14s} {result.cgyro_sum.comm_s:>12.2f} "
+        f"{result.xgyro.comm_s:>12.2f}"
+    )
+    lines.append(
+        f"{'TOTAL':<14s} {result.cgyro_sum.wall_s:>12.2f} "
+        f"{result.xgyro.wall_s:>12.2f}"
+    )
+    lines.append(
+        f"speedup: {result.speedup:.2f}x   str-comm reduction: "
+        f"{result.str_comm_reduction:.2f}x"
+    )
+    if paper:
+        lines.append(
+            "paper:    total 375 vs 250 (1.50x), str comm 145 vs 33 (4.39x)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,222 @@
+"""Parameter-sweep harnesses.
+
+Structured sweep drivers behind the ablation benchmarks, exposed as a
+public API so downstream studies can reuse them:
+
+- :class:`EnsembleSizeSweep` — XGYRO ensemble size k on fixed nodes
+  (the paper's central trade);
+- :class:`StrongScalingSweep` — one simulation across node counts
+  (the ref [2] context);
+- :class:`CollisionalitySweep` — physics scan over nu, with one cmat
+  rebuild per point (these points can *not* share cmat — the
+  counterpoint to the gradient scan).
+
+Every sweep returns a list of typed result rows plus a text table.
+The performance sweeps use the analytic model (cross-checked against
+the executed simulator in the test suite), so wide scans are instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import InputError
+from repro.cgyro.params import CgyroInput
+from repro.grid.decomp import Decomposition
+from repro.machine.model import MachineModel
+from repro.machine.presets import frontier_like
+from repro.perf.analytic import predict_cgyro_interval, predict_xgyro_interval
+from repro.perf.memory import cmat_bytes_per_rank
+
+COMM_CATS = ("str_comm", "coll_comm", "nl_comm")
+
+
+@dataclass(frozen=True)
+class EnsemblePoint:
+    """One ensemble-size sweep point."""
+
+    k: int
+    p1_per_member: int
+    wall_s: float
+    str_comm_s: float
+    cmat_bytes_per_rank: int
+    speedup_vs_sequential: float
+
+
+class EnsembleSizeSweep:
+    """Sweep XGYRO ensemble size on a fixed machine."""
+
+    def __init__(
+        self,
+        inp: CgyroInput,
+        machine: MachineModel,
+        *,
+        total_ranks: Optional[int] = None,
+    ) -> None:
+        self.inp = inp
+        self.machine = machine
+        self.total_ranks = total_ranks or machine.n_ranks
+
+    def run(self, ks: Sequence[int]) -> List[EnsemblePoint]:
+        """Evaluate the sweep at the given ensemble sizes."""
+        if not ks:
+            raise InputError("provide at least one ensemble size")
+        dims = self.inp.grid_dims()
+        sequential = predict_cgyro_interval(
+            self.inp, self.machine, self.total_ranks
+        ).total
+        points: List[EnsemblePoint] = []
+        for k in ks:
+            if self.total_ranks % k != 0:
+                raise InputError(
+                    f"k={k} does not divide {self.total_ranks} ranks"
+                )
+            pred = predict_xgyro_interval(k, self.inp, self.machine, self.total_ranks)
+            decomp = Decomposition.choose(dims, self.total_ranks // k)
+            points.append(
+                EnsemblePoint(
+                    k=k,
+                    p1_per_member=decomp.n_proc_1,
+                    wall_s=pred.total,
+                    str_comm_s=pred.str_comm,
+                    cmat_bytes_per_rank=cmat_bytes_per_rank(
+                        self.inp, decomp, ensemble_size=k
+                    ),
+                    speedup_vs_sequential=k * sequential / pred.total,
+                )
+            )
+        return points
+
+    @staticmethod
+    def render(points: List[EnsemblePoint]) -> str:
+        """Text table of sweep points."""
+        lines = [
+            f"{'k':>3s} {'P1':>4s} {'wall s':>10s} {'str comm s':>11s} "
+            f"{'cmat B/rank':>12s} {'speedup':>8s}"
+        ]
+        for p in points:
+            lines.append(
+                f"{p.k:>3d} {p.p1_per_member:>4d} {p.wall_s:>10.1f} "
+                f"{p.str_comm_s:>11.1f} {p.cmat_bytes_per_rank:>12d} "
+                f"{p.speedup_vs_sequential:>7.2f}x"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One strong-scaling sweep point."""
+
+    n_nodes: int
+    n_ranks: int
+    wall_s: float
+    compute_s: float
+    comm_s: float
+
+    @property
+    def comm_fraction(self) -> float:
+        """Communication share of the interval."""
+        return self.comm_s / self.wall_s if self.wall_s else 0.0
+
+
+class StrongScalingSweep:
+    """Sweep one simulation across node counts of a machine family."""
+
+    def __init__(self, inp: CgyroInput, *, machine_factory=None) -> None:
+        self.inp = inp
+        self.machine_factory = machine_factory or (
+            lambda n: frontier_like(n_nodes=n)
+        )
+
+    def run(self, node_counts: Sequence[int]) -> List[ScalingPoint]:
+        """Evaluate the sweep at the given node counts."""
+        if not node_counts:
+            raise InputError("provide at least one node count")
+        points: List[ScalingPoint] = []
+        for n_nodes in node_counts:
+            machine = self.machine_factory(n_nodes)
+            pred = predict_cgyro_interval(self.inp, machine, machine.n_ranks)
+            comm = sum(pred.categories.get(c, 0.0) for c in COMM_CATS)
+            points.append(
+                ScalingPoint(
+                    n_nodes=n_nodes,
+                    n_ranks=machine.n_ranks,
+                    wall_s=pred.total,
+                    compute_s=pred.total - comm,
+                    comm_s=comm,
+                )
+            )
+        return points
+
+    @staticmethod
+    def parallel_efficiency(points: List[ScalingPoint]) -> List[float]:
+        """Efficiency of each point relative to the first."""
+        if not points:
+            return []
+        base = points[0]
+        return [
+            (base.wall_s / p.wall_s) / (p.n_ranks / base.n_ranks) for p in points
+        ]
+
+    @staticmethod
+    def render(points: List[ScalingPoint]) -> str:
+        """Text table of scaling points."""
+        lines = [
+            f"{'nodes':>6s} {'ranks':>6s} {'wall s':>9s} {'compute s':>10s} "
+            f"{'comm s':>8s} {'comm %':>7s}"
+        ]
+        for p in points:
+            lines.append(
+                f"{p.n_nodes:>6d} {p.n_ranks:>6d} {p.wall_s:>9.1f} "
+                f"{p.compute_s:>10.1f} {p.comm_s:>8.1f} {p.comm_fraction:>6.1%}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CollisionalityPoint:
+    """One collisionality-scan point (physics, not performance)."""
+
+    nu: float
+    gamma: float
+    omega: float
+
+
+class CollisionalitySweep:
+    """Linear growth rate vs collisionality.
+
+    The members of this scan have *different* cmat signatures (nu is a
+    cmat parameter), so unlike a gradient scan they could not share a
+    tensor under XGYRO — the sweep exists partly to make that contrast
+    concrete in examples and docs.
+    """
+
+    def __init__(self, inp: CgyroInput, *, n_mode: int = 1) -> None:
+        if inp.nonlinear:
+            raise InputError("collisionality sweep runs in linear mode")
+        self.inp = inp
+        self.n_mode = n_mode
+
+    def run(self, nus: Sequence[float], *, tol: float = 1e-7) -> List[CollisionalityPoint]:
+        """Evaluate the growth rate at each collisionality."""
+        from repro.cgyro.linear import LinearSolver
+
+        if not nus:
+            raise InputError("provide at least one collisionality")
+        points: List[CollisionalityPoint] = []
+        for nu in nus:
+            solver = LinearSolver(self.inp.with_updates(nu=nu))
+            res = solver.growth_rate(self.n_mode, tol=tol)
+            points.append(
+                CollisionalityPoint(nu=nu, gamma=res.gamma, omega=res.omega)
+            )
+        return points
+
+    @staticmethod
+    def render(points: List[CollisionalityPoint]) -> str:
+        """Text table of scan points."""
+        lines = [f"{'nu':>8s} {'gamma':>12s} {'omega':>12s}"]
+        for p in points:
+            lines.append(f"{p.nu:>8.4f} {p.gamma:>+12.6f} {p.omega:>+12.6f}")
+        return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Virtual MPI substrate.
+
+A deterministic, in-process replacement for MPI used by the whole
+reproduction (DESIGN.md section 2).  Execution is *lockstep SPMD*: the
+per-rank state of a distributed buffer is held as a mapping
+``{world_rank: numpy block}``, and a collective is an ordinary function
+call that
+
+1. moves the real bytes between the per-rank blocks (functionally
+   correct AllReduce / AllToAll(v) / AllGather / Bcast / ...), and
+2. advances every participant's *simulated clock* by the modeled cost
+   of that collective on the configured machine (entry synchronisation
+   = max of participant clocks, as for a real blocking collective).
+
+This preserves exactly what the paper's argument depends on — which
+processes participate in each collective, how many bytes move, and
+where the participants sit on the machine — while remaining runnable
+and unit-testable on a workstation.
+
+Public surface:
+
+- :class:`VirtualWorld` — ranks, clocks, memory ledgers, trace log.
+- :class:`Communicator` — ordered rank group with collective methods
+  and MPI-style ``split``.
+- :class:`ReduceOp`, algorithm enums, and the cost model.
+"""
+
+from repro.vmpi.algorithms import (
+    AllreduceAlgorithm,
+    AlltoallAlgorithm,
+    EffectiveLink,
+    allgather_cost,
+    allreduce_cost,
+    alltoall_cost,
+    barrier_cost,
+    bcast_cost,
+    gather_cost,
+    reduce_cost,
+    scatter_cost,
+)
+from repro.vmpi.communicator import Communicator
+from repro.vmpi.cost import CommCostModel
+from repro.vmpi.datatypes import ReduceOp
+from repro.vmpi.tracer import CollectiveEvent, TraceLog
+from repro.vmpi.world import VirtualWorld
+
+__all__ = [
+    "VirtualWorld",
+    "Communicator",
+    "ReduceOp",
+    "AllreduceAlgorithm",
+    "AlltoallAlgorithm",
+    "EffectiveLink",
+    "CommCostModel",
+    "TraceLog",
+    "CollectiveEvent",
+    "allreduce_cost",
+    "alltoall_cost",
+    "allgather_cost",
+    "bcast_cost",
+    "reduce_cost",
+    "gather_cost",
+    "scatter_cost",
+    "barrier_cost",
+]

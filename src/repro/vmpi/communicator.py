@@ -1,0 +1,413 @@
+"""Communicators and lockstep collectives.
+
+A :class:`Communicator` is an *ordered* group of world ranks belonging
+to a :class:`~repro.vmpi.world.VirtualWorld`.  Its collective methods
+take and return data keyed by **world rank** — the natural indexing in
+lockstep SPMD, where one driver holds every rank's block — while block
+ordering inside ``alltoall``/``allgather`` follows **communicator
+rank**, exactly as MPI buffers do.
+
+Every collective performs the real data movement with NumPy and charges
+the modeled cost through the world (entry synchronisation + algorithm
+cost), recording a trace event.
+
+Notes on buffer ownership: ``allreduce``/``bcast``/``allgather`` return
+freshly-allocated arrays.  ``alltoall`` transfers the sent blocks *by
+reference* (like a rendezvous protocol handing off pages); senders must
+treat submitted blocks as moved.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import CollectiveError, CommunicatorError
+from repro.vmpi.datatypes import ReduceOp
+
+ArrayLike = Union[np.ndarray, float, int, complex]
+
+
+class Communicator:
+    """An ordered group of world ranks with collective operations."""
+
+    __slots__ = ("world", "_ranks", "_index", "label")
+
+    def __init__(self, world, ranks: Sequence[int], *, label: str = "comm") -> None:
+        ranks = tuple(int(r) for r in ranks)
+        if len(ranks) == 0:
+            raise CommunicatorError("a communicator needs at least one rank")
+        if len(set(ranks)) != len(ranks):
+            raise CommunicatorError(f"duplicate ranks in communicator: {ranks}")
+        for r in ranks:
+            if not 0 <= r < world.n_ranks:
+                raise CommunicatorError(
+                    f"world rank {r} out of range [0, {world.n_ranks})"
+                )
+        self.world = world
+        self._ranks = ranks
+        self._index = {r: i for i, r in enumerate(ranks)}
+        self.label = label
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return len(self._ranks)
+
+    @property
+    def ranks(self) -> Tuple[int, ...]:
+        """World ranks in communicator order."""
+        return self._ranks
+
+    def __contains__(self, world_rank: int) -> bool:
+        return world_rank in self._index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Communicator({self.label!r}, size={self.size}, ranks={self._ranks})"
+
+    def comm_rank(self, world_rank: int) -> int:
+        """Communicator rank of ``world_rank``."""
+        try:
+            return self._index[world_rank]
+        except KeyError:
+            raise CommunicatorError(
+                f"world rank {world_rank} is not in communicator {self.label!r}"
+            ) from None
+
+    def world_rank(self, comm_rank: int) -> int:
+        """World rank sitting at ``comm_rank``."""
+        if not 0 <= comm_rank < self.size:
+            raise CommunicatorError(
+                f"comm rank {comm_rank} out of range [0, {self.size})"
+            )
+        return self._ranks[comm_rank]
+
+    def sub(self, world_ranks: Sequence[int], *, label: Optional[str] = None) -> "Communicator":
+        """Sub-communicator of the given world ranks (must be members)."""
+        for r in world_ranks:
+            if r not in self._index:
+                raise CommunicatorError(
+                    f"world rank {r} is not in communicator {self.label!r}"
+                )
+        return Communicator(
+            self.world, world_ranks, label=label or f"{self.label}.sub"
+        )
+
+    def split(
+        self,
+        color_of: Union[Mapping[int, int], Callable[[int], int]],
+        *,
+        key_of: Optional[Union[Mapping[int, int], Callable[[int], int]]] = None,
+        label: Optional[str] = None,
+    ) -> Dict[int, "Communicator"]:
+        """MPI_Comm_split: partition members by color, order by key.
+
+        ``color_of``/``key_of`` map *world rank* to color/key.  Returns
+        a dict color -> new communicator; in lockstep SPMD the caller
+        sees every piece at once.  Ties in key are broken by the rank's
+        order in this communicator, matching MPI.
+        """
+        def call(fn, r):
+            return fn[r] if isinstance(fn, Mapping) else fn(r)
+
+        buckets: Dict[int, List[Tuple[int, int, int]]] = {}
+        for i, r in enumerate(self._ranks):
+            color = int(call(color_of, r))
+            key = int(call(key_of, r)) if key_of is not None else i
+            buckets.setdefault(color, []).append((key, i, r))
+        out: Dict[int, Communicator] = {}
+        for color, entries in buckets.items():
+            entries.sort()
+            ranks = [r for _, _, r in entries]
+            out[color] = Communicator(
+                self.world,
+                ranks,
+                label=f"{label or self.label}.c{color}",
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # validation helpers
+    # ------------------------------------------------------------------
+    def _check_participants(self, data: Mapping[int, object], what: str) -> None:
+        if set(data.keys()) != set(self._ranks):
+            missing = sorted(set(self._ranks) - set(data.keys()))
+            extra = sorted(set(data.keys()) - set(self._ranks))
+            raise CommunicatorError(
+                f"{what} on {self.label!r}: participant mismatch "
+                f"(missing ranks {missing}, unexpected ranks {extra})"
+            )
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        """Synchronise all members."""
+        self.world.charge_collective(
+            "barrier", self._ranks, 0, comm_label=self.label
+        )
+
+    def allreduce(
+        self,
+        values: Mapping[int, ArrayLike],
+        op: ReduceOp = ReduceOp.SUM,
+        *,
+        algorithm: Optional[object] = None,
+    ) -> Dict[int, np.ndarray]:
+        """Elementwise reduction; every member receives the result.
+
+        ``values`` maps world rank -> equal-shape array (or scalar).
+        Returns a fresh result array per member.
+        """
+        self._check_participants(values, "allreduce")
+        arrays = [np.asarray(values[r]) for r in self._ranks]
+        shape = arrays[0].shape
+        for a, r in zip(arrays, self._ranks):
+            if a.shape != shape:
+                raise CollectiveError(
+                    f"allreduce on {self.label!r}: rank {r} has shape {a.shape}, "
+                    f"expected {shape}"
+                )
+        result = op.combine(arrays)
+        nbytes = max(a.nbytes for a in arrays)
+        self.world.charge_collective(
+            "allreduce",
+            self._ranks,
+            nbytes,
+            comm_label=self.label,
+            algorithm=algorithm
+            if algorithm is not None
+            else self.world.cost_model.select_algorithm("allreduce", nbytes),
+        )
+        return {r: result.copy() for r in self._ranks}
+
+    def alltoall(
+        self,
+        send: Mapping[int, Sequence[np.ndarray]],
+        *,
+        algorithm: Optional[object] = None,
+    ) -> Dict[int, List[np.ndarray]]:
+        """Personalised exchange (vector alltoall).
+
+        ``send[world_rank][j]`` is the block for communicator rank
+        ``j``; blocks may have arbitrary (even empty) shapes, so this
+        single method covers MPI_Alltoall(v|w).  Returns
+        ``recv[world_rank][i]`` = block sent by communicator rank ``i``.
+        """
+        self._check_participants(send, "alltoall")
+        rows: List[Sequence[np.ndarray]] = []
+        for r in self._ranks:
+            row = send[r]
+            if len(row) != self.size:
+                raise CollectiveError(
+                    f"alltoall on {self.label!r}: rank {r} provided "
+                    f"{len(row)} blocks, expected {self.size}"
+                )
+            rows.append(row)
+        recv: Dict[int, List[np.ndarray]] = {
+            r: [rows[i][j] for i in range(self.size)]
+            for j, r in enumerate(self._ranks)
+        }
+        # completion is bounded by the busiest rank's send volume
+        nbytes = max(sum(np.asarray(b).nbytes for b in row) for row in rows)
+        self.world.charge_collective(
+            "alltoall",
+            self._ranks,
+            nbytes,
+            comm_label=self.label,
+            algorithm=algorithm
+            if algorithm is not None
+            else self.world.cost_model.select_algorithm("alltoall", nbytes),
+        )
+        return recv
+
+    def allgather(self, values: Mapping[int, ArrayLike]) -> Dict[int, List[np.ndarray]]:
+        """Every member receives every member's contribution.
+
+        Returns ``out[world_rank][i]`` = copy of comm-rank ``i``'s value.
+        """
+        self._check_participants(values, "allgather")
+        arrays = [np.asarray(values[r]) for r in self._ranks]
+        nbytes = max(a.nbytes for a in arrays)
+        self.world.charge_collective(
+            "allgather", self._ranks, nbytes, comm_label=self.label
+        )
+        return {r: [a.copy() for a in arrays] for r in self._ranks}
+
+    def bcast(self, value: ArrayLike, root: int) -> Dict[int, np.ndarray]:
+        """Broadcast ``value`` from world rank ``root`` to all members."""
+        self.comm_rank(root)  # validates membership
+        arr = np.asarray(value)
+        self.world.charge_collective(
+            "bcast", self._ranks, arr.nbytes, comm_label=self.label
+        )
+        return {r: arr.copy() for r in self._ranks}
+
+    def reduce(
+        self,
+        values: Mapping[int, ArrayLike],
+        root: int,
+        op: ReduceOp = ReduceOp.SUM,
+    ) -> np.ndarray:
+        """Reduction delivered to ``root`` only; returns root's result."""
+        self._check_participants(values, "reduce")
+        self.comm_rank(root)
+        arrays = [np.asarray(values[r]) for r in self._ranks]
+        shape = arrays[0].shape
+        for a, r in zip(arrays, self._ranks):
+            if a.shape != shape:
+                raise CollectiveError(
+                    f"reduce on {self.label!r}: rank {r} has shape {a.shape}, "
+                    f"expected {shape}"
+                )
+        result = op.combine(arrays)
+        self.world.charge_collective(
+            "reduce", self._ranks, max(a.nbytes for a in arrays), comm_label=self.label
+        )
+        return result
+
+    def gather(self, values: Mapping[int, ArrayLike], root: int) -> List[np.ndarray]:
+        """Gather members' values to ``root`` in communicator order."""
+        self._check_participants(values, "gather")
+        self.comm_rank(root)
+        arrays = [np.asarray(values[r]).copy() for r in self._ranks]
+        self.world.charge_collective(
+            "gather",
+            self._ranks,
+            sum(a.nbytes for a in arrays),
+            comm_label=self.label,
+        )
+        return arrays
+
+    def scatter(self, blocks: Sequence[ArrayLike], root: int) -> Dict[int, np.ndarray]:
+        """Scatter ``blocks`` (comm-rank order) from ``root``."""
+        self.comm_rank(root)
+        if len(blocks) != self.size:
+            raise CollectiveError(
+                f"scatter on {self.label!r}: {len(blocks)} blocks for "
+                f"{self.size} ranks"
+            )
+        arrays = [np.asarray(b) for b in blocks]
+        self.world.charge_collective(
+            "scatter",
+            self._ranks,
+            sum(a.nbytes for a in arrays),
+            comm_label=self.label,
+        )
+        return {r: arrays[i].copy() for i, r in enumerate(self._ranks)}
+
+    def reduce_scatter(
+        self,
+        values: Mapping[int, ArrayLike],
+        op: ReduceOp = ReduceOp.SUM,
+    ) -> Dict[int, np.ndarray]:
+        """Reduce, then scatter the result's blocks by comm rank.
+
+        Each rank contributes an array whose *first axis* has length
+        ``size``; rank ``j`` receives block ``j`` of the elementwise
+        reduction.  (The building block of ring AllReduce.)
+        """
+        self._check_participants(values, "reduce_scatter")
+        arrays = [np.asarray(values[r]) for r in self._ranks]
+        shape = arrays[0].shape
+        for a, r in zip(arrays, self._ranks):
+            if a.shape != shape:
+                raise CollectiveError(
+                    f"reduce_scatter on {self.label!r}: rank {r} has shape "
+                    f"{a.shape}, expected {shape}"
+                )
+        if not shape or shape[0] != self.size:
+            raise CollectiveError(
+                f"reduce_scatter on {self.label!r}: first axis must have "
+                f"length {self.size}, got shape {shape}"
+            )
+        reduced = op.combine(arrays)
+        # costed like the reduce-scatter half of a ring allreduce
+        self.world.charge_collective(
+            "allreduce",
+            self._ranks,
+            max(a.nbytes for a in arrays) // 2,
+            comm_label=self.label,
+        )
+        return {r: reduced[j].copy() for j, r in enumerate(self._ranks)}
+
+    def scan(
+        self,
+        values: Mapping[int, ArrayLike],
+        op: ReduceOp = ReduceOp.SUM,
+        *,
+        exclusive: bool = False,
+    ) -> Dict[int, np.ndarray]:
+        """Prefix reduction in comm-rank order (MPI_Scan / MPI_Exscan).
+
+        Rank ``j`` receives the reduction of comm ranks ``0..j``
+        (inclusive) or ``0..j-1`` (exclusive; rank 0 gets zeros).
+        """
+        self._check_participants(values, "scan")
+        arrays = [np.asarray(values[r], dtype=float) for r in self._ranks]
+        shape = arrays[0].shape
+        for a, r in zip(arrays, self._ranks):
+            if a.shape != shape:
+                raise CollectiveError(
+                    f"scan on {self.label!r}: rank {r} has shape {a.shape}, "
+                    f"expected {shape}"
+                )
+        out: Dict[int, np.ndarray] = {}
+        for j, r in enumerate(self._ranks):
+            upto = arrays[:j] if exclusive else arrays[: j + 1]
+            if upto:
+                out[r] = op.combine(upto)
+            else:
+                out[r] = np.zeros(shape)
+        self.world.charge_collective(
+            "reduce", self._ranks, max(a.nbytes for a in arrays), comm_label=self.label
+        )
+        return out
+
+    def sendrecv(
+        self,
+        value: ArrayLike,
+        source: int,
+        dest: int,
+    ) -> np.ndarray:
+        """Point-to-point transfer from world rank ``source`` to ``dest``.
+
+        Only the two endpoints synchronise and are charged; returns a
+        copy of the payload (what ``dest`` received).
+        """
+        self.comm_rank(source)
+        self.comm_rank(dest)
+        arr = np.asarray(value)
+        if source == dest:
+            return arr.copy()
+        pair = (source, dest)
+        link = self.world.cost_model.effective_link(pair)
+        cost = link.overhead_s + link.latency_s + arr.nbytes / link.bandwidth_Bps
+        idx = np.asarray(pair, dtype=np.intp)
+        t_start = float(self.world.clock[idx].max())
+        self.world.clock[idx] = t_start + cost
+        cat = self.world.current_category
+        for r in pair:
+            self.world._add_category_time(r, cat, cost)
+        self.world._seq += 1
+        from repro.vmpi.tracer import CollectiveEvent
+
+        self.world.trace.record(
+            CollectiveEvent(
+                seq=self.world._seq,
+                kind="sendrecv",
+                comm_label=self.label,
+                ranks=pair,
+                n_nodes=self.world.cost_model.n_nodes_of(pair),
+                nbytes=int(arr.nbytes),
+                algorithm="",
+                t_start=t_start,
+                cost_s=cost,
+                category=cat,
+            )
+        )
+        return arr.copy()

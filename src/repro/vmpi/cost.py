@@ -1,0 +1,150 @@
+"""Group-aware communication cost model.
+
+Bridges the machine model and the per-algorithm formulas: given the set
+of world ranks participating in a collective, derive the *effective*
+link the group sees —
+
+- a group confined to one node uses the intra-node link;
+- a group spanning nodes pays inter-node latency, and its per-rank
+  bandwidth is the node NIC bandwidth divided by the largest number of
+  group members sharing one NIC (contention);
+
+— then evaluate the requested collective's formula.  This is what makes
+XGYRO's per-member AllReduce groups cheap: with block placement they
+fit inside a node and never touch a NIC, while a full-width CGYRO
+simulation's groups span several nodes (DESIGN.md section 5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import CollectiveError
+from repro.machine.model import MachineModel
+from repro.machine.placement import Placement
+from repro.vmpi.algorithms import (
+    AllreduceAlgorithm,
+    AlltoallAlgorithm,
+    EffectiveLink,
+    allgather_cost,
+    allreduce_cost,
+    alltoall_cost,
+    barrier_cost,
+    bcast_cost,
+    gather_cost,
+    reduce_cost,
+    scatter_cost,
+)
+
+
+class CommCostModel:
+    """Evaluates collective costs for rank groups on a placed machine."""
+
+    #: message-size thresholds (bytes) for automatic algorithm selection,
+    #: mirroring production MPI libraries: latency-optimal algorithms for
+    #: small messages, bandwidth-optimal for large.
+    ALLREDUCE_RING_THRESHOLD = 16 * 1024
+    ALLTOALL_PAIRWISE_THRESHOLD = 4 * 1024
+
+    def __init__(
+        self,
+        machine: MachineModel,
+        placement: Placement,
+        *,
+        default_allreduce: AllreduceAlgorithm = AllreduceAlgorithm.RING,
+        default_alltoall: AlltoallAlgorithm = AlltoallAlgorithm.PAIRWISE,
+        auto_select: bool = False,
+    ) -> None:
+        self.machine = machine
+        self.placement = placement
+        self.default_allreduce = default_allreduce
+        self.default_alltoall = default_alltoall
+        self.auto_select = auto_select
+
+    def select_algorithm(self, kind: str, nbytes: float) -> object:
+        """Algorithm for a collective of ``nbytes`` under the policy.
+
+        With ``auto_select`` off (the calibrated default) the fixed
+        defaults are returned; with it on, small messages pick the
+        latency-optimal algorithm and large ones the bandwidth-optimal,
+        as production MPI libraries do.
+        """
+        if kind == "allreduce":
+            if self.auto_select and nbytes < self.ALLREDUCE_RING_THRESHOLD:
+                return AllreduceAlgorithm.RECURSIVE_DOUBLING
+            return self.default_allreduce
+        if kind == "alltoall":
+            if self.auto_select and nbytes < self.ALLTOALL_PAIRWISE_THRESHOLD:
+                return AlltoallAlgorithm.BRUCK
+            return self.default_alltoall
+        raise CollectiveError(f"no algorithm selection for kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    def effective_link(self, ranks: Sequence[int]) -> EffectiveLink:
+        """Effective latency/bandwidth/overhead for a rank group."""
+        per_node = self.placement.ranks_per_node_of(ranks)
+        if not per_node:
+            raise CollectiveError("cannot profile an empty rank group")
+        if len(per_node) == 1:
+            link = self.machine.intra
+            return EffectiveLink(
+                latency_s=link.latency_s,
+                bandwidth_Bps=link.bandwidth_Bps,
+                overhead_s=self.machine.per_call_overhead_s,
+            )
+        link = self.machine.inter
+        sharing = max(per_node.values())
+        latency = link.latency_s
+        bandwidth = link.bandwidth_Bps / sharing
+        topology = self.machine.topology
+        if topology is not None:
+            nodes = per_node.keys()
+            latency *= topology.latency_factor(nodes)
+            bandwidth *= topology.bandwidth_factor(nodes)
+        return EffectiveLink(
+            latency_s=latency,
+            bandwidth_Bps=bandwidth,
+            overhead_s=self.machine.per_call_overhead_s,
+        )
+
+    def n_nodes_of(self, ranks: Iterable[int]) -> int:
+        """Distinct nodes a rank group touches."""
+        return len(self.placement.nodes_of(ranks))
+
+    # ------------------------------------------------------------------
+    def collective_cost(
+        self,
+        kind: str,
+        ranks: Sequence[int],
+        nbytes: float,
+        *,
+        algorithm: Optional[object] = None,
+    ) -> float:
+        """Cost in seconds of one collective call.
+
+        ``kind`` is one of ``allreduce``, ``alltoall``, ``allgather``,
+        ``bcast``, ``reduce``, ``gather``, ``scatter``, ``barrier``.
+        ``nbytes`` follows each formula's per-kind convention (see
+        :mod:`repro.vmpi.algorithms`).
+        """
+        p = len(ranks)
+        link = self.effective_link(ranks)
+        if kind == "allreduce":
+            algo = algorithm if algorithm is not None else self.default_allreduce
+            return allreduce_cost(p, nbytes, link, algo)
+        if kind == "alltoall":
+            algo = algorithm if algorithm is not None else self.default_alltoall
+            return alltoall_cost(p, nbytes, link, algo)
+        if kind == "allgather":
+            return allgather_cost(p, nbytes, link)
+        if kind == "bcast":
+            return bcast_cost(p, nbytes, link)
+        if kind == "reduce":
+            return reduce_cost(p, nbytes, link)
+        if kind == "gather":
+            return gather_cost(p, nbytes, link)
+        if kind == "scatter":
+            return scatter_cost(p, nbytes, link)
+        if kind == "barrier":
+            return barrier_cost(p, link)
+        raise CollectiveError(f"unknown collective kind {kind!r}")

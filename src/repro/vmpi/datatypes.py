@@ -1,0 +1,36 @@
+"""Reduction operators for virtual-MPI collectives."""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+import numpy as np
+
+
+class ReduceOp(enum.Enum):
+    """Elementwise reduction operator, mirroring ``MPI.SUM`` and kin."""
+
+    SUM = "sum"
+    PROD = "prod"
+    MAX = "max"
+    MIN = "min"
+
+    def combine(self, arrays: Sequence[np.ndarray]) -> np.ndarray:
+        """Reduce a non-empty sequence of equal-shape arrays.
+
+        The reduction is performed in comm-rank order with a stable
+        pairwise left fold, so results are deterministic.
+        """
+        if len(arrays) == 0:
+            raise ValueError("cannot reduce an empty sequence")
+        stacked = np.stack([np.asarray(a) for a in arrays], axis=0)
+        if self is ReduceOp.SUM:
+            return stacked.sum(axis=0)
+        if self is ReduceOp.PROD:
+            return stacked.prod(axis=0)
+        if self is ReduceOp.MAX:
+            return stacked.max(axis=0)
+        if self is ReduceOp.MIN:
+            return stacked.min(axis=0)
+        raise AssertionError(f"unhandled ReduceOp {self}")

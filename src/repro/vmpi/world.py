@@ -1,0 +1,253 @@
+"""The virtual world: ranks, simulated clocks, memory, accounting.
+
+A :class:`VirtualWorld` owns everything global to one virtual job:
+
+- ``n_ranks`` virtual ranks placed on a :class:`~repro.machine.model.MachineModel`,
+- a simulated clock per rank (seconds),
+- a :class:`~repro.machine.memory.MemoryLedger` per rank,
+- per-rank, per-category time accounting (the CGYRO-style phase
+  timers), and
+- a :class:`~repro.vmpi.tracer.TraceLog` of every collective.
+
+Time semantics
+--------------
+Compute is charged per rank (clocks drift apart, as they would under
+load imbalance).  A collective first synchronises its participants —
+its start time is the max of their clocks — then advances all of them
+by the modeled cost.  Wall time of a run is the max clock over the
+ranks involved.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import VmpiError
+from repro.machine.memory import MemoryLedger
+from repro.machine.model import MachineModel
+from repro.machine.placement import BlockPlacement, Placement
+from repro.vmpi.cost import CommCostModel
+from repro.vmpi.tracer import CollectiveEvent, TraceLog
+
+
+class VirtualWorld:
+    """A virtual MPI job on a modeled machine.
+
+    Parameters
+    ----------
+    machine:
+        The machine to run on.
+    n_ranks:
+        Ranks in the job; defaults to every slot the machine has.
+    placement:
+        Rank-to-node placement; defaults to block placement.
+    enforce_memory:
+        When true, per-rank ledgers enforce
+        ``machine.mem_per_rank_bytes`` and allocation past it raises
+        :class:`~repro.errors.MemoryLimitExceeded`.
+    trace:
+        Whether to record collective events.
+    auto_algorithms:
+        Enable message-size-based collective algorithm selection
+        (default off: the calibrated cost model assumes the fixed
+        ring/pairwise choices).
+    """
+
+    def __init__(
+        self,
+        machine: MachineModel,
+        n_ranks: Optional[int] = None,
+        *,
+        placement: Optional[Placement] = None,
+        enforce_memory: bool = False,
+        trace: bool = True,
+        auto_algorithms: bool = False,
+    ) -> None:
+        self.machine = machine
+        self.n_ranks = machine.n_ranks if n_ranks is None else int(n_ranks)
+        if self.n_ranks < 1:
+            raise VmpiError(f"n_ranks must be >= 1, got {self.n_ranks}")
+        if self.n_ranks > machine.n_ranks:
+            raise VmpiError(
+                f"{self.n_ranks} ranks exceed the {machine.n_ranks} slots of {machine.name}"
+            )
+        self.placement = placement or BlockPlacement(machine, self.n_ranks)
+        if self.placement.n_ranks != self.n_ranks:
+            raise VmpiError(
+                f"placement covers {self.placement.n_ranks} ranks, world has {self.n_ranks}"
+            )
+        self.cost_model = CommCostModel(
+            machine, self.placement, auto_select=auto_algorithms
+        )
+        self.clock = np.zeros(self.n_ranks, dtype=np.float64)
+        limit = machine.mem_per_rank_bytes if enforce_memory else None
+        self.ledgers: List[MemoryLedger] = [
+            MemoryLedger(limit, rank=r) for r in range(self.n_ranks)
+        ]
+        self.trace = TraceLog(enabled=trace)
+        self._category_stack: List[str] = []
+        self._category_time: Dict[int, Dict[str, float]] = {
+            r: {} for r in range(self.n_ranks)
+        }
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # communicators
+    # ------------------------------------------------------------------
+    def comm_world(self, label: str = "world"):
+        """The communicator containing every rank of the world."""
+        from repro.vmpi.communicator import Communicator
+
+        return Communicator(self, tuple(range(self.n_ranks)), label=label)
+
+    # ------------------------------------------------------------------
+    # phase/category context
+    # ------------------------------------------------------------------
+    @property
+    def current_category(self) -> str:
+        """Innermost active category label ("" if none)."""
+        return self._category_stack[-1] if self._category_stack else ""
+
+    @contextlib.contextmanager
+    def phase(self, category: str) -> Iterator[None]:
+        """Scope within which charges are attributed to ``category``."""
+        self._category_stack.append(category)
+        try:
+            yield
+        finally:
+            self._category_stack.pop()
+
+    # ------------------------------------------------------------------
+    # charging
+    # ------------------------------------------------------------------
+    def _add_category_time(self, rank: int, category: str, seconds: float) -> None:
+        if not category:
+            category = "uncategorized"
+        times = self._category_time[rank]
+        times[category] = times.get(category, 0.0) + seconds
+
+    def charge_compute(
+        self,
+        ranks: Union[int, Iterable[int]],
+        *,
+        seconds: Optional[Union[float, Mapping[int, float]]] = None,
+        flops: Optional[Union[float, Mapping[int, float]]] = None,
+        category: Optional[str] = None,
+    ) -> None:
+        """Advance rank clocks by local compute time.
+
+        Exactly one of ``seconds`` / ``flops`` must be given; either may
+        be a scalar (same charge for every rank) or a per-rank mapping.
+        """
+        if (seconds is None) == (flops is None):
+            raise VmpiError("provide exactly one of seconds= or flops=")
+        rank_list = [ranks] if isinstance(ranks, (int, np.integer)) else list(ranks)
+        cat = category if category is not None else self.current_category
+        for r in rank_list:
+            if not 0 <= r < self.n_ranks:
+                raise VmpiError(f"rank {r} out of range [0, {self.n_ranks})")
+            if seconds is not None:
+                dt = seconds[r] if isinstance(seconds, Mapping) else float(seconds)
+            else:
+                fl = flops[r] if isinstance(flops, Mapping) else float(flops)
+                dt = self.machine.compute_seconds(fl)
+            if dt < 0:
+                raise VmpiError(f"negative time charge {dt} for rank {r}")
+            self.clock[r] += dt
+            self._add_category_time(r, cat, dt)
+
+    def charge_collective(
+        self,
+        kind: str,
+        ranks: Sequence[int],
+        nbytes: int,
+        *,
+        comm_label: str,
+        algorithm: Optional[object] = None,
+        category: Optional[str] = None,
+    ) -> float:
+        """Synchronise ``ranks``, charge the modeled collective cost.
+
+        Returns the cost in seconds.  Called by
+        :class:`~repro.vmpi.communicator.Communicator`; solver code does
+        not normally call this directly.
+        """
+        idx = np.asarray(ranks, dtype=np.intp)
+        t_start = float(self.clock[idx].max())
+        cost = self.cost_model.collective_cost(
+            kind, ranks, nbytes, algorithm=algorithm
+        )
+        self.clock[idx] = t_start + cost
+        cat = category if category is not None else self.current_category
+        for r in ranks:
+            self._add_category_time(int(r), cat, cost)
+        self._seq += 1
+        self.trace.record(
+            CollectiveEvent(
+                seq=self._seq,
+                kind=kind,
+                comm_label=comm_label,
+                ranks=tuple(int(r) for r in ranks),
+                n_nodes=self.cost_model.n_nodes_of(ranks),
+                nbytes=int(nbytes),
+                algorithm=getattr(algorithm, "value", "") if algorithm else "",
+                t_start=t_start,
+                cost_s=cost,
+                category=cat,
+            )
+        )
+        return cost
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def elapsed(self, ranks: Optional[Iterable[int]] = None) -> float:
+        """Simulated wall time: max clock over ``ranks`` (default all)."""
+        if ranks is None:
+            return float(self.clock.max())
+        idx = np.asarray(list(ranks), dtype=np.intp)
+        return float(self.clock[idx].max()) if idx.size else 0.0
+
+    def category_time(
+        self, category: str, ranks: Optional[Iterable[int]] = None, *, reduce: str = "max"
+    ) -> float:
+        """Accumulated time under ``category`` over ``ranks``.
+
+        ``reduce`` selects the cross-rank aggregation: ``max``
+        (wall-like, default), ``mean``, or ``sum``.
+        """
+        rank_list = list(range(self.n_ranks)) if ranks is None else list(ranks)
+        vals = [self._category_time[r].get(category, 0.0) for r in rank_list]
+        if not vals:
+            return 0.0
+        if reduce == "max":
+            return max(vals)
+        if reduce == "mean":
+            return sum(vals) / len(vals)
+        if reduce == "sum":
+            return sum(vals)
+        raise VmpiError(f"unknown reduce {reduce!r}")
+
+    def categories(self) -> "tuple[str, ...]":
+        """All category labels charged so far, sorted."""
+        names = set()
+        for times in self._category_time.values():
+            names.update(times)
+        return tuple(sorted(names))
+
+    def category_breakdown(
+        self, ranks: Optional[Iterable[int]] = None, *, reduce: str = "max"
+    ) -> Dict[str, float]:
+        """Mapping category -> aggregated time over ``ranks``."""
+        return {
+            c: self.category_time(c, ranks, reduce=reduce) for c in self.categories()
+        }
+
+    def reset_clocks(self) -> None:
+        """Zero all clocks and category accumulators (trace retained)."""
+        self.clock[:] = 0.0
+        for times in self._category_time.values():
+            times.clear()

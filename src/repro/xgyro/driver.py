@@ -1,0 +1,159 @@
+"""The XGYRO ensemble driver.
+
+Runs k member simulations as one job, in lockstep per phase:
+
+    for each step:
+        every member: streaming phase   (per-member comm_1 AllReduces)
+        every member: nonlinear phase   (per-member comm_2 AllToAlls)
+        once:         ensemble coll     (shared cmat, Figure-3 comms)
+
+Members occupy disjoint contiguous rank blocks of one virtual world,
+so their phases overlap in simulated time exactly as concurrent
+members overlap on a real machine; the ensemble's wall time is the max
+over members' clocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import EnsembleValidationError, InputError
+from repro.cgyro.params import CgyroInput
+from repro.cgyro.solver import CgyroSimulation
+from repro.cgyro.timing import ReportRow, delta, snapshot
+from repro.vmpi.world import VirtualWorld
+from repro.xgyro.partition import partition_ranks
+from repro.xgyro.shared_cmat import SharedCmatScheme
+
+
+@dataclass
+class EnsembleReport:
+    """One reporting interval of a whole ensemble.
+
+    ``member_rows`` carries each member's physics and timings;
+    ``ensemble`` aggregates them the way a concurrent job's clock
+    does — wall and per-category times are maxima over members.
+    """
+
+    member_rows: List[ReportRow]
+    ensemble: ReportRow
+
+
+class XgyroEnsemble:
+    """k CGYRO simulations as a single job with one shared cmat.
+
+    Parameters
+    ----------
+    world:
+        The virtual world for the whole job.
+    inputs:
+        Member inputs; must agree on all cmat-relevant parameters.
+    ranks:
+        World ranks of the job (defaults to all of them); split into
+        equal contiguous member blocks.
+    """
+
+    def __init__(
+        self,
+        world: VirtualWorld,
+        inputs: Sequence[CgyroInput],
+        *,
+        ranks: Optional[Sequence[int]] = None,
+    ) -> None:
+        if len(inputs) == 0:
+            raise EnsembleValidationError("an ensemble needs at least one member")
+        self.world = world
+        self.inputs = tuple(inputs)
+        job_ranks = tuple(ranks) if ranks is not None else tuple(range(world.n_ranks))
+        blocks = partition_ranks(job_ranks, len(inputs))
+        self.scheme = SharedCmatScheme()
+        self.members: List[CgyroSimulation] = []
+        for m, (inp, block) in enumerate(zip(inputs, blocks)):
+            label = f"xgyro.m{m}.{inp.name}"
+            self.members.append(
+                CgyroSimulation(
+                    world, block, inp, collision_scheme=self.scheme, label=label
+                )
+            )
+        self.scheme.finalize()
+        self.step_count = 0
+
+    @property
+    def n_members(self) -> int:
+        """Ensemble size k."""
+        return len(self.members)
+
+    @property
+    def ranks(self) -> tuple:
+        """All world ranks of the job, in member order."""
+        return tuple(r for m in self.members for r in m.ranks)
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """One lockstep time step of the whole ensemble."""
+        for m in self.members:
+            m.streaming_phase()
+        for m in self.members:
+            m.nonlinear_phase()
+        self.scheme.ensemble_collision_step()
+        for m in self.members:
+            m.time += m.inp.delta_t
+            m.step_count += 1
+        self.step_count += 1
+
+    def run_report_interval(self) -> EnsembleReport:
+        """Advance one reporting interval and report per member + job.
+
+        All members must share ``steps_per_report`` (they share cmat,
+        hence ``delta_t``; report cadence is validated here).
+        """
+        cadences = {m.inp.steps_per_report for m in self.members}
+        if len(cadences) != 1:
+            raise InputError(
+                f"members disagree on steps_per_report: {sorted(cadences)}"
+            )
+        steps = cadences.pop()
+        before = {m.label: snapshot(self.world, m.ranks) for m in self.members}
+        for _ in range(steps):
+            self.step()
+        member_rows: List[ReportRow] = []
+        for m in self.members:
+            flux, phi2 = m.diagnostics()
+            after = snapshot(self.world, m.ranks)
+            diff = delta(after, before[m.label])
+            wall = diff.pop("elapsed")
+            member_rows.append(
+                ReportRow(
+                    step=m.step_count,
+                    time=m.time,
+                    wall_s=wall,
+                    categories=diff,
+                    flux=flux,
+                    phi2=phi2,
+                )
+            )
+        ensemble = self._aggregate(member_rows)
+        return EnsembleReport(member_rows=member_rows, ensemble=ensemble)
+
+    @staticmethod
+    def _aggregate(rows: List[ReportRow]) -> ReportRow:
+        """Concurrent aggregation: max over members per category."""
+        cats: Dict[str, float] = {}
+        for r in rows:
+            for k, v in r.categories.items():
+                cats[k] = max(cats.get(k, 0.0), v)
+        return ReportRow(
+            step=rows[0].step,
+            time=rows[0].time,
+            wall_s=max(r.wall_s for r in rows),
+            categories=cats,
+            flux=rows[0].flux,
+            phi2=rows[0].phi2,
+        )
+
+    def run(self, n_reports: int) -> List[EnsembleReport]:
+        """Run ``n_reports`` reporting intervals."""
+        if n_reports < 0:
+            raise InputError(f"n_reports must be >= 0, got {n_reports}")
+        return [self.run_report_interval() for _ in range(n_reports)]

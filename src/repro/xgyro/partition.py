@@ -1,0 +1,79 @@
+"""Rank partitioning and the Figure-3 communicator layout.
+
+An XGYRO job with ``n_ranks`` total ranks and k members assigns member
+m the contiguous block ``[m * n_ranks/k, (m+1) * n_ranks/k)`` —
+contiguity keeps each member's small comm_1 groups intra-node under
+block placement, exactly as the real launcher would.
+
+The ensemble-wide coll communicator for toroidal group ``i2`` contains
+the comm_1 groups of *all* members for that group, ordered
+member-major:
+
+    [ member 0: (i1=0..P1-1, i2),  member 1: (...),  ... ]
+
+Communicator rank ``j`` of that group owns the j-th slice of the
+ensemble nc distribution, ``nc_loc_ens = nc / (k * P1)`` configuration
+points — the k-times-finer split that shrinks per-rank cmat by k.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import DecompositionError
+from repro.grid.decomp import Decomposition
+
+
+def partition_ranks(ranks: Sequence[int], n_members: int) -> List[Tuple[int, ...]]:
+    """Split ``ranks`` into ``n_members`` equal contiguous blocks."""
+    ranks = tuple(int(r) for r in ranks)
+    if n_members < 1:
+        raise DecompositionError(f"n_members must be >= 1, got {n_members}")
+    if len(ranks) % n_members != 0:
+        raise DecompositionError(
+            f"{len(ranks)} ranks cannot be split into {n_members} equal members"
+        )
+    per = len(ranks) // n_members
+    return [ranks[m * per : (m + 1) * per] for m in range(n_members)]
+
+
+def ensemble_coll_ranks(
+    member_ranks: Sequence[Sequence[int]], decomp: Decomposition, i2: int
+) -> Tuple[int, ...]:
+    """World ranks of the ensemble coll communicator for group ``i2``.
+
+    ``member_ranks[m][local_rank]`` is member m's rank map; all members
+    share the same per-member ``decomp``.
+    """
+    out: List[int] = []
+    for ranks in member_ranks:
+        if len(ranks) != decomp.n_proc:
+            raise DecompositionError(
+                f"member has {len(ranks)} ranks, decomposition needs {decomp.n_proc}"
+            )
+        out.extend(ranks[lr] for lr in decomp.group_ranks(i2))
+    return tuple(out)
+
+
+def ensemble_nc_loc(decomp: Decomposition, n_members: int) -> int:
+    """Configuration points per rank in the shared-cmat distribution.
+
+    Raises when nc does not divide evenly over the ensemble-wide
+    group — the constraint the XGYRO launcher must satisfy.
+    """
+    group = n_members * decomp.n_proc_1
+    if decomp.dims.nc % group != 0:
+        raise DecompositionError(
+            f"nc={decomp.dims.nc} must divide over the ensemble coll group "
+            f"({n_members} members x P1={decomp.n_proc_1} = {group} ranks)"
+        )
+    return decomp.dims.nc // group
+
+
+def ensemble_nc_slice(decomp: Decomposition, n_members: int, j: int) -> slice:
+    """Global nc range owned by ensemble-coll-comm rank ``j``."""
+    loc = ensemble_nc_loc(decomp, n_members)
+    group = n_members * decomp.n_proc_1
+    if not 0 <= j < group:
+        raise DecompositionError(f"coll comm rank {j} out of range [0, {group})")
+    return slice(j * loc, (j + 1) * loc)

@@ -1,0 +1,202 @@
+"""The shared-cmat collision scheme (the paper's core optimisation).
+
+One cmat, distributed over *every* rank of the ensemble.  Per rank
+that is ``nv^2 * nc/(k*P1) * nt_loc`` doubles — k times less than the
+stock scheme — and building it costs k times less compute, because
+each (ic, n) propagator is inverted once per *ensemble* instead of
+once per member.
+
+The coll phase becomes, per toroidal group ``i2``, a single vector
+AllToAll over the ensemble-wide communicator (k*P1 ranks): every
+member rank slices its STR block into ``k*P1`` nc-pieces; every
+destination rank reassembles, per member, a full-nv block of its
+``nc_loc_ens`` configuration points, applies the shared propagator to
+each member's block, and the inverse AllToAll restores the STR layout.
+Per-rank send volume equals the stock transpose's (the whole block),
+so the AllToAll cost is comparable — the str AllReduce shrinkage and
+the memory win are where the paper's savings come from.
+
+This scheme deliberately cannot run from ``CgyroSimulation.step``:
+the ensemble AllToAll needs every member's blocks at once, so the
+:class:`~repro.xgyro.driver.XgyroEnsemble` driver calls
+:meth:`ensemble_collision_step` after all members finish their str/nl
+phases.  That is the communicator separation of Figure 3 made
+concrete.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+import numpy as np
+
+from repro.errors import EnsembleValidationError
+from repro.cgyro.collision_scheme import CollisionScheme
+from repro.collision.cmat import (
+    CmatPropagator,
+    apply_flops,
+    apply_propagator,
+    cmat_block_bytes,
+)
+from repro.vmpi.communicator import Communicator
+from repro.xgyro.partition import (
+    ensemble_coll_ranks,
+    ensemble_nc_loc,
+    ensemble_nc_slice,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cgyro.solver import CgyroSimulation
+
+
+class SharedCmatScheme(CollisionScheme):
+    """cmat shared across an ensemble; coll phase on ensemble comms."""
+
+    def __init__(self) -> None:
+        self.members: List["CgyroSimulation"] = []
+        self._finalized = False
+        self._cmat: Dict[int, np.ndarray] = {}
+        self._coll_comm: Dict[int, Communicator] = {}
+        self._nc_loc_ens = 0
+
+    # ------------------------------------------------------------------
+    # CollisionScheme interface
+    # ------------------------------------------------------------------
+    def setup(self, sim: "CgyroSimulation") -> None:
+        """Register a member (cmat is built later, in :meth:`finalize`)."""
+        if self._finalized:
+            raise EnsembleValidationError(
+                "cannot add members to a finalized shared-cmat ensemble"
+            )
+        self.members.append(sim)
+
+    def step(self, sim: "CgyroSimulation") -> None:
+        raise EnsembleValidationError(
+            "a shared-cmat member cannot advance its coll phase alone; "
+            "drive the ensemble through XgyroEnsemble.step()"
+        )
+
+    def cmat_bytes_per_rank(self, sim: "CgyroSimulation") -> int:
+        k = len(self.members)
+        return cmat_block_bytes(
+            sim.dims, ensemble_nc_loc(sim.decomp, k), sim.decomp.nt_loc
+        )
+
+    # ------------------------------------------------------------------
+    # ensemble wiring
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Validate members, build Figure-3 comms and the shared cmat."""
+        if self._finalized:
+            raise EnsembleValidationError("ensemble already finalized")
+        if not self.members:
+            raise EnsembleValidationError("no members registered")
+        first = self.members[0]
+        for m in self.members[1:]:
+            if m.world is not first.world:
+                raise EnsembleValidationError(
+                    "all ensemble members must share one virtual world"
+                )
+            if m.decomp != first.decomp:
+                raise EnsembleValidationError(
+                    "all ensemble members must use identical decompositions "
+                    f"({m.label}: {m.decomp.describe()} vs "
+                    f"{first.label}: {first.decomp.describe()})"
+                )
+        from repro.xgyro.validate import validate_shareable
+
+        validate_shareable([m.inp for m in self.members])
+
+        world = first.world
+        decomp = first.decomp
+        k = len(self.members)
+        self._nc_loc_ens = ensemble_nc_loc(decomp, k)
+        member_ranks = [m.ranks for m in self.members]
+        for i2 in range(decomp.n_proc_2):
+            ranks = ensemble_coll_ranks(member_ranks, decomp, i2)
+            self._coll_comm[i2] = Communicator(
+                world, ranks, label=f"xgyro.coll.g{i2}"
+            )
+        # build each rank's slice of the single shared tensor
+        prop = CmatPropagator(first.collision_operator, dt=first.inp.delta_t)
+        nbytes = self.cmat_bytes_per_rank(first)
+        dims = first.dims
+        for i2, comm in self._coll_comm.items():
+            n_idx = range(*decomp.nt_slice(i2).indices(dims.nt))
+            for j, world_rank in enumerate(comm.ranks):
+                ic_slice = ensemble_nc_slice(decomp, k, j)
+                ic_idx = range(*ic_slice.indices(dims.nc))
+                world.ledgers[world_rank].alloc("cmat", nbytes)
+                self._cmat[world_rank] = prop.build(ic_idx, n_idx)
+                world.charge_compute(
+                    world_rank,
+                    flops=prop.build_flops(len(ic_idx), len(n_idx)),
+                    category="cmat_build",
+                )
+        self._finalized = True
+
+    @property
+    def coll_comms(self) -> Dict[int, Communicator]:
+        """Ensemble coll communicators per toroidal group (Figure 3)."""
+        return dict(self._coll_comm)
+
+    # ------------------------------------------------------------------
+    # the ensemble coll phase
+    # ------------------------------------------------------------------
+    def ensemble_collision_step(self) -> None:
+        """Advance every member's coll phase through the shared tensor."""
+        if not self._finalized:
+            raise EnsembleValidationError("finalize() the ensemble first")
+        first = self.members[0]
+        world = first.world
+        decomp = first.decomp
+        dims = first.dims
+        k = len(self.members)
+        group = k * decomp.n_proc_1
+        for i2, comm in self._coll_comm.items():
+            # forward: STR blocks -> ensemble COLL distribution
+            send: Dict[int, List[np.ndarray]] = {}
+            for m in self.members:
+                for lr in decomp.group_ranks(i2):
+                    r = m.ranks[lr]
+                    send[r] = [
+                        m.h[r][ensemble_nc_slice(decomp, k, j), :, :]
+                        for j in range(group)
+                    ]
+            with world.phase("coll_comm"):
+                recv = comm.alltoall(send)
+            # reassemble per member, apply the shared propagator
+            for r in comm.ranks:
+                blocks = recv[r]
+                for mi in range(k):
+                    lo = mi * decomp.n_proc_1
+                    member_block = np.concatenate(
+                        blocks[lo : lo + decomp.n_proc_1], axis=1
+                    )
+                    blocks[lo] = apply_propagator(self._cmat[r], member_block)
+                # keep only one assembled block per member; split back below
+            world.charge_compute(
+                comm.ranks,
+                flops=k * apply_flops(self._nc_loc_ens, decomp.nt_loc, dims.nv),
+                category="coll_compute",
+            )
+            # inverse: slice each member's updated block back per source
+            back_send: Dict[int, List[np.ndarray]] = {}
+            for r in comm.ranks:
+                row: List[np.ndarray] = []
+                for mi in range(k):
+                    updated = recv[r][mi * decomp.n_proc_1]
+                    for i1 in range(decomp.n_proc_1):
+                        row.append(updated[:, decomp.nv_slice(i1), :])
+                back_send[r] = row
+            with world.phase("coll_comm"):
+                back = comm.alltoall(back_send)
+            # destination (member mi, i1) collects its nc pieces from all
+            # group ranks and reassembles the STR block
+            for mi, m in enumerate(self.members):
+                for i1 in range(decomp.n_proc_1):
+                    r = m.ranks[decomp.local_rank_of(i1, i2)]
+                    pieces = back[r]
+                    m.h[r] = np.concatenate(
+                        [pieces[j] for j in range(group)], axis=0
+                    )

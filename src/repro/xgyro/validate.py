@@ -1,0 +1,37 @@
+"""Ensemble validation: may these members share one cmat?
+
+The contract from the paper: "only a subset of the input parameters
+influences [cmat's] value".  :class:`~repro.collision.signature.CmatSignature`
+is that subset; members whose signatures differ cannot share, and the
+error reports exactly which parameters broke the match — the
+diagnostic a user of the real tool would need.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import EnsembleValidationError
+from repro.cgyro.params import CgyroInput
+
+
+def validate_shareable(inputs: Sequence[CgyroInput]) -> None:
+    """Raise :class:`EnsembleValidationError` unless all members'
+    cmat signatures are identical.
+
+    An ensemble also needs at least one member; single-member
+    ensembles are legal (they degenerate to plain CGYRO).
+    """
+    if len(inputs) == 0:
+        raise EnsembleValidationError("an ensemble needs at least one member")
+    reference = inputs[0].cmat_signature()
+    for index, inp in enumerate(inputs[1:], start=1):
+        sig = inp.cmat_signature()
+        if not reference.matches(sig):
+            fields = reference.diff(sig)
+            raise EnsembleValidationError(
+                f"ensemble member {index} ({inp.name!r}) cannot share cmat "
+                f"with member 0 ({inputs[0].name!r}): these cmat-relevant "
+                f"parameters differ: {', '.join(fields)}",
+                mismatched_fields=fields,
+            )

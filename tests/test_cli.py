@@ -1,0 +1,139 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.cgyro import small_test
+from repro.cgyro.io import write_input_file
+from repro.xgyro.input import write_ensemble
+
+
+@pytest.fixture
+def sim_dir(tmp_path):
+    d = tmp_path / "case"
+    d.mkdir()
+    write_input_file(small_test(steps_per_report=2), d / "input.cgyro")
+    return d
+
+
+@pytest.fixture
+def ensemble_file(tmp_path):
+    base = small_test(steps_per_report=2)
+    inputs = [base.with_updates(dlntdr=(g, g), name=f"g{g}") for g in (2.0, 3.0)]
+    return write_ensemble(inputs, tmp_path / "study")
+
+
+class TestRunCgyro:
+    def test_basic_run(self, sim_dir, capsys):
+        assert main(["run-cgyro", str(sim_dir), "--nodes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "small-test" in out
+        assert "flux Q(n)" in out
+        assert "timing" in out
+
+    def test_accepts_input_file_path(self, sim_dir, capsys):
+        assert main(["run-cgyro", str(sim_dir / "input.cgyro")]) == 0
+
+    def test_timing_csv_written(self, sim_dir, tmp_path, capsys):
+        out_csv = tmp_path / "timing.csv"
+        assert main(["run-cgyro", str(sim_dir), "--timing-out", str(out_csv)]) == 0
+        assert out_csv.exists()
+        assert "str_comm" in out_csv.read_text()
+
+    def test_checkpoint_resume_cycle(self, sim_dir, tmp_path, capsys):
+        ck = tmp_path / "ck.npz"
+        assert main(["run-cgyro", str(sim_dir), "--checkpoint", str(ck)]) == 0
+        assert ck.exists()
+        assert main(["run-cgyro", str(sim_dir), "--resume", str(ck)]) == 0
+        out = capsys.readouterr().out
+        assert "resumed" in out
+
+    def test_missing_input_fails_cleanly(self, tmp_path, capsys):
+        assert main(["run-cgyro", str(tmp_path / "ghost")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_single_node_machine(self, sim_dir, capsys):
+        assert main(
+            ["run-cgyro", str(sim_dir), "--machine", "single", "--ranks-per-node", "8"]
+        ) == 0
+
+
+class TestRunXgyro:
+    def test_ensemble_run(self, ensemble_file, capsys):
+        assert main(["run-xgyro", str(ensemble_file), "--nodes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "k=2 members" in out
+        assert "str comm" in out
+        assert "g2.0" in out and "g3.0" in out
+
+    def test_invalid_ensemble_fails_cleanly(self, tmp_path, capsys):
+        base = small_test(steps_per_report=2)
+        bad = [base, base.with_updates(nu=0.9)]
+        top = write_ensemble(bad, tmp_path / "bad")
+        assert main(["run-xgyro", str(top)]) == 2
+        assert "cmat" in capsys.readouterr().err
+
+
+class TestStudy:
+    def test_study_command(self, ensemble_file, capsys):
+        study_dir = ensemble_file.parent
+        assert main(
+            ["study", str(study_dir), "--machine", "single", "--ranks-per-node", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 members" in out
+        assert "outputs written" in out
+        assert (study_dir / "out.xgyro.summary").exists()
+        assert (study_dir / "member00" / "history.npz").exists()
+
+    def test_study_without_manifest_fails(self, tmp_path, capsys):
+        assert main(["study", str(tmp_path)]) == 2
+        assert "input.xgyro" in capsys.readouterr().err
+
+
+class TestPlan:
+    def test_plan_table(self, sim_dir, capsys):
+        assert main(["plan", str(sim_dir), "--members", "2", "--nodes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "cmat dominance" in out
+        assert "1 member(s)" in out
+        assert "2 member(s)" in out
+
+
+class TestLinear:
+    def test_spectrum_output(self, tmp_path, capsys):
+        d = tmp_path / "lin"
+        d.mkdir()
+        inp = small_test(dlntdr=(9.0, 9.0), nu=0.05, nonadiabatic_delta=0.3)
+        write_input_file(inp, d / "input.cgyro")
+        assert main(["linear", str(d), "--modes", "1", "--tol", "1e-6"]) == 0
+        out = capsys.readouterr().out
+        assert "gamma" in out
+        assert " 1 " in out or "\n   1" in out
+
+    def test_nonlinear_input_downgraded(self, tmp_path, capsys):
+        d = tmp_path / "lin2"
+        d.mkdir()
+        write_input_file(small_test(nonlinear=True), d / "input.cgyro")
+        assert main(["linear", str(d), "--modes", "1", "--tol", "1e-5"]) == 0
+        assert "disabled" in capsys.readouterr().out
+
+
+class TestVerify:
+    def test_builtin_verification_passes(self, capsys):
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        assert "observed order" in out
+        assert "PASSED" in out
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_machine_choice_rejected(self, sim_dir):
+        with pytest.raises(SystemExit):
+            main(["run-cgyro", str(sim_dir), "--machine", "cray"])

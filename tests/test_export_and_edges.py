@@ -1,0 +1,118 @@
+"""Edge-case coverage: exports at scale, solver guards, misc paths."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import InputError, VmpiError
+from repro.cgyro import CgyroSimulation, small_test
+from repro.machine import generic_cluster, single_node
+from repro.machine.model import GiB, MiB
+from repro.vmpi import VirtualWorld
+from repro.vmpi.export import export_chrome_trace, export_csv
+
+
+class TestTraceExportOfRealRuns:
+    def test_full_step_trace_exports(self, tmp_path):
+        """A real solver step produces a loadable Chrome trace whose
+        events reconstruct the phase sequence."""
+        world = VirtualWorld(generic_cluster(n_nodes=2, ranks_per_node=4))
+        sim = CgyroSimulation(world, range(8), small_test())
+        sim.step()
+        path = tmp_path / "step.json"
+        count = export_chrome_trace(world.trace, path, ranks=[0])
+        data = json.loads(path.read_text())
+        cats = [e["cat"] for e in data["traceEvents"]]
+        assert "str_comm" in cats and "coll_comm" in cats
+        # events are time-ordered and non-overlapping per rank
+        spans = [(e["ts"], e["ts"] + e["dur"]) for e in data["traceEvents"]]
+        for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+            assert b0 >= a1 - 1e-6
+        assert count == len(world.trace.filter(involving_rank=0))
+
+    def test_csv_row_count_matches_trace(self, tmp_path):
+        world = VirtualWorld(single_node(ranks=4))
+        sim = CgyroSimulation(world, range(4), small_test())
+        sim.step()
+        rows = export_csv(world.trace, tmp_path / "t.csv")
+        assert rows == len(world.trace)
+
+
+class TestSolverGuards:
+    def test_duplicate_ranks_rejected(self):
+        world = VirtualWorld(single_node(ranks=4))
+        with pytest.raises(VmpiError, match="duplicate"):
+            CgyroSimulation(world, [0, 0, 1, 2], small_test())
+
+    def test_negative_reports_rejected(self):
+        world = VirtualWorld(single_node(ranks=4))
+        sim = CgyroSimulation(world, range(4), small_test())
+        with pytest.raises(InputError):
+            sim.run(-1)
+
+    def test_rank_helpers_reject_foreign_ranks(self):
+        world = VirtualWorld(single_node(ranks=8))
+        sim = CgyroSimulation(world, range(4), small_test())
+        from repro.errors import CommunicatorError
+
+        with pytest.raises(CommunicatorError):
+            sim.iv_idx(7)
+
+    def test_two_sims_same_rank_same_label_collide_loudly(self):
+        """Accidentally stacking two simulations on one rank block is
+        caught by the ledger (duplicate named allocations)."""
+        world = VirtualWorld(single_node(ranks=4))
+        CgyroSimulation(world, range(4), small_test(), label="a")
+        with pytest.raises(ValueError, match="already live"):
+            CgyroSimulation(world, range(4), small_test(), label="a")
+
+
+class TestMachineEdges:
+    def test_memory_report_top_filter(self):
+        from repro.machine import MemoryLedger
+
+        led = MemoryLedger(None)
+        for i in range(5):
+            led.alloc(f"b{i}", 10 * (i + 1))
+        text = led.report(top=2)
+        assert "b4" in text and "b0" not in text
+
+    def test_machine_describe_units(self):
+        m = generic_cluster()
+        text = m.describe()
+        assert "GiB/s" in text and "us" in text
+
+    def test_huge_machine_model_is_cheap(self):
+        """Machine models are pure data: a 10k-node machine costs
+        nothing until a world is built on it."""
+        from repro.machine import frontier_like
+
+        m = frontier_like(n_nodes=10_000, mem_per_rank_bytes=64 * GiB)
+        assert m.n_ranks == 80_000
+        assert m.total_memory_bytes == pytest.approx(80_000 * 64 * GiB)
+
+
+class TestWorldEdges:
+    def test_elapsed_of_empty_rank_set(self):
+        world = VirtualWorld(single_node(ranks=2))
+        assert world.elapsed([]) == 0.0
+
+    def test_category_time_unknown_reduce(self):
+        world = VirtualWorld(single_node(ranks=2))
+        with pytest.raises(VmpiError):
+            world.category_time("x", reduce="median")
+
+    def test_uncategorized_charges_are_tracked(self):
+        world = VirtualWorld(single_node(ranks=2))
+        world.comm_world().barrier()  # no phase context
+        assert world.category_time("uncategorized") > 0
+
+    def test_charge_compute_rejects_bad_rank_and_negative(self):
+        world = VirtualWorld(single_node(ranks=2))
+        with pytest.raises(VmpiError):
+            world.charge_compute(5, seconds=1.0)
+        with pytest.raises(VmpiError):
+            world.charge_compute(0, seconds=-1.0)

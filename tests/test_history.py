@@ -1,0 +1,119 @@
+"""Tests for the time-history recorder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InputError
+from repro.cgyro import CgyroSimulation, small_test
+from repro.cgyro.history import TimeHistory
+from repro.cgyro.timing import ReportRow
+from repro.machine import single_node
+from repro.vmpi import VirtualWorld
+
+
+def make_row(step, flux=None, phi2=None, wall=1.0):
+    return ReportRow(
+        step=step,
+        time=step * 0.01,
+        wall_s=wall,
+        categories={"str_comm": 0.1 * step, "coll_comm": 0.05},
+        flux=np.asarray(flux if flux is not None else [0.0, 1.0, 2.0]),
+        phi2=np.asarray(phi2 if phi2 is not None else [1.0, 1.0, 1.0]),
+    )
+
+
+class TestAccumulation:
+    def test_series_shapes(self):
+        hist = TimeHistory()
+        hist.extend([make_row(10), make_row(20), make_row(30)])
+        assert len(hist) == 3
+        assert hist.steps.tolist() == [10, 20, 30]
+        assert hist.flux.shape == (3, 3)
+        assert hist.phi2.shape == (3, 3)
+        np.testing.assert_allclose(hist.walls, 1.0)
+
+    def test_category_series(self):
+        hist = TimeHistory()
+        hist.extend([make_row(10), make_row(20)])
+        np.testing.assert_allclose(hist.category_series("str_comm"), [1.0, 2.0])
+        np.testing.assert_allclose(hist.category_series("absent"), [0.0, 0.0])
+
+    def test_non_monotonic_steps_rejected(self):
+        hist = TimeHistory()
+        hist.append(make_row(10))
+        with pytest.raises(InputError, match="monotonic"):
+            hist.append(make_row(10))
+
+    def test_shape_change_rejected(self):
+        hist = TimeHistory()
+        hist.append(make_row(10))
+        with pytest.raises(InputError, match="shape"):
+            hist.append(make_row(20, flux=[1.0, 2.0]))
+
+    def test_empty_history_arrays(self):
+        hist = TimeHistory()
+        assert hist.flux.shape == (0, 0)
+        assert hist.steps.size == 0
+
+
+class TestAnalysis:
+    def test_total_and_mean_flux(self):
+        hist = TimeHistory()
+        hist.extend([make_row(10, flux=[1.0, 1.0, 1.0]), make_row(20, flux=[3.0, 3.0, 3.0])])
+        np.testing.assert_allclose(hist.total_flux(), [3.0, 9.0])
+        np.testing.assert_allclose(hist.mean_flux(), [2.0, 2.0, 2.0])
+        np.testing.assert_allclose(hist.mean_flux(last=1), [3.0, 3.0, 3.0])
+
+    def test_mean_flux_empty_raises(self):
+        with pytest.raises(InputError):
+            TimeHistory().mean_flux()
+
+    def test_saturation_detection(self):
+        hist = TimeHistory()
+        # growing amplitude: not saturated
+        for i, amp in enumerate([1.0, 4.0, 16.0]):
+            hist.append(make_row(10 * (i + 1), phi2=[amp, amp, amp]))
+        assert not hist.is_saturated(window=3)
+        # flat amplitude tail: saturated
+        for i, amp in enumerate([16.1, 15.9, 16.0]):
+            hist.append(make_row(100 + 10 * i, phi2=[amp, amp, amp]))
+        assert hist.is_saturated(window=3)
+
+    def test_saturation_needs_enough_reports(self):
+        hist = TimeHistory()
+        hist.append(make_row(10))
+        assert not hist.is_saturated(window=3)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        hist = TimeHistory()
+        hist.extend([make_row(10), make_row(20)])
+        path = tmp_path / "hist.npz"
+        hist.save(path)
+        back = TimeHistory.load(path)
+        assert len(back) == 2
+        np.testing.assert_allclose(back.flux, hist.flux)
+        np.testing.assert_allclose(back.category_series("str_comm"),
+                                   hist.category_series("str_comm"))
+
+    def test_empty_save_rejected(self, tmp_path):
+        with pytest.raises(InputError):
+            TimeHistory().save(tmp_path / "x.npz")
+
+    def test_missing_load(self, tmp_path):
+        with pytest.raises(InputError, match="not found"):
+            TimeHistory.load(tmp_path / "ghost.npz")
+
+    def test_records_real_run(self, tmp_path):
+        world = VirtualWorld(single_node(ranks=4))
+        sim = CgyroSimulation(world, range(4), small_test(steps_per_report=2))
+        hist = TimeHistory()
+        hist.extend(sim.run(3))
+        assert len(hist) == 3
+        assert np.all(hist.walls > 0)
+        path = tmp_path / "run.npz"
+        hist.save(path)
+        assert TimeHistory.load(path).steps.tolist() == [2, 4, 6]

@@ -1,0 +1,213 @@
+"""Tests for vmpi extensions: reduce_scatter, scan, sendrecv, algorithm
+auto-selection and trace export."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CollectiveError, CommunicatorError
+from repro.machine import generic_cluster, single_node
+from repro.vmpi import Communicator, ReduceOp, VirtualWorld
+from repro.vmpi.cost import CommCostModel
+from repro.vmpi.algorithms import AllreduceAlgorithm, AlltoallAlgorithm
+from repro.vmpi.export import export_chrome_trace, export_csv
+
+
+def make_world(n=4, **kw):
+    return VirtualWorld(single_node(ranks=n), **kw)
+
+
+class TestReduceScatter:
+    def test_each_rank_gets_its_block_of_the_sum(self):
+        w = make_world(3)
+        comm = w.comm_world()
+        values = {r: np.full((3, 2), float(r + 1)) for r in range(3)}
+        out = comm.reduce_scatter(values)
+        for j, r in enumerate(comm.ranks):
+            np.testing.assert_allclose(out[r], np.full(2, 6.0))
+
+    def test_matches_reduce_then_slice(self):
+        rng = np.random.default_rng(0)
+        w = make_world(4)
+        comm = w.comm_world()
+        values = {r: rng.normal(size=(4, 5)) for r in range(4)}
+        out = comm.reduce_scatter(values)
+        full = sum(values.values())
+        for j, r in enumerate(comm.ranks):
+            np.testing.assert_allclose(out[r], full[j], rtol=1e-12)
+
+    def test_first_axis_must_match_size(self):
+        w = make_world(3)
+        with pytest.raises(CollectiveError, match="first axis"):
+            w.comm_world().reduce_scatter({r: np.zeros((2, 2)) for r in range(3)})
+
+    def test_shape_mismatch_rejected(self):
+        w = make_world(2)
+        with pytest.raises(CollectiveError):
+            w.comm_world().reduce_scatter({0: np.zeros((2, 2)), 1: np.zeros((2, 3))})
+
+
+class TestScan:
+    def test_inclusive_prefix_sums(self):
+        w = make_world(4)
+        out = w.comm_world().scan({r: np.array([1.0]) for r in range(4)})
+        assert [float(out[r][0]) for r in range(4)] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_exclusive_prefix(self):
+        w = make_world(3)
+        out = w.comm_world().scan(
+            {r: np.array([r + 1.0]) for r in range(3)}, exclusive=True
+        )
+        assert [float(out[r][0]) for r in range(3)] == [0.0, 1.0, 3.0]
+
+    def test_max_scan(self):
+        w = make_world(3)
+        vals = {0: np.array([5.0]), 1: np.array([2.0]), 2: np.array([7.0])}
+        out = w.comm_world().scan(vals, ReduceOp.MAX)
+        assert [float(out[r][0]) for r in range(3)] == [5.0, 5.0, 7.0]
+
+    @given(n=st.integers(2, 5), seed=st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_last_rank_gets_full_reduction(self, n, seed):
+        rng = np.random.default_rng(seed)
+        w = make_world(n)
+        comm = Communicator(w, range(n))
+        values = {r: rng.normal(size=3) for r in range(n)}
+        out = comm.scan(values)
+        np.testing.assert_allclose(
+            out[n - 1], sum(values.values()), rtol=1e-12
+        )
+
+
+class TestSendrecv:
+    def test_payload_delivered(self):
+        w = make_world(4)
+        comm = w.comm_world()
+        got = comm.sendrecv(np.arange(5.0), source=1, dest=3)
+        np.testing.assert_array_equal(got, np.arange(5.0))
+
+    def test_only_endpoints_charged(self):
+        w = make_world(4)
+        w.comm_world().sendrecv(np.ones(100), source=0, dest=2)
+        assert w.clock[0] > 0 and w.clock[2] > 0
+        assert w.clock[1] == 0 and w.clock[3] == 0
+
+    def test_self_send_is_free(self):
+        w = make_world(2)
+        got = w.comm_world().sendrecv(np.ones(3), source=1, dest=1)
+        np.testing.assert_array_equal(got, np.ones(3))
+        assert w.clock[1] == 0.0
+
+    def test_traced_as_sendrecv(self):
+        w = make_world(2)
+        w.comm_world().sendrecv(np.ones(4), source=0, dest=1)
+        ev = w.trace.events[-1]
+        assert ev.kind == "sendrecv"
+        assert ev.ranks == (0, 1)
+        assert ev.nbytes == 32
+
+    def test_endpoints_must_be_members(self):
+        w = make_world(4)
+        sub = Communicator(w, [0, 1])
+        with pytest.raises(CommunicatorError):
+            sub.sendrecv(np.ones(1), source=0, dest=3)
+
+    def test_inter_node_costs_more(self):
+        machine = generic_cluster(n_nodes=2, ranks_per_node=2)
+        w = VirtualWorld(machine)
+        comm = w.comm_world()
+        comm.sendrecv(np.ones(1000), source=0, dest=1)  # intra
+        intra = w.trace.events[-1].cost_s
+        comm.sendrecv(np.ones(1000), source=0, dest=2)  # inter
+        inter = w.trace.events[-1].cost_s
+        assert inter > intra
+
+
+class TestAlgorithmSelection:
+    def test_default_policy_is_fixed(self):
+        w = make_world(4)
+        w.comm_world().allreduce({r: np.ones(2) for r in range(4)})
+        assert w.trace.events[-1].algorithm == "ring"
+
+    def test_auto_small_message_uses_recursive_doubling(self):
+        w = make_world(4, auto_algorithms=True)
+        w.comm_world().allreduce({r: np.ones(2) for r in range(4)})
+        assert w.trace.events[-1].algorithm == "recursive-doubling"
+
+    def test_auto_large_message_uses_ring(self):
+        w = make_world(4, auto_algorithms=True)
+        big = np.ones(CommCostModel.ALLREDUCE_RING_THRESHOLD // 8 + 16)
+        w.comm_world().allreduce({r: big for r in range(4)})
+        assert w.trace.events[-1].algorithm == "ring"
+
+    def test_auto_alltoall_thresholds(self):
+        w = make_world(2, auto_algorithms=True)
+        comm = w.comm_world()
+        small = {r: [np.ones(4), np.ones(4)] for r in range(2)}
+        comm.alltoall(small)
+        assert w.trace.events[-1].algorithm == "bruck"
+        n = CommCostModel.ALLTOALL_PAIRWISE_THRESHOLD // 8
+        big = {r: [np.ones(n), np.ones(n)] for r in range(2)}
+        comm.alltoall(big)
+        assert w.trace.events[-1].algorithm == "pairwise"
+
+    def test_explicit_algorithm_wins_over_auto(self):
+        w = make_world(4, auto_algorithms=True)
+        w.comm_world().allreduce(
+            {r: np.ones(2) for r in range(4)}, algorithm=AllreduceAlgorithm.RING
+        )
+        assert w.trace.events[-1].algorithm == "ring"
+
+    def test_selection_rejects_unknown_kind(self):
+        w = make_world(2)
+        with pytest.raises(CollectiveError):
+            w.cost_model.select_algorithm("bcast", 10)
+
+
+class TestTraceExport:
+    def _traced_world(self):
+        w = make_world(4)
+        comm = w.comm_world()
+        with w.phase("str_comm"):
+            comm.allreduce({r: np.ones(8) for r in range(4)})
+        with w.phase("coll_comm"):
+            comm.alltoall({r: [np.ones(2)] * 4 for r in range(4)})
+        return w
+
+    def test_chrome_trace_structure(self, tmp_path):
+        w = self._traced_world()
+        path = tmp_path / "trace.json"
+        count = export_chrome_trace(w.trace, path)
+        assert count == 2
+        data = json.loads(path.read_text())
+        events = data["traceEvents"]
+        assert len(events) == 8  # 2 collectives x 4 ranks
+        assert {e["ph"] for e in events} == {"X"}
+        assert {e["cat"] for e in events} == {"str_comm", "coll_comm"}
+        assert all(e["dur"] > 0 for e in events)
+
+    def test_chrome_trace_rank_filter(self, tmp_path):
+        w = self._traced_world()
+        path = tmp_path / "trace.json"
+        export_chrome_trace(w.trace, path, ranks=[0])
+        events = json.loads(path.read_text())["traceEvents"]
+        assert {e["tid"] for e in events} == {0}
+
+    def test_chrome_trace_max_events(self, tmp_path):
+        w = self._traced_world()
+        path = tmp_path / "trace.json"
+        count = export_chrome_trace(w.trace, path, max_events=1)
+        assert count == 1
+
+    def test_csv_export(self, tmp_path):
+        w = self._traced_world()
+        path = tmp_path / "trace.csv"
+        rows = export_csv(w.trace, path)
+        assert rows == 2
+        text = path.read_text()
+        assert "allreduce" in text and "alltoall" in text
+        assert "str_comm" in text

@@ -1,0 +1,183 @@
+"""Tests for the virtual world: clocks, charging, tracing, categories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryLimitExceeded, VmpiError
+from repro.machine import generic_cluster, single_node
+from repro.vmpi import AllreduceAlgorithm, Communicator, VirtualWorld
+
+
+class TestConstruction:
+    def test_defaults_to_full_machine(self, small_machine):
+        w = VirtualWorld(small_machine)
+        assert w.n_ranks == 16
+
+    def test_partial_job(self, small_machine):
+        w = VirtualWorld(small_machine, n_ranks=6)
+        assert w.n_ranks == 6
+
+    def test_too_many_ranks_rejected(self, small_machine):
+        with pytest.raises(VmpiError):
+            VirtualWorld(small_machine, n_ranks=17)
+
+    def test_memory_enforcement_flag(self):
+        m = single_node(ranks=2, mem_per_rank_bytes=100.0)
+        enforced = VirtualWorld(m, enforce_memory=True)
+        with pytest.raises(MemoryLimitExceeded):
+            enforced.ledgers[0].alloc("big", 200)
+        relaxed = VirtualWorld(m, enforce_memory=False)
+        relaxed.ledgers[0].alloc("big", 200)  # tracked but not enforced
+
+
+class TestClocks:
+    def test_compute_advances_only_named_ranks(self, small_world):
+        small_world.charge_compute([1, 2], seconds=3.0)
+        assert small_world.clock[1] == 3.0
+        assert small_world.clock[0] == 0.0
+
+    def test_flops_use_machine_rate(self):
+        m = generic_cluster()  # 1 GF/s per rank
+        w = VirtualWorld(m)
+        w.charge_compute(0, flops=2e9)
+        assert w.clock[0] == pytest.approx(2.0)
+
+    def test_per_rank_mapping_charges(self, small_world):
+        small_world.charge_compute([0, 1], seconds={0: 1.0, 1: 2.0})
+        assert small_world.clock[0] == 1.0
+        assert small_world.clock[1] == 2.0
+
+    def test_requires_exactly_one_of_seconds_flops(self, small_world):
+        with pytest.raises(VmpiError):
+            small_world.charge_compute(0)
+        with pytest.raises(VmpiError):
+            small_world.charge_compute(0, seconds=1.0, flops=1.0)
+
+    def test_collective_synchronises_participants(self, small_world):
+        small_world.charge_compute(3, seconds=10.0)
+        comm = Communicator(small_world, [0, 3])
+        comm.allreduce({0: 1.0, 3: 2.0})
+        # rank 0 waited for rank 3, then both advanced by the cost
+        assert small_world.clock[0] == small_world.clock[3]
+        assert small_world.clock[0] > 10.0
+
+    def test_elapsed_is_max_clock(self, small_world):
+        small_world.charge_compute(5, seconds=7.0)
+        assert small_world.elapsed() == 7.0
+        assert small_world.elapsed([0, 1]) == 0.0
+
+    def test_reset_clocks(self, small_world):
+        small_world.charge_compute(0, seconds=1.0, category="x")
+        small_world.reset_clocks()
+        assert small_world.elapsed() == 0.0
+        assert small_world.category_time("x") == 0.0
+
+
+class TestCategories:
+    def test_phase_context_labels_charges(self, small_world):
+        with small_world.phase("str_comm"):
+            small_world.comm_world().barrier()
+        with small_world.phase("coll_comm"):
+            small_world.comm_world().barrier()
+        assert small_world.category_time("str_comm") > 0
+        assert small_world.category_time("coll_comm") > 0
+        assert set(small_world.categories()) == {"str_comm", "coll_comm"}
+
+    def test_nested_phases_use_innermost(self, small_world):
+        with small_world.phase("outer"):
+            with small_world.phase("inner"):
+                small_world.charge_compute(0, seconds=1.0)
+        assert small_world.category_time("inner") == 1.0
+        assert small_world.category_time("outer") == 0.0
+
+    def test_explicit_category_overrides_context(self, small_world):
+        with small_world.phase("ctx"):
+            small_world.charge_compute(0, seconds=1.0, category="explicit")
+        assert small_world.category_time("explicit") == 1.0
+
+    def test_reduce_modes(self, small_world):
+        small_world.charge_compute([0, 1], seconds={0: 1.0, 1: 3.0}, category="c")
+        assert small_world.category_time("c", reduce="max") == 3.0
+        assert small_world.category_time("c", reduce="sum") == 4.0
+        assert small_world.category_time("c", [0, 1], reduce="mean") == 2.0
+
+    def test_breakdown_covers_all_categories(self, small_world):
+        small_world.charge_compute(0, seconds=1.0, category="a")
+        small_world.charge_compute(0, seconds=2.0, category="b")
+        bd = small_world.category_breakdown()
+        assert bd == {"a": 1.0, "b": 2.0}
+
+
+class TestTracing:
+    def test_collectives_are_traced(self, small_world):
+        comm = small_world.comm_world()
+        comm.allreduce({r: 1.0 for r in range(16)})
+        comm.barrier()
+        events = small_world.trace.events
+        assert [e.kind for e in events] == ["allreduce", "barrier"]
+        assert events[0].size == 16
+        assert events[0].n_nodes == 4
+        assert events[0].cost_s > 0
+
+    def test_trace_records_algorithm_and_category(self, small_world):
+        with small_world.phase("str_comm"):
+            small_world.comm_world().allreduce(
+                {r: 1.0 for r in range(16)},
+                algorithm=AllreduceAlgorithm.RECURSIVE_DOUBLING,
+            )
+        ev = small_world.trace.events[-1]
+        assert ev.algorithm == "recursive-doubling"
+        assert ev.category == "str_comm"
+
+    def test_trace_can_be_disabled(self, small_machine):
+        w = VirtualWorld(small_machine, trace=False)
+        w.comm_world().barrier()
+        assert len(w.trace) == 0
+
+    def test_trace_queries(self, small_world):
+        comm = small_world.comm_world()
+        with small_world.phase("a"):
+            comm.barrier()
+        with small_world.phase("b"):
+            comm.allreduce({r: np.ones(4) for r in range(16)})
+        tr = small_world.trace
+        assert len(tr.filter(kind="barrier")) == 1
+        assert len(tr.filter(category="b")) == 1
+        assert tr.total_time(category="b") > 0
+        assert tr.total_bytes(kind="allreduce") == 32
+        assert "world" in tr.comm_labels()
+        assert "allreduce" in tr.render_summary()
+
+
+class TestCostPlacementCoupling:
+    def test_intra_node_group_is_cheaper(self, small_world):
+        """Groups inside one node beat same-size groups spanning nodes."""
+        intra = Communicator(small_world, [0, 1, 2, 3], label="intra")
+        spread = Communicator(small_world, [0, 4, 8, 12], label="spread")
+        data_i = {r: np.ones(1024) for r in intra.ranks}
+        data_s = {r: np.ones(1024) for r in spread.ranks}
+        intra.allreduce(data_i)
+        spread.allreduce(data_s)
+        ev_i = small_world.trace.filter(comm_label="intra")[0]
+        ev_s = small_world.trace.filter(comm_label="spread")[0]
+        assert ev_i.cost_s < ev_s.cost_s
+        assert ev_i.n_nodes == 1 and ev_s.n_nodes == 4
+
+    def test_nic_contention_raises_cost(self, small_world):
+        """More ranks per node sharing the NIC -> more expensive."""
+        two_nodes_dense = Communicator(
+            small_world, [0, 1, 2, 3, 4, 5, 6, 7], label="dense"
+        )  # 4 ranks/node on 2 nodes
+        two_per_node = Communicator(
+            small_world, [0, 1, 4, 5, 8, 9, 12, 13], label="sparse"
+        )  # 2 ranks/node on 4 nodes
+        payload = 1 << 20
+        data = {r: np.ones(payload // 8) for r in two_nodes_dense.ranks}
+        two_nodes_dense.allreduce(data)
+        data = {r: np.ones(payload // 8) for r in two_per_node.ranks}
+        two_per_node.allreduce(data)
+        dense = small_world.trace.filter(comm_label="dense")[0]
+        sparse = small_world.trace.filter(comm_label="sparse")[0]
+        assert dense.cost_s > sparse.cost_s
