@@ -6,6 +6,7 @@ a launcher invocation — against the virtual machine:
 
     python -m repro run-cgyro  DIR   --nodes 4 --machine generic --reports 2
     python -m repro run-xgyro  FILE  --nodes 4 --machine generic --reports 1
+    python -m repro run-xgyro  FILE  --faults plan.json --checkpoint-interval 2
     python -m repro plan       DIR   --members 8
     python -m repro linear     DIR   --modes 1,2,3
     python -m repro figure2    [--measure-steps 1]
@@ -98,9 +99,43 @@ def cmd_run_cgyro(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_xgyro_faulted(args: argparse.Namespace, inputs, machine) -> int:
+    """run-xgyro under a fault plan: resilient runner + recovery report."""
+    from repro.perf import render_recovery_report
+    from repro.resilience import FaultPlan, ResilientXgyroRunner
+
+    plan = FaultPlan.from_file(args.faults)
+    world = VirtualWorld(machine, enforce_memory=args.enforce_memory)
+    runner = ResilientXgyroRunner(
+        world,
+        inputs,
+        plan=plan,
+        checkpoint_interval=args.checkpoint_interval,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    ensemble = runner.ensemble
+    member = ensemble.members[0]
+    n_steps = args.reports * member.inp.steps_per_report
+    print(
+        f"xgyro ensemble: k={ensemble.n_members} members x "
+        f"{len(member.ranks)} ranks on {machine.name}; "
+        f"fault plan: {len(plan.specs)} spec(s), "
+        f"detection timeout {plan.detection_timeout_s:g} s; "
+        f"checkpoint every {runner.checkpoint_interval} step(s)"
+    )
+    result = runner.run_steps(n_steps)
+    print(render_recovery_report(result, runner.ledger))
+    for m in ensemble.members:
+        flux, _ = m.diagnostics()
+        print(f"  {m.label:<28s} flux " + " ".join(f"{q:+.3e}" for q in flux))
+    return 0
+
+
 def cmd_run_xgyro(args: argparse.Namespace) -> int:
     inputs = parse_ensemble(args.input)
     machine = _machine_from_args(args)
+    if args.faults:
+        return _run_xgyro_faulted(args, inputs, machine)
     world = VirtualWorld(machine, enforce_memory=args.enforce_memory)
     ensemble = XgyroEnsemble(world, inputs)
     member = ensemble.members[0]
@@ -235,6 +270,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--reports", type=int, default=1)
     p.add_argument("--enforce-memory", action="store_true")
     p.add_argument("--timing-out", default=None)
+    p.add_argument(
+        "--faults",
+        default=None,
+        help="JSON fault-plan file; runs under the resilient driver "
+        "(shrink-and-recover) and prints the recovery-cost report",
+    )
+    p.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=1,
+        help="ensemble steps between checkpoints under --faults (default 1)",
+    )
+    p.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="write member checkpoints as .npz under this directory "
+        "(default: in-memory)",
+    )
     p.set_defaults(func=cmd_run_xgyro)
 
     p = sub.add_parser(

@@ -75,6 +75,16 @@ class MemoryLimitExceeded(MachineError):
         self.breakdown = dict(breakdown or {})
 
 
+class LedgerError(MachineError, ValueError):
+    """A memory ledger was used inconsistently.
+
+    Examples: registering an allocation name that is already live, or a
+    negative allocation size.  Derives from :class:`ValueError` for
+    backward compatibility with callers that caught the historical
+    bare-``ValueError`` behaviour.
+    """
+
+
 class PlacementError(MachineError):
     """Rank-to-node placement was inconsistent with the machine model."""
 
@@ -90,6 +100,97 @@ class DecompositionError(ReproError):
 
 class InputError(ReproError):
     """A solver input parameter (or input file) is invalid."""
+
+
+class ResilienceError(ReproError):
+    """Base class for fault-injection and recovery errors."""
+
+
+class FaultPlanError(ResilienceError):
+    """A fault plan is malformed or inconsistent with the machine.
+
+    Raised when a plan targets a rank/node outside the world, uses an
+    unknown fault kind, or carries invalid timing/factor parameters.
+    """
+
+
+class RankFailure(ResilienceError):
+    """One or more virtual ranks died and the loss was detected.
+
+    Raised from a collective boundary (the point where a real MPI job
+    observes a peer's death as a timeout).  By the time this propagates,
+    the detection timeout has already been charged to the surviving
+    participants' simulated clocks.
+
+    Attributes
+    ----------
+    failed_ranks:
+        World ranks that are dead, sorted.
+    failed_nodes:
+        Distinct node ids hosting the dead ranks, sorted.
+    step:
+        Ensemble step index during which the loss was detected.
+    detected_at_s:
+        Simulated time at which the survivors finished the detection
+        timeout.
+    detection_timeout_s:
+        Simulated seconds the detecting group spent waiting.
+    comm_label:
+        Label of the communicator whose collective hit the dead rank.
+    kind:
+        Collective kind that detected the failure.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        failed_ranks: "tuple[int, ...]" = (),
+        failed_nodes: "tuple[int, ...]" = (),
+        step: int = -1,
+        detected_at_s: float = 0.0,
+        detection_timeout_s: float = 0.0,
+        comm_label: str = "",
+        kind: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.failed_ranks = tuple(sorted(int(r) for r in failed_ranks))
+        self.failed_nodes = tuple(sorted(int(n) for n in failed_nodes))
+        self.step = step
+        self.detected_at_s = detected_at_s
+        self.detection_timeout_s = detection_timeout_s
+        self.comm_label = comm_label
+        self.kind = kind
+
+
+class RecoveryFailed(ResilienceError):
+    """A failed ensemble could not (or should not) shrink-and-recover.
+
+    Carries the triage outcome so job-level tooling can report why the
+    run was aborted rather than degraded.
+
+    Attributes
+    ----------
+    failed_ranks:
+        World ranks that were dead at abort time.
+    lost_members:
+        Member indices whose rank blocks were hit.
+    reason:
+        Human-readable abort rationale from the recovery policy.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        failed_ranks: "tuple[int, ...]" = (),
+        lost_members: "tuple[int, ...]" = (),
+        reason: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.failed_ranks = tuple(sorted(int(r) for r in failed_ranks))
+        self.lost_members = tuple(sorted(int(m) for m in lost_members))
+        self.reason = reason
 
 
 class EnsembleValidationError(ReproError):

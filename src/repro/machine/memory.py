@@ -14,7 +14,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterator, Optional, Tuple
 
-from repro.errors import MemoryLimitExceeded
+from repro.errors import LedgerError, MemoryLimitExceeded
 
 
 class MemoryLedger:
@@ -31,7 +31,7 @@ class MemoryLedger:
 
     def __init__(self, limit_bytes: "float | None" = None, *, rank: "int | None" = None) -> None:
         if limit_bytes is not None and limit_bytes < 0:
-            raise ValueError(f"limit_bytes must be >= 0, got {limit_bytes}")
+            raise LedgerError(f"limit_bytes must be >= 0, got {limit_bytes}")
         self._limit = math.inf if limit_bytes is None else float(limit_bytes)
         self._rank = rank
         self._live: Dict[str, int] = {}
@@ -86,7 +86,7 @@ class MemoryLedger:
 
         Raises
         ------
-        ValueError
+        LedgerError
             If ``name`` is already live or ``nbytes`` is negative.
         MemoryLimitExceeded
             If the allocation would exceed the capacity.  The ledger is
@@ -94,9 +94,9 @@ class MemoryLedger:
         """
         nbytes = int(nbytes)
         if nbytes < 0:
-            raise ValueError(f"allocation size must be >= 0, got {nbytes}")
+            raise LedgerError(f"allocation size must be >= 0, got {nbytes}")
         if name in self._live:
-            raise ValueError(f"allocation {name!r} is already live; free it first")
+            raise LedgerError(f"allocation {name!r} is already live; free it first")
         if self._in_use + nbytes > self._limit:
             rank_tag = "" if self._rank is None else f" on rank {self._rank}"
             raise MemoryLimitExceeded(

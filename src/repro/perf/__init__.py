@@ -29,7 +29,12 @@ from repro.perf.comm_matrix import (
 )
 from repro.perf.figures import render_figure1, render_figure3
 from repro.perf.memory import cmat_dominance_ratio, min_nodes_required
-from repro.perf.report import Figure2Result, figure2_comparison, render_figure2
+from repro.perf.report import (
+    Figure2Result,
+    figure2_comparison,
+    render_figure2,
+    render_recovery_report,
+)
 from repro.perf.sweep import (
     CollisionalitySweep,
     EnsembleSizeSweep,
@@ -43,6 +48,7 @@ __all__ = [
     "Figure2Result",
     "figure2_comparison",
     "render_figure2",
+    "render_recovery_report",
     "render_figure1",
     "render_figure3",
     "CalibrationResult",

@@ -169,3 +169,34 @@ def render_figure2(result: Figure2Result, *, paper: Optional[Dict[str, float]] =
             "paper:    total 375 vs 250 (1.50x), str comm 145 vs 33 (4.39x)"
         )
     return "\n".join(lines)
+
+
+def render_recovery_report(result, ledger=None) -> str:
+    """Text rendering of a resilient run's cost accounting.
+
+    ``result`` is a :class:`~repro.resilience.runner.RunResult`;
+    ``ledger`` the matching
+    :class:`~repro.resilience.ledger.RecoveryLedger` (adds the
+    per-event table when given).  All quantities are simulated seconds.
+    """
+    lines = [
+        f"resilient run — {result.steps} steps, "
+        f"{result.n_members_initial} -> {result.n_members_final} members, "
+        f"{result.n_recoveries} recoveries",
+        f"{'elapsed':<22s} {result.elapsed_s:>12.3f} s",
+    ]
+    if result.n_recoveries == 0:
+        lines.append("no failures detected; recovery overhead 0.000 s")
+        return "\n".join(lines)
+    overhead = result.recovery_overhead_s
+    share = overhead / result.elapsed_s if result.elapsed_s > 0 else 0.0
+    lines += [
+        f"{'detection timeout':<22s} {result.detection_s:>12.3f} s",
+        f"{'lost work (replayed)':<22s} {result.lost_work_s:>12.3f} s",
+        f"{'cmat re-assembly':<22s} {result.reassembly_s:>12.3f} s",
+        f"{'recovery overhead':<22s} {overhead:>12.3f} s  ({share:.1%} of elapsed)",
+    ]
+    if ledger is not None and len(ledger):
+        lines.append("per-event:")
+        lines.extend("  " + ln for ln in ledger.render().splitlines())
+    return "\n".join(lines)

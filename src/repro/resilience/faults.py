@@ -1,0 +1,229 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is a declarative list of :class:`FaultSpec`
+entries — *this rank dies at that step*, *that node drops out*, *this
+link degrades* — plus the detection timeout the machine charges when a
+group discovers a dead peer.  Plans are pure data: JSON-serialisable,
+seedable via :meth:`FaultPlan.random`, and validated against a world
+before use, so a faulted run is exactly reproducible from (plan, input)
+alone.  Injection itself lives in :mod:`repro.resilience.injector`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import FaultPlanError
+
+#: Fault kinds a plan may contain.
+KINDS = ("rank_crash", "node_loss", "link_slowdown")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault.
+
+    Parameters
+    ----------
+    kind:
+        ``"rank_crash"`` kills one rank, ``"node_loss"`` kills every
+        rank placed on one node, ``"link_slowdown"`` multiplies the
+        cost of matching collectives (a flaky cable, not a death).
+    at_step:
+        Ensemble step index (0-based) from which the fault is armed;
+        it fires at the first matching collective boundary at or after
+        that step — the earliest point a lockstep job can observe it.
+    rank:
+        Target world rank (``rank_crash`` only).
+    node:
+        Target node id (``node_loss`` only).
+    factor:
+        Cost multiplier >= 1 (``link_slowdown`` only).
+    phase:
+        Optional category gate (e.g. ``"coll_comm"``): the fault only
+        fires/applies inside that phase.  Empty matches any phase.
+    """
+
+    kind: str
+    at_step: int
+    rank: int = -1
+    node: int = -1
+    factor: float = 1.0
+    phase: str = ""
+
+    def validate(self, *, n_ranks: int, n_nodes: int) -> None:
+        """Raise :class:`FaultPlanError` unless consistent with a world."""
+        if self.kind not in KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; expected one of {KINDS}"
+            )
+        if self.at_step < 0:
+            raise FaultPlanError(f"at_step must be >= 0, got {self.at_step}")
+        if self.kind == "rank_crash":
+            if not 0 <= self.rank < n_ranks:
+                raise FaultPlanError(
+                    f"rank_crash targets rank {self.rank}, world has "
+                    f"ranks [0, {n_ranks})"
+                )
+        elif self.kind == "node_loss":
+            if not 0 <= self.node < n_nodes:
+                raise FaultPlanError(
+                    f"node_loss targets node {self.node}, machine has "
+                    f"nodes [0, {n_nodes})"
+                )
+        elif self.kind == "link_slowdown":
+            if not self.factor >= 1.0:
+                raise FaultPlanError(
+                    f"link_slowdown factor must be >= 1, got {self.factor}"
+                )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible schedule of faults for one run.
+
+    ``detection_timeout_s`` is the simulated seconds a surviving group
+    burns before concluding a peer is dead (ULFM-style shrink recovery
+    puts this in the tens of seconds on real machines).
+    """
+
+    specs: Tuple[FaultSpec, ...] = ()
+    detection_timeout_s: float = 30.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+        if self.detection_timeout_s < 0:
+            raise FaultPlanError(
+                f"detection_timeout_s must be >= 0, got {self.detection_timeout_s}"
+            )
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The empty plan: a run under it is bit-identical to no plan."""
+        return cls(specs=(), detection_timeout_s=0.0)
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        n_steps: int,
+        n_ranks: int,
+        n_nodes: int,
+        n_faults: int = 1,
+        kinds: Sequence[str] = ("rank_crash", "node_loss"),
+        detection_timeout_s: float = 30.0,
+    ) -> "FaultPlan":
+        """Seeded random plan (the ensemble-campaign generator).
+
+        Steps are drawn uniformly from ``[1, n_steps)`` so step 0 — the
+        initial checkpoint — always completes.
+        """
+        if n_steps < 2:
+            raise FaultPlanError(f"need n_steps >= 2 to place faults, got {n_steps}")
+        for k in kinds:
+            if k not in KINDS:
+                raise FaultPlanError(f"unknown fault kind {k!r}")
+        rng = np.random.default_rng(seed)
+        specs = []
+        for _ in range(n_faults):
+            kind = kinds[int(rng.integers(len(kinds)))]
+            at_step = int(rng.integers(1, n_steps))
+            if kind == "rank_crash":
+                specs.append(
+                    FaultSpec(kind, at_step, rank=int(rng.integers(n_ranks)))
+                )
+            elif kind == "node_loss":
+                specs.append(
+                    FaultSpec(kind, at_step, node=int(rng.integers(n_nodes)))
+                )
+            else:
+                specs.append(
+                    FaultSpec(
+                        kind,
+                        at_step,
+                        factor=float(1.0 + 9.0 * rng.random()),
+                    )
+                )
+        plan = cls(
+            specs=tuple(specs),
+            detection_timeout_s=detection_timeout_s,
+            seed=seed,
+        )
+        plan.validate_for(n_ranks=n_ranks, n_nodes=n_nodes)
+        return plan
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate_for(self, *, n_ranks: int, n_nodes: int) -> None:
+        """Check every spec against a world's rank/node ranges."""
+        for spec in self.specs:
+            spec.validate(n_ranks=n_ranks, n_nodes=n_nodes)
+
+    # ------------------------------------------------------------------
+    # (de)serialisation
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """JSON document for ``--faults`` files."""
+        return json.dumps(
+            {
+                "detection_timeout_s": self.detection_timeout_s,
+                "seed": self.seed,
+                "specs": [asdict(s) for s in self.specs],
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a plan; malformed documents raise FaultPlanError."""
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"fault plan is not valid JSON: {exc}") from exc
+        if not isinstance(doc, dict):
+            raise FaultPlanError("fault plan must be a JSON object")
+        raw_specs = doc.get("specs", [])
+        if not isinstance(raw_specs, list):
+            raise FaultPlanError("fault plan 'specs' must be a list")
+        specs = []
+        allowed = {"kind", "at_step", "rank", "node", "factor", "phase"}
+        for i, raw in enumerate(raw_specs):
+            if not isinstance(raw, dict) or "kind" not in raw or "at_step" not in raw:
+                raise FaultPlanError(
+                    f"spec {i} must be an object with 'kind' and 'at_step'"
+                )
+            unknown = set(raw) - allowed
+            if unknown:
+                raise FaultPlanError(
+                    f"spec {i} has unknown fields {sorted(unknown)}"
+                )
+            try:
+                specs.append(FaultSpec(**raw))
+            except TypeError as exc:
+                raise FaultPlanError(f"spec {i} is malformed: {exc}") from exc
+        return cls(
+            specs=tuple(specs),
+            detection_timeout_s=float(doc.get("detection_timeout_s", 30.0)),
+            seed=int(doc.get("seed", 0)),
+        )
+
+    def to_file(self, path: Union[str, Path]) -> None:
+        """Write the plan as JSON."""
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "FaultPlan":
+        """Load a plan written by :meth:`to_file`."""
+        try:
+            text = Path(path).read_text()
+        except OSError as exc:
+            raise FaultPlanError(f"cannot read fault plan {path}: {exc}")
+        return cls.from_json(text)

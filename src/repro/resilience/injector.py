@@ -1,0 +1,129 @@
+"""The fault injector: where a plan meets the virtual machine.
+
+Installed on a :class:`~repro.vmpi.world.VirtualWorld` via
+``world.install_fault_injector``, the injector is consulted at every
+collective boundary — the only observation points a lockstep SPMD job
+has, mirroring how a real MPI job experiences a dead peer (a collective
+that never completes).  On detecting a dead participant it charges the
+plan's detection timeout to the *surviving* participants' simulated
+clocks (their wasted wait is real cost; clocks never roll back) and
+raises :class:`~repro.errors.RankFailure` for the driver to triage.
+
+Determinism: the injector holds no hidden randomness.  Given the same
+:class:`~repro.resilience.faults.FaultPlan` and the same run, faults
+fire at identical collective boundaries with identical charges, which
+is what makes faulted runs bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Set, Tuple
+
+from repro.errors import FaultPlanError, RankFailure
+from repro.resilience.faults import FaultPlan, FaultSpec
+from repro.vmpi.world import VirtualWorld
+
+#: Category under which detection timeouts are charged.
+DETECT_CATEGORY = "fault_detect"
+
+
+class FaultInjector:
+    """Consults a :class:`FaultPlan` at collective boundaries.
+
+    The driver must call :meth:`begin_step` before each ensemble step
+    so ``at_step`` arming is well-defined.  Dead ranks stay dead for
+    the injector's lifetime — a recovered ensemble replaying rolled-
+    back steps cannot resurrect them.
+    """
+
+    def __init__(self, world: VirtualWorld, plan: FaultPlan) -> None:
+        plan.validate_for(
+            n_ranks=world.n_ranks, n_nodes=world.machine.n_nodes
+        )
+        self.world = world
+        self.plan = plan
+        self.dead_ranks: Set[int] = set()
+        self.dead_nodes: Set[int] = set()
+        self._pending = [s for s in plan.specs if s.kind != "link_slowdown"]
+        self._slowdowns = [s for s in plan.specs if s.kind == "link_slowdown"]
+        self._step = 0
+
+    # ------------------------------------------------------------------
+    def begin_step(self, step: int) -> None:
+        """Arm the injector for ensemble step ``step`` (0-based)."""
+        if step < 0:
+            raise FaultPlanError(f"step must be >= 0, got {step}")
+        self._step = step
+
+    @property
+    def current_step(self) -> int:
+        """Step most recently armed via :meth:`begin_step`."""
+        return self._step
+
+    def _phase_matches(self, spec: FaultSpec) -> bool:
+        return not spec.phase or spec.phase == self.world.current_category
+
+    def _activate_pending(self) -> None:
+        """Kill the targets of every armed crash/node spec."""
+        still_pending = []
+        for spec in self._pending:
+            if spec.at_step <= self._step and self._phase_matches(spec):
+                if spec.kind == "rank_crash":
+                    self.dead_ranks.add(spec.rank)
+                    self.dead_nodes.add(self.world.placement.node_of(spec.rank))
+                else:  # node_loss
+                    self.dead_nodes.add(spec.node)
+                    for r in range(self.world.n_ranks):
+                        if self.world.placement.node_of(r) == spec.node:
+                            self.dead_ranks.add(r)
+            else:
+                still_pending.append(spec)
+        self._pending = still_pending
+
+    # ------------------------------------------------------------------
+    def on_collective(
+        self, kind: str, ranks: Sequence[int], comm_label: str
+    ) -> float:
+        """Hook called by the world before costing a collective.
+
+        Returns the cost multiplier (1.0 when healthy).  When a dead
+        rank participates, charges the detection timeout to the live
+        participants and raises :class:`RankFailure`.
+        """
+        self._activate_pending()
+        dead_here = self.dead_ranks.intersection(ranks)
+        if dead_here:
+            live = [r for r in ranks if r not in self.dead_ranks]
+            if not live:
+                # the whole group died at once: the rest of the job
+                # discovers the loss by absence, and pays the timeout
+                live = [
+                    r for r in range(self.world.n_ranks)
+                    if r not in self.dead_ranks
+                ]
+            timeout = self.plan.detection_timeout_s
+            t_start = self.world.sync_charge(
+                live, timeout, category=DETECT_CATEGORY
+            )
+            raise RankFailure(
+                f"collective {kind!r} on {comm_label!r} at step {self._step} "
+                f"hit dead ranks {sorted(dead_here)} "
+                f"(detected after {timeout:g} simulated s)",
+                failed_ranks=tuple(self.dead_ranks),
+                failed_nodes=tuple(self.dead_nodes),
+                step=self._step,
+                detected_at_s=t_start + timeout,
+                detection_timeout_s=timeout,
+                comm_label=comm_label,
+                kind=kind,
+            )
+        factor = 1.0
+        for spec in self._slowdowns:
+            if spec.at_step <= self._step and self._phase_matches(spec):
+                factor *= spec.factor
+        return factor
+
+    # ------------------------------------------------------------------
+    def fail_summary(self) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """(dead ranks, dead nodes), sorted — for reports."""
+        return tuple(sorted(self.dead_ranks)), tuple(sorted(self.dead_nodes))

@@ -1,0 +1,89 @@
+"""The recovery-cost ledger.
+
+Every shrink-and-recover is billed in simulated seconds, split the way
+an operator would want to read it:
+
+- **detection** — the timeout the surviving group burned discovering
+  the dead peer (charged to their clocks by the injector);
+- **lost work** — simulated time between the last checkpoint and the
+  failure, thrown away by the rollback (clocks never roll back, so
+  this is real elapsed cost, re-paid during replay);
+- **re-assembly** — recomputing the dead ranks' shards of the shared
+  collisional tensor on the survivors.
+
+The totals feed :mod:`repro.perf.report` and the
+``bench_recovery_overhead`` benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One completed shrink-and-recover."""
+
+    step: int  # ensemble step during which the failure was detected
+    rolled_back_steps: int  # steps replayed from the checkpoint
+    detected_at_s: float  # simulated clock when detection finished
+    detection_s: float  # detection timeout charged to survivors
+    lost_work_s: float  # checkpoint -> failure simulated time, discarded
+    reassembly_s: float  # recomputing lost cmat shards (max over ranks)
+    rebuilt_blocks: int  # (ic, n) propagator blocks recomputed
+    failed_ranks: Tuple[int, ...]
+    failed_nodes: Tuple[int, ...]
+    lost_members: Tuple[int, ...]
+    n_members_before: int
+    n_members_after: int
+
+    @property
+    def total_s(self) -> float:
+        """Detection + lost work + re-assembly, simulated seconds."""
+        return self.detection_s + self.lost_work_s + self.reassembly_s
+
+
+class RecoveryLedger:
+    """Accumulates :class:`RecoveryEvent` entries for one run."""
+
+    def __init__(self) -> None:
+        self.events: List[RecoveryEvent] = []
+
+    def record(self, event: RecoveryEvent) -> None:
+        """Append one recovery."""
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def totals(self) -> Dict[str, float]:
+        """Summed costs over all recoveries (keys in report order)."""
+        return {
+            "detection_s": sum(e.detection_s for e in self.events),
+            "lost_work_s": sum(e.lost_work_s for e in self.events),
+            "reassembly_s": sum(e.reassembly_s for e in self.events),
+            "total_s": sum(e.total_s for e in self.events),
+        }
+
+    def render(self) -> str:
+        """Human-readable recovery table (simulated seconds)."""
+        if not self.events:
+            return "no recoveries"
+        lines = [
+            f"{'step':>6s} {'members':>9s} {'detect_s':>10s} "
+            f"{'lost_work_s':>12s} {'reassembly_s':>13s} {'total_s':>10s}"
+        ]
+        for e in self.events:
+            lines.append(
+                f"{e.step:>6d} {e.n_members_before:>4d}->{e.n_members_after:<4d}"
+                f"{e.detection_s:>10.3f} {e.lost_work_s:>12.3f} "
+                f"{e.reassembly_s:>13.3f} {e.total_s:>10.3f}"
+            )
+        t = self.totals()
+        lines.append(
+            f"{'total':>6s} {'':>9s} {t['detection_s']:>10.3f} "
+            f"{t['lost_work_s']:>12.3f} {t['reassembly_s']:>13.3f} "
+            f"{t['total_s']:>10.3f}"
+        )
+        return "\n".join(lines)

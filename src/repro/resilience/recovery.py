@@ -1,0 +1,108 @@
+"""Shrink-and-recover: degrade a failed ensemble to its survivors.
+
+The sequence, mirroring a ULFM-style shrink on a real machine:
+
+1. triage the :class:`~repro.errors.RankFailure` (which members died,
+   which cmat shards went with them, degrade or abort);
+2. rebuild the Figure-3 partition over the surviving members —
+   survivors keep their shards of the shared collisional tensor and
+   adopt the dead ranks' configuration points, recomputing **only
+   those** blocks (charged under :data:`REASSEMBLY_CATEGORY`);
+3. roll every survivor back to the last checkpoint and resynchronise
+   their clocks (clocks never roll back — the discarded simulated time
+   is the *lost work* the ledger reports);
+4. bill the whole episode to a :class:`~repro.resilience.ledger.RecoveryLedger`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import RankFailure, RecoveryFailed, ResilienceError
+from repro.resilience.checkpoint import CheckpointStore
+from repro.resilience.ledger import RecoveryEvent, RecoveryLedger
+from repro.resilience.triage import RecoveryPolicy, classify
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.xgyro.driver import XgyroEnsemble
+
+#: Category under which lost-shard recomputation is charged.
+REASSEMBLY_CATEGORY = "recovery_cmat_build"
+#: Category of the (zero-cost) survivor rendezvous after recovery.
+RECOVERY_SYNC_CATEGORY = "recovery_sync"
+
+
+def shrink_and_recover(
+    ensemble: "XgyroEnsemble",
+    failure: RankFailure,
+    store: CheckpointStore,
+    *,
+    policy: Optional[RecoveryPolicy] = None,
+    ledger: Optional[RecoveryLedger] = None,
+    recoveries_so_far: int = 0,
+) -> RecoveryEvent:
+    """Recover ``ensemble`` from ``failure`` or raise RecoveryFailed.
+
+    On return the ensemble contains only the surviving members, its
+    shared cmat covers all of nc again, every survivor's state equals
+    the last checkpoint, and the episode's costs are recorded (and
+    appended to ``ledger`` when given).
+    """
+    policy = policy or RecoveryPolicy()
+    report = classify(
+        ensemble, failure, policy, recoveries_so_far=recoveries_so_far
+    )
+    if report.decision == "abort":
+        raise RecoveryFailed(
+            f"aborting instead of shrinking: {report.reason}",
+            failed_ranks=report.failed_ranks,
+            lost_members=report.lost_members,
+            reason=report.reason,
+        )
+    if not store.has_checkpoint:
+        raise ResilienceError(
+            "cannot recover without a checkpoint; save one before stepping"
+        )
+    world = ensemble.world
+    n_before = len(ensemble.members)
+    step_at_failure = ensemble.step_count
+    all_ranks = range(world.n_ranks)
+    before = {
+        r: world.category_time(REASSEMBLY_CATEGORY, [r]) for r in all_ranks
+    }
+    rebuilt = ensemble.drop_members(
+        report.lost_members,
+        set(failure.failed_ranks),
+        category=REASSEMBLY_CATEGORY,
+    )
+    for m in ensemble.members:
+        store.restore_member(m)
+    ensemble.step_count = store.step
+    # survivors rendezvous on a common clock before replaying
+    world.sync_charge(ensemble.ranks, 0.0, category=RECOVERY_SYNC_CATEGORY)
+    reassembly_s = max(
+        world.category_time(REASSEMBLY_CATEGORY, [r]) - before[r]
+        for r in all_ranks
+    )
+    lost_work_s = max(
+        0.0,
+        (failure.detected_at_s - failure.detection_timeout_s)
+        - store.elapsed_at_save,
+    )
+    event = RecoveryEvent(
+        step=failure.step,
+        rolled_back_steps=step_at_failure - store.step,
+        detected_at_s=failure.detected_at_s,
+        detection_s=failure.detection_timeout_s,
+        lost_work_s=lost_work_s,
+        reassembly_s=reassembly_s,
+        rebuilt_blocks=rebuilt,
+        failed_ranks=report.failed_ranks,
+        failed_nodes=report.failed_nodes,
+        lost_members=report.lost_members,
+        n_members_before=n_before,
+        n_members_after=len(ensemble.members),
+    )
+    if ledger is not None:
+        ledger.record(event)
+    return event

@@ -1,0 +1,151 @@
+"""The resilient ensemble driver loop.
+
+:class:`ResilientXgyroRunner` wraps an
+:class:`~repro.xgyro.driver.XgyroEnsemble` with the full fault
+lifecycle: it installs the :class:`~repro.resilience.injector.FaultInjector`
+on the world, checkpoints on a fixed cadence, catches
+:class:`~repro.errors.RankFailure` at step boundaries, and hands each
+failure to :func:`~repro.resilience.recovery.shrink_and_recover`.  After
+a recovery the main loop simply continues: the ensemble's step counter
+was rolled back to the checkpoint, so the rolled-back steps replay with
+the surviving members — which is how the lost work the ledger reports
+actually gets re-paid in simulated time.
+
+An empty :class:`~repro.resilience.faults.FaultPlan` makes the whole
+apparatus transparent: the injector returns a 1.0 multiplier, the
+checkpoint store charges nothing, and the run is bit-identical —
+clocks, traces and physics — to a bare ``XgyroEnsemble`` run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import RankFailure, ResilienceError
+from repro.cgyro.params import CgyroInput
+from repro.resilience.checkpoint import CheckpointStore
+from repro.resilience.faults import FaultPlan
+from repro.resilience.injector import FaultInjector
+from repro.resilience.ledger import RecoveryLedger
+from repro.resilience.recovery import shrink_and_recover
+from repro.resilience.triage import RecoveryPolicy
+from repro.vmpi.world import VirtualWorld
+from repro.xgyro.driver import XgyroEnsemble
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of a resilient run (costs in simulated seconds)."""
+
+    steps: int
+    n_members_initial: int
+    n_members_final: int
+    member_labels: Tuple[str, ...]
+    elapsed_s: float
+    n_recoveries: int
+    detection_s: float
+    lost_work_s: float
+    reassembly_s: float
+
+    @property
+    def recovery_overhead_s(self) -> float:
+        """Total recovery bill: detection + lost work + re-assembly."""
+        return self.detection_s + self.lost_work_s + self.reassembly_s
+
+
+class ResilientXgyroRunner:
+    """Run an XGYRO ensemble under a fault plan, recovering as needed.
+
+    Parameters
+    ----------
+    world:
+        Fresh virtual world for the job (the injector is installed on
+        it; reuse a world only for fault-free baselines).
+    inputs:
+        Member inputs, as for :class:`XgyroEnsemble`.
+    plan:
+        Fault schedule; ``None`` or an empty plan runs fault-free and
+        bit-identical to a bare ensemble.
+    checkpoint_interval:
+        Ensemble steps between checkpoints (>= 1).
+    checkpoint_dir:
+        When given, checkpoints go to disk as ``.npz`` restart files;
+        default is in-memory.
+    policy:
+        Degrade-vs-abort thresholds.
+    ranks:
+        Job ranks, as for :class:`XgyroEnsemble`.
+    """
+
+    def __init__(
+        self,
+        world: VirtualWorld,
+        inputs: Sequence[CgyroInput],
+        *,
+        plan: Optional[FaultPlan] = None,
+        checkpoint_interval: int = 1,
+        checkpoint_dir=None,
+        policy: Optional[RecoveryPolicy] = None,
+        ranks: Optional[Sequence[int]] = None,
+    ) -> None:
+        if checkpoint_interval < 1:
+            raise ResilienceError(
+                f"checkpoint_interval must be >= 1, got {checkpoint_interval}"
+            )
+        self.world = world
+        self.plan = plan if plan is not None else FaultPlan.none()
+        self.checkpoint_interval = int(checkpoint_interval)
+        self.policy = policy or RecoveryPolicy()
+        self.injector = FaultInjector(world, self.plan)
+        world.install_fault_injector(self.injector)
+        self.ensemble = XgyroEnsemble(world, inputs, ranks=ranks)
+        self.n_members_initial = self.ensemble.n_members
+        self.store = CheckpointStore(checkpoint_dir)
+        self.store.save(self.ensemble)  # step-0 baseline to roll back to
+        self.ledger = RecoveryLedger()
+
+    # ------------------------------------------------------------------
+    def run_steps(self, n_steps: int) -> RunResult:
+        """Advance to ensemble step ``n_steps``, recovering on failures.
+
+        Raises :class:`~repro.errors.RecoveryFailed` when the policy
+        decides a failure is not worth surviving.
+        """
+        if n_steps < 0:
+            raise ResilienceError(f"n_steps must be >= 0, got {n_steps}")
+        while self.ensemble.step_count < n_steps:
+            self.injector.begin_step(self.ensemble.step_count)
+            try:
+                self.ensemble.step()
+            except RankFailure as failure:
+                shrink_and_recover(
+                    self.ensemble,
+                    failure,
+                    self.store,
+                    policy=self.policy,
+                    ledger=self.ledger,
+                    recoveries_so_far=len(self.ledger),
+                )
+                continue
+            if (
+                self.ensemble.step_count % self.checkpoint_interval == 0
+                and self.ensemble.step_count < n_steps
+            ):
+                self.store.save(self.ensemble)
+        return self.result()
+
+    def result(self) -> RunResult:
+        """Summarise the run so far."""
+        totals = self.ledger.totals()
+        return RunResult(
+            steps=self.ensemble.step_count,
+            n_members_initial=self.n_members_initial,
+            n_members_final=self.ensemble.n_members,
+            member_labels=tuple(m.label for m in self.ensemble.members),
+            elapsed_s=self.world.elapsed(self.ensemble.ranks),
+            n_recoveries=len(self.ledger),
+            detection_s=totals["detection_s"],
+            lost_work_s=totals["lost_work_s"],
+            reassembly_s=totals["reassembly_s"],
+        )

@@ -1,0 +1,127 @@
+"""Failure triage: blast-radius classification and the recovery policy.
+
+When a :class:`~repro.errors.RankFailure` surfaces at a phase boundary,
+the driver must answer three questions before touching any state:
+*which members* lost ranks (a member is all-or-nothing: one dead rank
+kills it), *which shared-cmat shards* went with them, and whether the
+remaining ensemble is still worth running — degrade (shrink to the
+survivors) or abort.  :func:`classify` answers the first two from the
+ensemble's partition tables; :class:`RecoveryPolicy` encodes the third.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Tuple
+
+from repro.errors import RankFailure
+from repro.xgyro.partition import member_of_rank
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.xgyro.driver import XgyroEnsemble
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Degrade-vs-abort thresholds.
+
+    Parameters
+    ----------
+    min_surviving_members:
+        Abort when fewer members than this would survive the shrink.
+    max_recoveries:
+        Abort on the (n+1)-th failure; ``None`` disables the cap.
+    """
+
+    min_surviving_members: int = 1
+    max_recoveries: "int | None" = None
+
+
+@dataclass(frozen=True)
+class TriageReport:
+    """Classification of one detected failure.
+
+    ``lost_shard_points`` counts the (ic, toroidal-group) shard entries
+    of the shared tensor whose owning ranks are leaving the job — the
+    exact rebuild bill the recovery will pay.
+    """
+
+    failed_ranks: Tuple[int, ...]
+    failed_nodes: Tuple[int, ...]
+    lost_members: Tuple[int, ...]
+    surviving_members: Tuple[int, ...]
+    removed_ranks: Tuple[int, ...]
+    lost_shard_points: int
+    decision: str  # "shrink" | "abort"
+    reason: str
+
+
+def classify(
+    ensemble: "XgyroEnsemble",
+    failure: RankFailure,
+    policy: RecoveryPolicy,
+    *,
+    recoveries_so_far: int = 0,
+) -> TriageReport:
+    """Map dead ranks to lost members and lost cmat shards, and decide.
+
+    A member with any dead rank is lost entirely — its lockstep phases
+    cannot advance with a hole in the decomposition.  Live ranks of a
+    lost member also leave the job, so their shards count as lost too
+    (the scheme recomputes rather than migrates them; see
+    :meth:`~repro.xgyro.shared_cmat.SharedCmatScheme.recover_after_loss`).
+    """
+    member_ranks = [m.ranks for m in ensemble.members]
+    lost = sorted(
+        {
+            m
+            for m in (member_of_rank(member_ranks, r) for r in failure.failed_ranks)
+            if m >= 0
+        }
+    )
+    surviving = tuple(
+        i for i in range(len(ensemble.members)) if i not in set(lost)
+    )
+    removed = set(failure.failed_ranks)
+    for m in lost:
+        removed.update(member_ranks[m])
+    lost_points = 0
+    for shards in ensemble.scheme.shards.values():
+        for shard in shards:
+            if shard.world_rank in removed:
+                lost_points += shard.n_ic
+    if not lost:
+        # a dead rank outside every member (e.g. an unused slot): the
+        # ensemble itself is intact, nothing to shrink
+        decision, reason = "shrink", "no member lost; rebuild comms only"
+    elif len(surviving) < policy.min_surviving_members:
+        decision = "abort"
+        reason = (
+            f"{len(surviving)} surviving members < policy minimum "
+            f"{policy.min_surviving_members}"
+        )
+    elif (
+        policy.max_recoveries is not None
+        and recoveries_so_far >= policy.max_recoveries
+    ):
+        decision = "abort"
+        reason = (
+            f"recovery count {recoveries_so_far} reached policy cap "
+            f"{policy.max_recoveries}"
+        )
+    else:
+        decision = "shrink"
+        reason = (
+            f"losing members {lost} keeps {len(surviving)}/"
+            f"{len(ensemble.members)} members running"
+        )
+    return TriageReport(
+        failed_ranks=tuple(sorted(failure.failed_ranks)),
+        failed_nodes=tuple(sorted(failure.failed_nodes)),
+        lost_members=tuple(lost),
+        surviving_members=surviving,
+        removed_ranks=tuple(sorted(removed)),
+        lost_shard_points=lost_points,
+        decision=decision,
+        reason=reason,
+    )

@@ -385,8 +385,15 @@ class Communicator:
         if source == dest:
             return arr.copy()
         pair = (source, dest)
+        factor = 1.0
+        if self.world.fault_injector is not None:
+            factor = self.world.fault_injector.on_collective(
+                "sendrecv", pair, self.label
+            )
         link = self.world.cost_model.effective_link(pair)
-        cost = link.overhead_s + link.latency_s + arr.nbytes / link.bandwidth_Bps
+        cost = factor * (
+            link.overhead_s + link.latency_s + arr.nbytes / link.bandwidth_Bps
+        )
         idx = np.asarray(pair, dtype=np.intp)
         t_start = float(self.world.clock[idx].max())
         self.world.clock[idx] = t_start + cost

@@ -7,6 +7,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.errors import CollectiveError
+
 
 class ReduceOp(enum.Enum):
     """Elementwise reduction operator, mirroring ``MPI.SUM`` and kin."""
@@ -23,7 +25,7 @@ class ReduceOp(enum.Enum):
         pairwise left fold, so results are deterministic.
         """
         if len(arrays) == 0:
-            raise ValueError("cannot reduce an empty sequence")
+            raise CollectiveError("cannot reduce an empty sequence")
         stacked = np.stack([np.asarray(a) for a in arrays], axis=0)
         if self is ReduceOp.SUM:
             return stacked.sum(axis=0)

@@ -93,6 +93,22 @@ class VirtualWorld:
             r: {} for r in range(self.n_ranks)
         }
         self._seq = 0
+        self.fault_injector: "object | None" = None
+
+    def install_fault_injector(self, injector: "object | None") -> None:
+        """Attach (or, with ``None``, detach) a fault injector.
+
+        The injector is consulted at every collective boundary — the
+        only points where a virtual job can observe a peer's death,
+        just as a real MPI job sees a dead rank as a stalled
+        collective.  It must provide
+        ``on_collective(kind, ranks, comm_label) -> float`` returning a
+        cost multiplier (1.0 when healthy), and may raise
+        :class:`~repro.errors.RankFailure` after charging the detection
+        timeout through :meth:`sync_charge`.  A world without an
+        injector has exactly zero behavioural or cost difference.
+        """
+        self.fault_injector = injector
 
     # ------------------------------------------------------------------
     # communicators
@@ -175,9 +191,12 @@ class VirtualWorld:
         :class:`~repro.vmpi.communicator.Communicator`; solver code does
         not normally call this directly.
         """
+        factor = 1.0
+        if self.fault_injector is not None:
+            factor = self.fault_injector.on_collective(kind, ranks, comm_label)
         idx = np.asarray(ranks, dtype=np.intp)
         t_start = float(self.clock[idx].max())
-        cost = self.cost_model.collective_cost(
+        cost = factor * self.cost_model.collective_cost(
             kind, ranks, nbytes, algorithm=algorithm
         )
         self.clock[idx] = t_start + cost
@@ -200,6 +219,29 @@ class VirtualWorld:
             )
         )
         return cost
+
+    def sync_charge(
+        self,
+        ranks: Sequence[int],
+        seconds: float,
+        *,
+        category: Optional[str] = None,
+    ) -> float:
+        """Synchronise ``ranks`` to their max clock, then charge all of
+        them ``seconds`` — the shape of a group-wide stall, such as the
+        failure-detection timeout a surviving group burns waiting on a
+        dead peer.  Returns the synchronised start time."""
+        if seconds < 0:
+            raise VmpiError(f"negative time charge {seconds}")
+        idx = np.asarray(list(ranks), dtype=np.intp)
+        if idx.size == 0:
+            return 0.0
+        t_start = float(self.clock[idx].max())
+        self.clock[idx] = t_start + seconds
+        cat = category if category is not None else self.current_category
+        for r in idx:
+            self._add_category_time(int(r), cat, seconds)
+        return t_start
 
     # ------------------------------------------------------------------
     # reporting

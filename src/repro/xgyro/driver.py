@@ -16,9 +16,9 @@ over members' clocks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
-from repro.errors import EnsembleValidationError, InputError
+from repro.errors import EnsembleValidationError, InputError, RecoveryFailed
 from repro.cgyro.params import CgyroInput
 from repro.cgyro.solver import CgyroSimulation
 from repro.cgyro.timing import ReportRow, delta, snapshot
@@ -101,6 +101,56 @@ class XgyroEnsemble:
             m.time += m.inp.delta_t
             m.step_count += 1
         self.step_count += 1
+
+    def drop_members(
+        self,
+        lost_members: Sequence[int],
+        dead_ranks: Optional[Set[int]] = None,
+        *,
+        category: str = "recovery_cmat_build",
+    ) -> int:
+        """Shrink the ensemble, dropping ``lost_members`` (by index).
+
+        The shared-cmat scheme rebuilds its Figure-3 partition over the
+        survivors — they keep their shards and adopt (recompute) the
+        removed ranks' configuration points, charged under ``category``
+        — and the dropped members' buffers are released from the memory
+        ledgers.  ``dead_ranks`` extends the removed set with ranks
+        that died without belonging to a dropped member.  The survivors'
+        state, step counters, and clocks are untouched: rollback is the
+        recovery layer's job (:mod:`repro.resilience.recovery`).
+
+        Returns the number of (ic, n) propagator blocks recomputed.
+        """
+        lost = sorted({int(i) for i in lost_members})
+        for i in lost:
+            if not 0 <= i < len(self.members):
+                raise EnsembleValidationError(
+                    f"member index {i} out of range [0, {len(self.members)})"
+                )
+        survivors = [m for i, m in enumerate(self.members) if i not in set(lost)]
+        if not survivors:
+            raise RecoveryFailed(
+                "cannot drop every member of an ensemble",
+                lost_members=tuple(lost),
+            )
+        removed = set(dead_ranks or ())
+        for i in lost:
+            removed.update(self.members[i].ranks)
+        rebuilt = self.scheme.recover_after_loss(
+            survivors, removed, category=category
+        )
+        for i in lost:
+            m = self.members[i]
+            prefix = f"{m.label}."
+            for r in m.ranks:
+                ledger = self.world.ledgers[r]
+                for name in list(ledger.breakdown()):
+                    if name.startswith(prefix):
+                        ledger.free(name)
+        self.members = survivors
+        self.inputs = tuple(m.inp for m in survivors)
+        return rebuilt
 
     def run_report_interval(self) -> EnsembleReport:
         """Advance one reporting interval and report per member + job.

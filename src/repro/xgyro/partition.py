@@ -70,10 +70,53 @@ def ensemble_nc_loc(decomp: Decomposition, n_members: int) -> int:
     return decomp.dims.nc // group
 
 
-def ensemble_nc_slice(decomp: Decomposition, n_members: int, j: int) -> slice:
-    """Global nc range owned by ensemble-coll-comm rank ``j``."""
-    loc = ensemble_nc_loc(decomp, n_members)
+def ensemble_nc_counts(decomp: Decomposition, n_members: int) -> Tuple[int, ...]:
+    """Balanced per-rank nc ownership over the ensemble coll group.
+
+    Unlike :func:`ensemble_nc_loc` this does not require an even split:
+    the first ``nc % group`` comm ranks own one extra configuration
+    point.  An even split reproduces ``ensemble_nc_loc`` exactly.  The
+    uneven case is what makes a shrink-and-recover to k-1 members (or a
+    fresh non-power-of-two ensemble) possible — k-1 rarely divides nc.
+    Every coll rank must own at least one point (the shared tensor is
+    distributed over *all* ranks of the ensemble).
+    """
     group = n_members * decomp.n_proc_1
-    if not 0 <= j < group:
-        raise DecompositionError(f"coll comm rank {j} out of range [0, {group})")
-    return slice(j * loc, (j + 1) * loc)
+    nc = decomp.dims.nc
+    if group > nc:
+        raise DecompositionError(
+            f"ensemble coll group of {group} ranks exceeds nc={nc}: "
+            "some ranks would own no cmat shard"
+        )
+    base, extra = divmod(nc, group)
+    return tuple(base + (1 if j < extra else 0) for j in range(group))
+
+
+def ensemble_nc_slice(decomp: Decomposition, n_members: int, j: int) -> slice:
+    """Global nc range owned by ensemble-coll-comm rank ``j``.
+
+    Uses the balanced (possibly uneven) ownership of
+    :func:`ensemble_nc_counts`; identical to the historical even split
+    whenever nc divides over the group.
+    """
+    counts = ensemble_nc_counts(decomp, n_members)
+    if not 0 <= j < len(counts):
+        raise DecompositionError(
+            f"coll comm rank {j} out of range [0, {len(counts)})"
+        )
+    lo = sum(counts[:j])
+    return slice(lo, lo + counts[j])
+
+
+def member_of_rank(
+    member_ranks: Sequence[Sequence[int]], world_rank: int
+) -> int:
+    """Index of the member owning ``world_rank`` (-1 when unowned).
+
+    The blast-radius classifier uses this to map a dead rank back to
+    the ensemble member it takes down.
+    """
+    for m, ranks in enumerate(member_ranks):
+        if world_rank in ranks:
+            return m
+    return -1

@@ -8,13 +8,28 @@ once per member.
 
 The coll phase becomes, per toroidal group ``i2``, a single vector
 AllToAll over the ensemble-wide communicator (k*P1 ranks): every
-member rank slices its STR block into ``k*P1`` nc-pieces; every
-destination rank reassembles, per member, a full-nv block of its
-``nc_loc_ens`` configuration points, applies the shared propagator to
-each member's block, and the inverse AllToAll restores the STR layout.
-Per-rank send volume equals the stock transpose's (the whole block),
-so the AllToAll cost is comparable — the str AllReduce shrinkage and
-the memory win are where the paper's savings come from.
+member rank slices its STR block into per-destination nc-pieces; every
+destination rank reassembles, per member, a full-nv block of its owned
+configuration points, applies the shared propagator to each member's
+block, and the inverse AllToAll restores the STR layout.  Per-rank
+send volume equals the stock transpose's (the whole block), so the
+AllToAll cost is comparable — the str AllReduce shrinkage and the
+memory win are where the paper's savings come from.
+
+Shard map
+---------
+Ownership of the shared tensor is held as an explicit *shard map*: per
+toroidal group, an ordered list of :class:`CollShard` entries mapping
+a world rank to the global configuration indices whose propagator
+blocks it stores.  A fresh ensemble uses the balanced contiguous
+assignment of :func:`~repro.xgyro.partition.ensemble_nc_counts`
+(identical to the historical even split whenever nc divides), but the
+coll phase itself only relies on the map being a disjoint cover of nc.
+That generality is what the resilience layer builds on: after a rank
+or node loss, :meth:`recover_after_loss` drops the removed ranks,
+hands their configuration indices to survivors, and recomputes *only*
+the lost blocks — the Figure-3 partition shrinks without rebuilding
+the surviving ~(k-1)/k of the tensor.
 
 This scheme deliberately cannot run from ``CgyroSimulation.step``:
 the ensemble AllToAll needs every member's blocks at once, so the
@@ -26,11 +41,12 @@ concrete.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Sequence, Set, Tuple, Union
 
 import numpy as np
 
-from repro.errors import EnsembleValidationError
+from repro.errors import EnsembleValidationError, RecoveryFailed
 from repro.cgyro.collision_scheme import CollisionScheme
 from repro.collision.cmat import (
     CmatPropagator,
@@ -39,14 +55,38 @@ from repro.collision.cmat import (
     cmat_block_bytes,
 )
 from repro.vmpi.communicator import Communicator
-from repro.xgyro.partition import (
-    ensemble_coll_ranks,
-    ensemble_nc_loc,
-    ensemble_nc_slice,
-)
+from repro.xgyro.partition import ensemble_coll_ranks, ensemble_nc_counts
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cgyro.solver import CgyroSimulation
+
+
+@dataclass(frozen=True)
+class CollShard:
+    """One rank's slice of the shared tensor within a toroidal group.
+
+    ``ic_indices`` are the *global* configuration indices whose
+    ``(nv, nv)`` propagator blocks this rank stores, sorted ascending.
+    A freshly-built ensemble uses contiguous runs; after a recovery a
+    survivor may own several disjoint runs (its own plus adopted ones).
+    """
+
+    world_rank: int
+    ic_indices: Tuple[int, ...]
+
+    @property
+    def n_ic(self) -> int:
+        """Number of configuration points owned."""
+        return len(self.ic_indices)
+
+    def index(self) -> Union[slice, List[int]]:
+        """Fastest NumPy index selecting the owned rows: a slice when
+        the indices are one contiguous run (keeps views on the send
+        path), else the explicit list."""
+        ics = self.ic_indices
+        if ics and ics[-1] - ics[0] + 1 == len(ics):
+            return slice(ics[0], ics[-1] + 1)
+        return list(ics)
 
 
 class SharedCmatScheme(CollisionScheme):
@@ -57,7 +97,9 @@ class SharedCmatScheme(CollisionScheme):
         self._finalized = False
         self._cmat: Dict[int, np.ndarray] = {}
         self._coll_comm: Dict[int, Communicator] = {}
-        self._nc_loc_ens = 0
+        self._shards: Dict[int, List[CollShard]] = {}
+        self._prop: "CmatPropagator | None" = None
+        self._generation = 0
 
     # ------------------------------------------------------------------
     # CollisionScheme interface
@@ -77,10 +119,9 @@ class SharedCmatScheme(CollisionScheme):
         )
 
     def cmat_bytes_per_rank(self, sim: "CgyroSimulation") -> int:
-        k = len(self.members)
-        return cmat_block_bytes(
-            sim.dims, ensemble_nc_loc(sim.decomp, k), sim.decomp.nt_loc
-        )
+        """Worst-case per-rank cmat bytes (the planning ceiling)."""
+        counts = ensemble_nc_counts(sim.decomp, len(self.members))
+        return cmat_block_bytes(sim.dims, max(counts), sim.decomp.nt_loc)
 
     # ------------------------------------------------------------------
     # ensemble wiring
@@ -110,27 +151,35 @@ class SharedCmatScheme(CollisionScheme):
         world = first.world
         decomp = first.decomp
         k = len(self.members)
-        self._nc_loc_ens = ensemble_nc_loc(decomp, k)
+        counts = ensemble_nc_counts(decomp, k)
         member_ranks = [m.ranks for m in self.members]
+        self._prop = CmatPropagator(first.collision_operator, dt=first.inp.delta_t)
+        dims = first.dims
         for i2 in range(decomp.n_proc_2):
             ranks = ensemble_coll_ranks(member_ranks, decomp, i2)
+            # balanced contiguous ownership in comm-rank order
+            shards: List[CollShard] = []
+            lo = 0
+            for j, world_rank in enumerate(ranks):
+                shards.append(
+                    CollShard(world_rank, tuple(range(lo, lo + counts[j])))
+                )
+                lo += counts[j]
+            self._shards[i2] = shards
             self._coll_comm[i2] = Communicator(
                 world, ranks, label=f"xgyro.coll.g{i2}"
             )
-        # build each rank's slice of the single shared tensor
-        prop = CmatPropagator(first.collision_operator, dt=first.inp.delta_t)
-        nbytes = self.cmat_bytes_per_rank(first)
-        dims = first.dims
-        for i2, comm in self._coll_comm.items():
+            # build each rank's slice of the single shared tensor
             n_idx = range(*decomp.nt_slice(i2).indices(dims.nt))
-            for j, world_rank in enumerate(comm.ranks):
-                ic_slice = ensemble_nc_slice(decomp, k, j)
-                ic_idx = range(*ic_slice.indices(dims.nc))
-                world.ledgers[world_rank].alloc("cmat", nbytes)
-                self._cmat[world_rank] = prop.build(ic_idx, n_idx)
+            for shard in shards:
+                r = shard.world_rank
+                world.ledgers[r].alloc(
+                    "cmat", cmat_block_bytes(dims, shard.n_ic, decomp.nt_loc)
+                )
+                self._cmat[r] = self._prop.build(shard.ic_indices, n_idx)
                 world.charge_compute(
-                    world_rank,
-                    flops=prop.build_flops(len(ic_idx), len(n_idx)),
+                    r,
+                    flops=self._prop.build_flops(shard.n_ic, len(n_idx)),
                     category="cmat_build",
                 )
         self._finalized = True
@@ -139,6 +188,19 @@ class SharedCmatScheme(CollisionScheme):
     def coll_comms(self) -> Dict[int, Communicator]:
         """Ensemble coll communicators per toroidal group (Figure 3)."""
         return dict(self._coll_comm)
+
+    @property
+    def shards(self) -> Dict[int, Tuple[CollShard, ...]]:
+        """Current shard map per toroidal group (comm order)."""
+        return {i2: tuple(s) for i2, s in self._shards.items()}
+
+    def shard_of(self, world_rank: int) -> "CollShard | None":
+        """The shard owned by ``world_rank`` (None when it owns none)."""
+        for shards in self._shards.values():
+            for s in shards:
+                if s.world_rank == world_rank:
+                    return s
+        return None
 
     # ------------------------------------------------------------------
     # the ensemble coll phase
@@ -152,17 +214,15 @@ class SharedCmatScheme(CollisionScheme):
         decomp = first.decomp
         dims = first.dims
         k = len(self.members)
-        group = k * decomp.n_proc_1
         for i2, comm in self._coll_comm.items():
+            shards = self._shards[i2]
+            indexers = [s.index() for s in shards]
             # forward: STR blocks -> ensemble COLL distribution
             send: Dict[int, List[np.ndarray]] = {}
             for m in self.members:
                 for lr in decomp.group_ranks(i2):
                     r = m.ranks[lr]
-                    send[r] = [
-                        m.h[r][ensemble_nc_slice(decomp, k, j), :, :]
-                        for j in range(group)
-                    ]
+                    send[r] = [m.h[r][idx, :, :] for idx in indexers]
             with world.phase("coll_comm"):
                 recv = comm.alltoall(send)
             # reassemble per member, apply the shared propagator
@@ -177,7 +237,10 @@ class SharedCmatScheme(CollisionScheme):
                 # keep only one assembled block per member; split back below
             world.charge_compute(
                 comm.ranks,
-                flops=k * apply_flops(self._nc_loc_ens, decomp.nt_loc, dims.nv),
+                flops={
+                    s.world_rank: k * apply_flops(s.n_ic, decomp.nt_loc, dims.nv)
+                    for s in shards
+                },
                 category="coll_compute",
             )
             # inverse: slice each member's updated block back per source
@@ -192,11 +255,117 @@ class SharedCmatScheme(CollisionScheme):
             with world.phase("coll_comm"):
                 back = comm.alltoall(back_send)
             # destination (member mi, i1) collects its nc pieces from all
-            # group ranks and reassembles the STR block
+            # group ranks and rebuilds the STR block in global nc order
             for mi, m in enumerate(self.members):
                 for i1 in range(decomp.n_proc_1):
                     r = m.ranks[decomp.local_rank_of(i1, i2)]
                     pieces = back[r]
-                    m.h[r] = np.concatenate(
-                        [pieces[j] for j in range(group)], axis=0
+                    out = np.empty(
+                        (dims.nc, decomp.nv_loc, decomp.nt_loc),
+                        dtype=np.complex128,
                     )
+                    for j, idx in enumerate(indexers):
+                        out[idx, :, :] = pieces[j]
+                    m.h[r] = out
+
+    # ------------------------------------------------------------------
+    # shrink-and-recover
+    # ------------------------------------------------------------------
+    def recover_after_loss(
+        self,
+        surviving_members: Sequence["CgyroSimulation"],
+        removed_ranks: Set[int],
+        *,
+        category: str = "recovery_build",
+    ) -> int:
+        """Rebuild the Figure-3 partition over the survivors.
+
+        ``removed_ranks`` are every rank leaving the job — the dead
+        ones plus any live rank of a member being dropped.  Survivors
+        keep the propagator blocks they already hold; the removed
+        ranks' configuration indices are adopted round-robin (in comm
+        order) and **only those blocks are recomputed**, each adopter
+        charged the rebuild flops under ``category``.  Blocks held by a
+        dropped member's live ranks are recomputed rather than
+        migrated — the accounting ledger reports that price honestly.
+
+        Returns the total number of (ic, n) propagator blocks rebuilt.
+        """
+        if not self._finalized:
+            raise EnsembleValidationError("finalize() the ensemble first")
+        if not surviving_members:
+            raise RecoveryFailed(
+                "cannot rebuild a shared-cmat partition with no survivors",
+                failed_ranks=tuple(removed_ranks),
+                reason="no surviving members",
+            )
+        first = surviving_members[0]
+        world = first.world
+        decomp = first.decomp
+        dims = first.dims
+        assert self._prop is not None
+        self._generation += 1
+        rebuilt_blocks = 0
+        for i2 in list(self._shards):
+            old = self._shards[i2]
+            keep = [s for s in old if s.world_rank not in removed_ranks]
+            lost = [s for s in old if s.world_rank in removed_ranks]
+            if not keep:
+                raise RecoveryFailed(
+                    f"every shard owner of toroidal group {i2} was removed",
+                    failed_ranks=tuple(removed_ranks),
+                    reason="whole coll group lost",
+                )
+            # adopt lost indices round-robin over the survivors
+            adopted: Dict[int, List[int]] = {s.world_rank: [] for s in keep}
+            for pos, shard in enumerate(lost):
+                adopter = keep[pos % len(keep)]
+                adopted[adopter.world_rank].extend(shard.ic_indices)
+            n_idx = range(*decomp.nt_slice(i2).indices(dims.nt))
+            new_shards: List[CollShard] = []
+            for s in keep:
+                extra = sorted(adopted[s.world_rank])
+                if not extra:
+                    new_shards.append(s)
+                    continue
+                r = s.world_rank
+                fresh = self._prop.build(extra, n_idx)
+                world.charge_compute(
+                    r,
+                    flops=self._prop.build_flops(len(extra), len(n_idx)),
+                    category=category,
+                )
+                rebuilt_blocks += len(extra) * len(n_idx)
+                # merge old + adopted blocks into ascending ic order
+                merged_ics = tuple(sorted(set(s.ic_indices) | set(extra)))
+                old_pos = {ic: i for i, ic in enumerate(s.ic_indices)}
+                new_pos = {ic: i for i, ic in enumerate(extra)}
+                merged = np.empty(
+                    (len(merged_ics),) + self._cmat[r].shape[1:],
+                    dtype=self._cmat[r].dtype,
+                )
+                for i, ic in enumerate(merged_ics):
+                    if ic in old_pos:
+                        merged[i] = self._cmat[r][old_pos[ic]]
+                    else:
+                        merged[i] = fresh[new_pos[ic]]
+                self._cmat[r] = merged
+                ledger = world.ledgers[r]
+                ledger.free("cmat")
+                ledger.alloc(
+                    "cmat", cmat_block_bytes(dims, len(merged_ics), decomp.nt_loc)
+                )
+                new_shards.append(CollShard(r, merged_ics))
+            for s in lost:
+                self._cmat.pop(s.world_rank, None)
+                ledger = world.ledgers[s.world_rank]
+                if "cmat" in ledger:
+                    ledger.free("cmat")
+            self._shards[i2] = new_shards
+            self._coll_comm[i2] = Communicator(
+                world,
+                [s.world_rank for s in new_shards],
+                label=f"xgyro.coll.g{i2}.r{self._generation}",
+            )
+        self.members = list(surviving_members)
+        return rebuilt_blocks
