@@ -16,6 +16,22 @@ from repro.cgyro.presets import NL03C_SCALED_MEM_PER_RANK, nl03c_scaled
 from repro.machine import frontier_like
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="run benchmarks at their smallest scale (CI rot check; "
+        "numbers are not representative)",
+    )
+
+
+@pytest.fixture(scope="session")
+def smoke(request):
+    """True when ``--smoke`` was passed: shrink scenario sizes."""
+    return request.config.getoption("--smoke")
+
+
 @pytest.fixture(scope="session")
 def frontier32():
     """The 32-node Frontier-like machine of the headline benchmark."""

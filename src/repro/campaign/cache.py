@@ -1,0 +1,149 @@
+"""The cross-job cmat cache.
+
+Within one XGYRO job the paper shares the collisional tensor across k
+members; *between* jobs of a campaign the same logic applies in time:
+a job whose :class:`~repro.collision.signature.CmatSignature` matches a
+tensor the machine already assembled can skip re-assembly entirely.
+:class:`CmatCache` is that reuse made explicit — a content-addressed
+map from signature hash to an assembled-tensor record, with LRU
+eviction against a byte budget and hit/miss/eviction accounting in
+simulated seconds saved.
+
+The cache stores *accounting records*, not arrays: the virtual
+machine's tensors are rebuilt numerically either way (they are needed
+for the physics), but a hit instructs the dispatcher to run the job
+with ``charge_cmat_build=False`` so the assembly cost never touches
+the simulated clocks — exactly the effect of tensor residency on a
+real machine.  A hit saves time, never memory: every job still
+registers its cmat bytes in the per-rank ledgers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import CampaignError
+from repro.collision.signature import CmatSignature
+
+
+@dataclass
+class CacheEntry:
+    """One resident tensor: content address, size, and assembly bill."""
+
+    key: str
+    nbytes: int
+    build_s: float
+    hits: int = 0
+    last_used: int = field(default=0, repr=False)
+
+
+class CmatCache:
+    """Content-addressed cache of assembled collisional tensors.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total bytes of tensor the machine may keep resident across
+        jobs; ``None`` disables eviction.  An entry larger than the
+        whole capacity is counted as an immediate eviction (it can
+        never be kept).
+    """
+
+    def __init__(self, capacity_bytes: "float | None" = None) -> None:
+        if capacity_bytes is not None and capacity_bytes < 0:
+            raise CampaignError(
+                f"capacity_bytes must be >= 0, got {capacity_bytes}"
+            )
+        self.capacity_bytes = capacity_bytes
+        self._entries: Dict[str, CacheEntry] = {}
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.seconds_saved = 0.0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, signature: CmatSignature) -> bool:
+        return signature.content_hash() in self._entries
+
+    @property
+    def in_use_bytes(self) -> int:
+        """Bytes of tensor currently resident."""
+        return sum(e.nbytes for e in self._entries.values())
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    def lookup(self, signature: CmatSignature) -> Optional[CacheEntry]:
+        """Probe for ``signature``'s tensor; records the hit or miss.
+
+        On a hit the entry's assembly bill is added to
+        :attr:`seconds_saved` — the simulated seconds the job skips by
+        reusing the resident tensor.
+        """
+        key = signature.content_hash()
+        entry = self._entries.get(key)
+        self._clock += 1
+        if entry is None:
+            self.misses += 1
+            return None
+        entry.hits += 1
+        entry.last_used = self._clock
+        self.hits += 1
+        self.seconds_saved += entry.build_s
+        return entry
+
+    def insert(
+        self, signature: CmatSignature, nbytes: int, build_s: float
+    ) -> CacheEntry:
+        """Record a freshly assembled tensor; evicts LRU entries until
+        the capacity holds.  Re-inserting an existing key refreshes its
+        record (sizes can change when a recovery rebalanced shards)."""
+        if nbytes < 0:
+            raise CampaignError(f"nbytes must be >= 0, got {nbytes}")
+        if build_s < 0:
+            raise CampaignError(f"build_s must be >= 0, got {build_s}")
+        key = signature.content_hash()
+        self._clock += 1
+        entry = CacheEntry(
+            key=key, nbytes=int(nbytes), build_s=float(build_s),
+            last_used=self._clock,
+        )
+        self._entries[key] = entry
+        self._evict()
+        return entry
+
+    def _evict(self) -> None:
+        if self.capacity_bytes is None:
+            return
+        while self._entries and self.in_use_bytes > self.capacity_bytes:
+            lru = min(self._entries.values(), key=lambda e: e.last_used)
+            del self._entries[lru.key]
+            self.evictions += 1
+
+    # ------------------------------------------------------------------
+    def entries(self) -> List[CacheEntry]:
+        """Resident entries, most recently used first."""
+        return sorted(
+            self._entries.values(), key=lambda e: -e.last_used
+        )
+
+    def stats(self) -> Dict[str, float]:
+        """Accounting snapshot for reports."""
+        return {
+            "entries": len(self._entries),
+            "in_use_bytes": self.in_use_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+            "seconds_saved": self.seconds_saved,
+        }

@@ -1,0 +1,243 @@
+"""Bin-packing candidate ensembles onto the machine.
+
+The packer answers, per :class:`~repro.campaign.batcher.CandidateBatch`:
+*how many members should run as one job (k), on how many nodes, and
+where* — the ensemble-level analogue of choosing an unbalanced
+decomposition (Jackson et al.): the machine is carved into unequal
+node sets so no slot idles while work is pending.
+
+Capacity is decided the way the solver itself enforces it: per-rank
+state bytes plus the worst-case shared-cmat shard, probed against a
+:class:`~repro.machine.memory.MemoryLedger` with
+:meth:`~repro.machine.memory.MemoryLedger.would_fit` — no try/except
+control flow, and the same arithmetic the run-time ledgers apply, so a
+packed job cannot OOM at dispatch.
+
+The two packing moves:
+
+- **split** an oversized group: a batch whose k members cannot share
+  one job on the whole machine is emitted as several jobs, each with
+  the largest k that fits;
+- **co-schedule** small jobs: jobs are first-fit placed onto disjoint
+  contiguous node ranges of the same *wave*; waves run one after
+  another, jobs within a wave run concurrently.
+
+Node ranges are resolved to node ids through the machine's
+:class:`~repro.machine.placement.BlockPlacement`, the launcher default
+the rest of the reproduction assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import CampaignError
+from repro.cgyro.params import CgyroInput
+from repro.collision.cmat import cmat_block_bytes
+from repro.grid.decomp import Decomposition
+from repro.machine.memory import MemoryLedger
+from repro.machine.model import MachineModel
+from repro.machine.placement import BlockPlacement
+from repro.perf.memory import state_bytes_per_rank
+from repro.campaign.batcher import CandidateBatch
+from repro.campaign.request import SimRequest
+from repro.xgyro.partition import ensemble_nc_counts
+
+
+@dataclass(frozen=True)
+class JobShape:
+    """Feasible geometry of one shared-cmat job.
+
+    ``per_rank_cmat_bytes`` is the worst-case shard (uneven nc splits
+    give the first ranks one extra configuration point), the planning
+    ceiling the ledgers enforce at run time.
+    """
+
+    k: int
+    n_nodes: int
+    n_ranks: int
+    ranks_per_member: int
+    per_rank_cmat_bytes: int
+    per_rank_state_bytes: int
+
+    @property
+    def per_rank_total_bytes(self) -> int:
+        """Per-rank footprint the memory probe admitted."""
+        return self.per_rank_cmat_bytes + self.per_rank_state_bytes
+
+
+@dataclass(frozen=True)
+class PackedJob:
+    """One dispatchable XGYRO job: members, geometry, and node range."""
+
+    job_id: str
+    wave: int
+    requests: Tuple[SimRequest, ...]
+    signature_key: str
+    shape: JobShape
+    nodes: Tuple[int, ...]
+
+    @property
+    def k(self) -> int:
+        """Ensemble size."""
+        return len(self.requests)
+
+    @property
+    def n_nodes(self) -> int:
+        """Nodes occupied."""
+        return self.shape.n_nodes
+
+    @property
+    def request_ids(self) -> Tuple[str, ...]:
+        """Member request ids, in member order."""
+        return tuple(r.request_id for r in self.requests)
+
+
+class CampaignPacker:
+    """Chooses k, node counts, and node placements for candidate batches.
+
+    Parameters
+    ----------
+    machine:
+        The whole machine the campaign owns.
+    prefer_larger_k:
+        Pick the largest feasible ensemble size per job (default) —
+        maximal sharing, the paper's regime.  ``False`` packs every
+        request as its own k=1 job, the FIFO baseline benchmarks
+        compare against.
+    """
+
+    def __init__(
+        self, machine: MachineModel, *, prefer_larger_k: bool = True
+    ) -> None:
+        self.machine = machine
+        self.prefer_larger_k = prefer_larger_k
+        self._placement = BlockPlacement(machine, machine.n_ranks)
+
+    # ------------------------------------------------------------------
+    # feasibility
+    # ------------------------------------------------------------------
+    def shape_for(self, inp: CgyroInput, k: int) -> Optional[JobShape]:
+        """Smallest-node feasible geometry for k members sharing, or
+        ``None`` when no node count up to the machine fits."""
+        dims = inp.grid_dims()
+        rpn = self.machine.ranks_per_node
+        for n_nodes in range(1, self.machine.n_nodes + 1):
+            n_ranks = n_nodes * rpn
+            if n_ranks % k != 0:
+                continue
+            per_member = n_ranks // k
+            decomp = self._decomp(dims, per_member)
+            if decomp is None:
+                continue
+            if k * decomp.n_proc_1 > dims.nc:
+                continue  # some coll rank would own no cmat shard
+            counts = ensemble_nc_counts(decomp, k)
+            cmat_b = cmat_block_bytes(dims, max(counts), decomp.nt_loc)
+            state_b = state_bytes_per_rank(inp, decomp)
+            ledger = MemoryLedger(self.machine.mem_per_rank_bytes)
+            if not ledger.would_fit("state", state_b):
+                continue
+            ledger.alloc("state", state_b)
+            if not ledger.would_fit("cmat", cmat_b):
+                continue
+            return JobShape(
+                k=k,
+                n_nodes=n_nodes,
+                n_ranks=n_ranks,
+                ranks_per_member=per_member,
+                per_rank_cmat_bytes=cmat_b,
+                per_rank_state_bytes=state_b,
+            )
+        return None
+
+    @staticmethod
+    def _decomp(dims, n_ranks: int) -> Optional[Decomposition]:
+        try:
+            return Decomposition.choose(dims, n_ranks)
+        except Exception:
+            return None
+
+    # ------------------------------------------------------------------
+    # splitting oversized groups
+    # ------------------------------------------------------------------
+    def split(
+        self, batch: CandidateBatch
+    ) -> List[Tuple[Tuple[SimRequest, ...], JobShape]]:
+        """Cut a candidate batch into feasible jobs.
+
+        Greedy maximal sharing: repeatedly take the largest k for which
+        some node count fits.  Raises :class:`CampaignError` when even
+        a lone member (k=1) cannot fit — that request can never run on
+        this machine.
+        """
+        jobs: List[Tuple[Tuple[SimRequest, ...], JobShape]] = []
+        remaining = list(batch.requests)
+        while remaining:
+            top_k = len(remaining) if self.prefer_larger_k else 1
+            chosen: Optional[JobShape] = None
+            for k in range(top_k, 0, -1):
+                chosen = self.shape_for(remaining[0].input, k)
+                if chosen is not None:
+                    break
+            if chosen is None:
+                raise CampaignError(
+                    f"request {remaining[0].request_id!r} "
+                    f"({remaining[0].input.name!r}) does not fit "
+                    f"{self.machine.name} at any node count, even alone"
+                )
+            jobs.append((tuple(remaining[: chosen.k]), chosen))
+            remaining = remaining[chosen.k :]
+        return jobs
+
+    # ------------------------------------------------------------------
+    # wave packing
+    # ------------------------------------------------------------------
+    def pack(
+        self,
+        batches: Sequence[CandidateBatch],
+        *,
+        job_id_offset: int = 0,
+    ) -> List[List[PackedJob]]:
+        """Pack candidate batches into waves of co-scheduled jobs.
+
+        Jobs are created batch by batch (priority order is the
+        batcher's) and first-fit placed: each job lands in the earliest
+        wave with enough free nodes, on the next contiguous node range
+        of that wave.  Returns the waves in execution order; every
+        wave's jobs occupy disjoint node sets of the machine.
+        """
+        waves: List[List[PackedJob]] = []
+        used_nodes: List[int] = []
+        seq = job_id_offset
+        for batch in batches:
+            for requests, shape in self.split(batch):
+                wave_idx = None
+                for w, used in enumerate(used_nodes):
+                    if used + shape.n_nodes <= self.machine.n_nodes:
+                        wave_idx = w
+                        break
+                if wave_idx is None:
+                    waves.append([])
+                    used_nodes.append(0)
+                    wave_idx = len(waves) - 1
+                start = used_nodes[wave_idx]
+                ranks = range(
+                    start * self.machine.ranks_per_node,
+                    (start + shape.n_nodes) * self.machine.ranks_per_node,
+                )
+                nodes = self._placement.nodes_of(ranks)
+                waves[wave_idx].append(
+                    PackedJob(
+                        job_id=f"job{seq:03d}",
+                        wave=wave_idx,
+                        requests=requests,
+                        signature_key=batch.signature_key,
+                        shape=shape,
+                        nodes=nodes,
+                    )
+                )
+                used_nodes[wave_idx] = start + shape.n_nodes
+                seq += 1
+        return waves

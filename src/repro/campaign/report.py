@@ -1,0 +1,202 @@
+"""Campaign outcome records and the aggregate report.
+
+Everything here is plain accounting over the runner's dispatch log:
+one :class:`RequestRecord` per *completed* request, one
+:class:`JobRecord` per dispatched job, folded into a
+:class:`CampaignReport` with the service-level numbers the ROADMAP
+asks for — throughput in member-steps per simulated second, queue
+latency percentiles, cmat-cache hit rate, and node utilisation.
+
+All times are campaign-clock (simulated) seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import CampaignError
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Completion record of one request (written when it finishes)."""
+
+    request_id: str
+    job_id: str
+    priority: int
+    arrival_s: float
+    start_s: float
+    finish_s: float
+    steps: int
+    attempts: int
+
+    @property
+    def queue_latency_s(self) -> float:
+        """Submission to first byte of useful work, across retries.
+
+        Clamped at zero: a request whose ``arrival_s`` postdates the
+        wave that served it (the campaign model has no arrival gating)
+        simply waited nothing.
+        """
+        return max(0.0, self.start_s - self.arrival_s)
+
+    @property
+    def turnaround_s(self) -> float:
+        """Submission to completion, across retries (clamped like
+        :attr:`queue_latency_s`)."""
+        return max(0.0, self.finish_s - self.arrival_s)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation."""
+        return {
+            "request_id": self.request_id,
+            "job_id": self.job_id,
+            "priority": self.priority,
+            "arrival_s": self.arrival_s,
+            "start_s": self.start_s,
+            "finish_s": self.finish_s,
+            "steps": self.steps,
+            "attempts": self.attempts,
+            "queue_latency_s": self.queue_latency_s,
+            "turnaround_s": self.turnaround_s,
+        }
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Dispatch record of one packed job."""
+
+    job_id: str
+    round: int
+    wave: int
+    signature_key: str
+    k: int
+    n_nodes: int
+    nodes: Tuple[int, ...]
+    steps: int
+    start_s: float
+    elapsed_s: float
+    cache_hit: bool
+    cmat_build_s: float
+    n_recoveries: int
+    lost_request_ids: Tuple[str, ...]
+
+    @property
+    def finish_s(self) -> float:
+        """Campaign-clock completion time."""
+        return self.start_s + self.elapsed_s
+
+    @property
+    def completed_members(self) -> int:
+        """Members that survived to the end of the job."""
+        return self.k - len(self.lost_request_ids)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation."""
+        return {
+            "job_id": self.job_id,
+            "round": self.round,
+            "wave": self.wave,
+            "signature_key": self.signature_key,
+            "k": self.k,
+            "n_nodes": self.n_nodes,
+            "nodes": list(self.nodes),
+            "steps": self.steps,
+            "start_s": self.start_s,
+            "elapsed_s": self.elapsed_s,
+            "cache_hit": self.cache_hit,
+            "cmat_build_s": self.cmat_build_s,
+            "n_recoveries": self.n_recoveries,
+            "lost_request_ids": list(self.lost_request_ids),
+        }
+
+
+@dataclass
+class CampaignReport:
+    """Service-level summary of one campaign run."""
+
+    machine_name: str
+    machine_n_nodes: int
+    makespan_s: float
+    jobs: List[JobRecord] = field(default_factory=list)
+    requests: List[RequestRecord] = field(default_factory=list)
+    cache: Dict[str, float] = field(default_factory=dict)
+    peak_cmat_bytes_per_rank: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_jobs(self) -> int:
+        """Jobs dispatched (retries included)."""
+        return len(self.jobs)
+
+    @property
+    def n_completed(self) -> int:
+        """Requests brought to completion."""
+        return len(self.requests)
+
+    @property
+    def n_requeued(self) -> int:
+        """Member slots lost to faults and sent back to the queue."""
+        return sum(len(j.lost_request_ids) for j in self.jobs)
+
+    @property
+    def total_member_steps(self) -> int:
+        """Completed member-steps (the campaign's useful work)."""
+        return sum(r.steps for r in self.requests)
+
+    @property
+    def throughput_member_steps_per_s(self) -> float:
+        """Useful work rate over the whole campaign."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.total_member_steps / self.makespan_s
+
+    @property
+    def node_utilisation(self) -> float:
+        """Busy node-seconds over available node-seconds."""
+        if self.makespan_s <= 0:
+            return 0.0
+        busy = sum(j.n_nodes * j.elapsed_s for j in self.jobs)
+        return busy / (self.machine_n_nodes * self.makespan_s)
+
+    @property
+    def mean_k(self) -> float:
+        """Average ensemble size across dispatched jobs."""
+        if not self.jobs:
+            return 0.0
+        return sum(j.k for j in self.jobs) / len(self.jobs)
+
+    def latency_percentiles(
+        self, qs: Tuple[float, ...] = (50.0, 90.0, 99.0)
+    ) -> Dict[str, float]:
+        """Queue-latency percentiles over completed requests."""
+        if not self.requests:
+            raise CampaignError("no completed requests to take percentiles of")
+        lat = np.array([r.queue_latency_s for r in self.requests])
+        return {f"p{q:g}": float(np.percentile(lat, q)) for q in qs}
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation of the whole report."""
+        return {
+            "machine_name": self.machine_name,
+            "machine_n_nodes": self.machine_n_nodes,
+            "makespan_s": self.makespan_s,
+            "n_jobs": self.n_jobs,
+            "n_completed": self.n_completed,
+            "n_requeued": self.n_requeued,
+            "mean_k": self.mean_k,
+            "total_member_steps": self.total_member_steps,
+            "throughput_member_steps_per_s": self.throughput_member_steps_per_s,
+            "node_utilisation": self.node_utilisation,
+            "peak_cmat_bytes_per_rank": self.peak_cmat_bytes_per_rank,
+            "latency_percentiles": (
+                self.latency_percentiles() if self.requests else {}
+            ),
+            "cache": dict(self.cache),
+            "jobs": [j.to_dict() for j in self.jobs],
+            "requests": [r.to_dict() for r in self.requests],
+        }

@@ -1,0 +1,221 @@
+"""Simulation requests and the campaign's submission queue.
+
+A :class:`SimRequest` is one user's ask: run this
+:class:`~repro.cgyro.params.CgyroInput`, with a priority and an arrival
+time in campaign (simulated) seconds.  Requests are JSON
+round-trippable so a request stream can live in a file, be posted to a
+service, or be replayed deterministically in benchmarks.
+
+The :class:`RequestQueue` orders pending requests by priority (higher
+first), then arrival time, then submission order — a plain priority
+queue; *discovering which requests can share a cmat is deliberately
+not its job* (see :class:`~repro.campaign.batcher.SignatureBatcher`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from dataclasses import asdict, dataclass, fields
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.errors import CampaignError
+from repro.cgyro.params import CgyroInput
+from repro.collision.params import SpeciesParams
+
+
+# ----------------------------------------------------------------------
+# CgyroInput <-> plain dict (JSON-safe)
+# ----------------------------------------------------------------------
+_TUPLE_FIELDS = ("dlnndr", "dlntdr")
+
+
+def input_to_dict(inp: CgyroInput) -> Dict[str, object]:
+    """JSON-safe dict of every :class:`CgyroInput` field."""
+    out = asdict(inp)
+    out["species"] = [asdict(sp) for sp in inp.species]
+    for name in _TUPLE_FIELDS:
+        out[name] = list(getattr(inp, name))
+    return out
+
+
+def input_from_dict(data: Dict[str, object]) -> CgyroInput:
+    """Rebuild a validated :class:`CgyroInput` from :func:`input_to_dict`."""
+    known = {f.name for f in fields(CgyroInput)}
+    unknown = set(data) - known
+    if unknown:
+        raise CampaignError(
+            f"unknown CgyroInput fields in request: {', '.join(sorted(unknown))}"
+        )
+    kwargs = dict(data)
+    if "species" in kwargs:
+        kwargs["species"] = tuple(
+            SpeciesParams(**sp) for sp in kwargs["species"]
+        )
+    for name in _TUPLE_FIELDS:
+        if name in kwargs:
+            kwargs[name] = tuple(kwargs[name])
+    return CgyroInput(**kwargs)
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SimRequest:
+    """One simulation request in the campaign stream.
+
+    Parameters
+    ----------
+    request_id:
+        Unique identifier within the campaign.
+    input:
+        The simulation to run.
+    priority:
+        Higher runs earlier; requests of equal priority are served in
+        arrival order.
+    arrival_s:
+        Submission time on the campaign's simulated clock.
+    attempt:
+        How many times this request has already been dispatched; bumped
+        by the runner when a member is lost to a fault and requeued.
+    """
+
+    request_id: str
+    input: CgyroInput
+    priority: int = 0
+    arrival_s: float = 0.0
+    attempt: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation."""
+        return {
+            "request_id": self.request_id,
+            "priority": self.priority,
+            "arrival_s": self.arrival_s,
+            "attempt": self.attempt,
+            "input": input_to_dict(self.input),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimRequest":
+        """Inverse of :meth:`to_dict` (validates the embedded input)."""
+        try:
+            request_id = str(data["request_id"])
+            raw_input = data["input"]
+        except (KeyError, TypeError) as exc:
+            raise CampaignError(f"request is missing field {exc}") from None
+        return cls(
+            request_id=request_id,
+            input=input_from_dict(dict(raw_input)),
+            priority=int(data.get("priority", 0)),
+            arrival_s=float(data.get("arrival_s", 0.0)),
+            attempt=int(data.get("attempt", 0)),
+        )
+
+    def requeued(self) -> "SimRequest":
+        """A copy representing the retry after a lost dispatch.
+
+        Keeps the original priority and arrival time (queue-latency
+        accounting measures from first submission); only the attempt
+        counter advances.
+        """
+        return SimRequest(
+            request_id=self.request_id,
+            input=self.input,
+            priority=self.priority,
+            arrival_s=self.arrival_s,
+            attempt=self.attempt + 1,
+        )
+
+
+class RequestQueue:
+    """Priority + arrival ordered queue of :class:`SimRequest`.
+
+    Pop order: highest priority first, then earliest ``arrival_s``,
+    then submission order (stable for ties).  Duplicate request ids
+    are rejected — a campaign needs unambiguous requeue accounting.
+    """
+
+    def __init__(self, requests: Optional[Iterable[SimRequest]] = None) -> None:
+        self._heap: List[tuple] = []
+        self._seq = 0
+        self._ids: set = set()
+        for req in requests or ():
+            self.submit(req)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __contains__(self, request_id: str) -> bool:
+        return request_id in self._ids
+
+    def submit(self, request: SimRequest) -> None:
+        """Add one request; raises on a duplicate live id."""
+        if request.request_id in self._ids:
+            raise CampaignError(
+                f"request id {request.request_id!r} is already queued"
+            )
+        self._ids.add(request.request_id)
+        heapq.heappush(
+            self._heap,
+            (-request.priority, request.arrival_s, self._seq, request),
+        )
+        self._seq += 1
+
+    def pop(self) -> SimRequest:
+        """Remove and return the next request to serve."""
+        if not self._heap:
+            raise CampaignError("pop from an empty request queue")
+        request = heapq.heappop(self._heap)[-1]
+        self._ids.discard(request.request_id)
+        return request
+
+    def peek(self) -> SimRequest:
+        """The next request to serve, without removing it."""
+        if not self._heap:
+            raise CampaignError("peek into an empty request queue")
+        return self._heap[0][-1]
+
+    def drain(self) -> List[SimRequest]:
+        """Pop everything, in queue order."""
+        out: List[SimRequest] = []
+        while self._heap:
+            out.append(self.pop())
+        return out
+
+    def pending(self) -> List[SimRequest]:
+        """Queue-ordered snapshot without consuming the queue."""
+        return [item[-1] for item in sorted(self._heap)]
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+    def to_json(self, path: "Union[str, Path, None]" = None, *, indent: int = 2) -> str:
+        """Serialise the pending requests (queue order); optionally write
+        the JSON to ``path``."""
+        text = json.dumps(
+            {"requests": [r.to_dict() for r in self.pending()]}, indent=indent
+        )
+        if path is not None:
+            Path(path).write_text(text + "\n")
+        return text
+
+    @classmethod
+    def from_json(cls, source: Union[str, Path]) -> "RequestQueue":
+        """Load a queue from a JSON file path or a JSON string."""
+        path = Path(source)
+        try:
+            is_file = path.exists()
+        except OSError:  # a long JSON string is not a valid path
+            is_file = False
+        text = path.read_text() if is_file else str(source)
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CampaignError(f"invalid request JSON: {exc}") from None
+        if not isinstance(data, dict) or "requests" not in data:
+            raise CampaignError('request JSON must be {"requests": [...]}')
+        return cls(SimRequest.from_dict(d) for d in data["requests"])

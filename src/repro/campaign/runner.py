@@ -1,0 +1,235 @@
+"""The campaign service loop: drain, batch, pack, dispatch, requeue.
+
+:class:`CampaignRunner` turns a :class:`~repro.campaign.request.RequestQueue`
+into completed simulations:
+
+1. drain the queue (priority order) and group the pending set into
+   candidate ensembles with the
+   :class:`~repro.campaign.batcher.SignatureBatcher`;
+2. pack candidates into waves of node-disjoint jobs with the
+   :class:`~repro.campaign.packer.CampaignPacker`;
+3. dispatch each job on its own virtual world through
+   :class:`~repro.resilience.runner.ResilientXgyroRunner` (an empty
+   fault plan makes that identical to a bare
+   :class:`~repro.xgyro.driver.XgyroEnsemble`), probing the
+   :class:`~repro.campaign.cache.CmatCache` first — a hit runs the job
+   with ``charge_cmat_build=False``;
+4. members lost to injected faults are requeued (same id, same arrival
+   time, attempt+1) and served in the next round.
+
+Jobs of one wave occupy disjoint node sets, so running each in its own
+world of ``machine.with_nodes(job.n_nodes)`` is exact: disjoint node
+sets never interact in the cost model.  The campaign clock advances by
+each wave's makespan (the slowest job); waves and rounds serialise.
+
+Fault plans are keyed by *job index* — the integer in the packer's
+``job007``-style id — so a plan targets one specific dispatch; the
+retry job gets a fresh id and (normally) no plan, which is what makes
+requeue-and-finish terminate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import CampaignError
+from repro.collision.cmat import cmat_total_bytes
+from repro.machine.model import MachineModel
+from repro.resilience.faults import FaultPlan
+from repro.resilience.runner import ResilientXgyroRunner
+from repro.resilience.triage import RecoveryPolicy
+from repro.vmpi.world import VirtualWorld
+from repro.campaign.batcher import SignatureBatcher
+from repro.campaign.cache import CmatCache
+from repro.campaign.packer import CampaignPacker, PackedJob
+from repro.campaign.report import CampaignReport, JobRecord, RequestRecord
+from repro.campaign.request import RequestQueue
+
+
+class CampaignRunner:
+    """Serve a request queue as signature-batched XGYRO jobs.
+
+    Parameters
+    ----------
+    machine:
+        The machine the campaign owns.
+    batcher / packer / cache:
+        Pluggable stages; defaults are a cap-less
+        :class:`SignatureBatcher`, a maximal-sharing
+        :class:`CampaignPacker`, and an unbounded :class:`CmatCache`.
+        Pass ``cache=None`` explicitly via ``use_cache=False`` to run
+        every job cold.
+    fault_plans:
+        Map from job index (the integer in the packer's job id) to the
+        :class:`FaultPlan` injected into that dispatch.
+    checkpoint_interval / policy:
+        Forwarded to every job's :class:`ResilientXgyroRunner`.
+    enforce_memory:
+        Make each job's world ledgers raise on oversubscription —
+        normally redundant (the packer's probes already guarantee fit)
+        but useful as a cross-check in tests.
+    """
+
+    def __init__(
+        self,
+        machine: MachineModel,
+        *,
+        batcher: Optional[SignatureBatcher] = None,
+        packer: Optional[CampaignPacker] = None,
+        cache: Optional[CmatCache] = None,
+        use_cache: bool = True,
+        fault_plans: Optional[Mapping[int, FaultPlan]] = None,
+        checkpoint_interval: int = 1,
+        policy: Optional[RecoveryPolicy] = None,
+        enforce_memory: bool = False,
+    ) -> None:
+        self.machine = machine
+        self.batcher = batcher or SignatureBatcher()
+        self.packer = packer or CampaignPacker(machine)
+        if use_cache:
+            # explicit None test: an empty CmatCache is falsy but must
+            # be kept — callers share it across runs to model warmth
+            self.cache = cache if cache is not None else CmatCache()
+        else:
+            self.cache = None
+        self.fault_plans: Dict[int, FaultPlan] = dict(fault_plans or {})
+        self.checkpoint_interval = checkpoint_interval
+        self.policy = policy
+        self.enforce_memory = enforce_memory
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        queue: RequestQueue,
+        *,
+        steps: Optional[int] = None,
+        max_rounds: int = 100,
+    ) -> CampaignReport:
+        """Serve ``queue`` to empty and return the campaign report.
+
+        ``steps`` overrides every job's step count (benchmarks use a
+        short count); by default each job runs one reporting interval
+        of its members (``steps_per_report``, common within a job by
+        construction).  ``max_rounds`` bounds the requeue loop against
+        a pathological fault-plan mapping that keeps killing retries.
+        """
+        clock = 0.0
+        jobs: List[JobRecord] = []
+        done: List[RequestRecord] = []
+        peak_cmat = 0
+        rounds = 0
+        while queue:
+            if rounds >= max_rounds:
+                raise CampaignError(
+                    f"campaign did not drain in {max_rounds} rounds; "
+                    f"{len(queue)} request(s) still pending "
+                    "(fault plans keep killing retries?)"
+                )
+            batches = self.batcher.batch(queue.drain())
+            waves = self.packer.pack(batches, job_id_offset=len(jobs))
+            for wave in waves:
+                wave_makespan = 0.0
+                for job in wave:
+                    record, completed, lost = self._dispatch(
+                        job, rounds, clock, steps
+                    )
+                    jobs.append(record)
+                    done.extend(completed)
+                    for req in lost:
+                        queue.submit(req.requeued())
+                    wave_makespan = max(wave_makespan, record.elapsed_s)
+                    peak_cmat = max(peak_cmat, job.shape.per_rank_cmat_bytes)
+                clock += wave_makespan
+            rounds += 1
+        return CampaignReport(
+            machine_name=self.machine.name,
+            machine_n_nodes=self.machine.n_nodes,
+            makespan_s=clock,
+            jobs=jobs,
+            requests=done,
+            cache=self.cache.stats() if self.cache is not None else {},
+            peak_cmat_bytes_per_rank=peak_cmat,
+        )
+
+    # ------------------------------------------------------------------
+    def _dispatch(
+        self,
+        job: PackedJob,
+        round_idx: int,
+        start_s: float,
+        steps_override: Optional[int],
+    ) -> Tuple[JobRecord, List[RequestRecord], List]:
+        """Run one packed job; returns its record, the completion
+        records of surviving members, and the lost requests to requeue."""
+        steps = (
+            steps_override
+            if steps_override is not None
+            else job.requests[0].input.steps_per_report
+        )
+        signature = job.requests[0].input.cmat_signature()
+        hit = (
+            self.cache.lookup(signature) if self.cache is not None else None
+        )
+
+        world = VirtualWorld(
+            self.machine.with_nodes(job.n_nodes),
+            enforce_memory=self.enforce_memory,
+        )
+        plan = self.fault_plans.get(int(job.job_id[3:]))
+        runner = ResilientXgyroRunner(
+            world,
+            [r.input for r in job.requests],
+            plan=plan,
+            checkpoint_interval=self.checkpoint_interval,
+            policy=self.policy,
+            charge_cmat_build=hit is None,
+        )
+        result = runner.run_steps(steps)
+
+        build_s = 0.0
+        if hit is None:
+            build_s = world.category_time("cmat_build", reduce="max")
+            if self.cache is not None:
+                dims = job.requests[0].input.grid_dims()
+                self.cache.insert(
+                    signature, cmat_total_bytes(dims), build_s
+                )
+
+        lost_labels = set(result.lost_member_labels)
+        completed: List[RequestRecord] = []
+        lost_requests = []
+        for m, (req, label) in enumerate(
+            zip(job.requests, runner.member_labels_initial)
+        ):
+            if label in lost_labels:
+                lost_requests.append(req)
+                continue
+            completed.append(
+                RequestRecord(
+                    request_id=req.request_id,
+                    job_id=job.job_id,
+                    priority=req.priority,
+                    arrival_s=req.arrival_s,
+                    start_s=start_s,
+                    finish_s=start_s + result.elapsed_s,
+                    steps=steps,
+                    attempts=req.attempt + 1,
+                )
+            )
+        record = JobRecord(
+            job_id=job.job_id,
+            round=round_idx,
+            wave=job.wave,
+            signature_key=job.signature_key,
+            k=job.k,
+            n_nodes=job.n_nodes,
+            nodes=job.nodes,
+            steps=result.steps,
+            start_s=start_s,
+            elapsed_s=result.elapsed_s,
+            cache_hit=hit is not None,
+            cmat_build_s=build_s,
+            n_recoveries=result.n_recoveries,
+            lost_request_ids=tuple(r.request_id for r in lost_requests),
+        )
+        return record, completed, lost_requests

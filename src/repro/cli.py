@@ -10,6 +10,7 @@ a launcher invocation — against the virtual machine:
     python -m repro plan       DIR   --members 8
     python -m repro linear     DIR   --modes 1,2,3
     python -m repro figure2    [--measure-steps 1]
+    python -m repro campaign   REQUESTS.json --nodes 4 [--fifo] [--no-cache]
 
 Every command prints human-readable tables; ``run-*`` optionally write
 ``out.cgyro.timing`` CSVs next to the inputs.
@@ -230,6 +231,58 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.campaign import (
+        CampaignPacker,
+        CampaignRunner,
+        RequestQueue,
+        SignatureBatcher,
+    )
+    from repro.perf import render_campaign_report
+    from repro.resilience import FaultPlan
+
+    machine = _machine_from_args(args)
+    queue = RequestQueue.from_json(args.requests)
+    n_pending = len(queue)
+    fault_plans = {}
+    for spec in args.faults or ():
+        idx, _, path = spec.partition(":")
+        if not path:
+            raise ReproError(
+                f"--faults wants JOB_INDEX:PLAN.json, got {spec!r}"
+            )
+        fault_plans[int(idx)] = FaultPlan.from_file(path)
+    if args.fifo:
+        # FIFO baseline: one request per job, no sharing
+        batcher = SignatureBatcher(max_batch=1)
+        packer = CampaignPacker(machine, prefer_larger_k=False)
+    else:
+        batcher = SignatureBatcher(max_batch=args.max_batch)
+        packer = CampaignPacker(machine)
+    runner = CampaignRunner(
+        machine,
+        batcher=batcher,
+        packer=packer,
+        use_cache=not args.no_cache,
+        fault_plans=fault_plans,
+        checkpoint_interval=args.checkpoint_interval,
+        enforce_memory=args.enforce_memory,
+    )
+    mode = "FIFO (k=1, unbatched)" if args.fifo else "signature-batched"
+    print(
+        f"campaign: {n_pending} request(s) on {machine.name}, {mode}, "
+        f"cache {'off' if args.no_cache else 'on'}"
+    )
+    report = runner.run(queue, steps=args.steps)
+    print(render_campaign_report(report))
+    if args.json:
+        Path(args.json).write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+        print(f"report written to {args.json}")
+    return 0
+
+
 def cmd_figure2(args: argparse.Namespace) -> int:
     machine = frontier_like(
         n_nodes=32, mem_per_rank_bytes=NL03C_SCALED_MEM_PER_RANK
@@ -312,6 +365,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", choices=["arnoldi", "power"], default="arnoldi")
     p.add_argument("--tol", type=float, default=1e-8)
     p.set_defaults(func=cmd_linear)
+
+    p = sub.add_parser(
+        "campaign", help="serve a request stream as signature-batched jobs"
+    )
+    p.add_argument("requests", help='request-queue JSON ({"requests": [...]})')
+    _add_machine_args(p)
+    p.add_argument(
+        "--steps",
+        type=int,
+        default=None,
+        help="override steps per job (default: each job's steps_per_report)",
+    )
+    p.add_argument(
+        "--fifo",
+        action="store_true",
+        help="unbatched baseline: one request per job, no cmat sharing",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true", help="disable the cross-job cmat cache"
+    )
+    p.add_argument(
+        "--max-batch",
+        type=int,
+        default=None,
+        help="cap members per candidate batch (default: uncapped)",
+    )
+    p.add_argument(
+        "--faults",
+        action="append",
+        default=None,
+        metavar="JOB_INDEX:PLAN.json",
+        help="inject a fault plan into the job with that index (repeatable)",
+    )
+    p.add_argument("--checkpoint-interval", type=int, default=1)
+    p.add_argument("--enforce-memory", action="store_true")
+    p.add_argument("--json", default=None, help="also write the report as JSON")
+    p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("figure2", help="regenerate the paper's Figure 2")
     p.add_argument("--measure-steps", type=int, default=1)

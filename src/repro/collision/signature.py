@@ -18,6 +18,7 @@ parameter-sweep studies actually vary.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, fields
 from typing import Tuple
 
@@ -81,3 +82,21 @@ class CmatSignature:
             for f in fields(self)
             if getattr(self, f.name) != getattr(other, f.name)
         )
+
+    def content_hash(self) -> str:
+        """Stable hex digest of every field — the content address.
+
+        Unlike :func:`hash`, this survives process boundaries (no hash
+        randomisation), so it can key on-disk artefacts and the
+        campaign scheduler's cross-job cmat cache.  Floats are encoded
+        via :func:`repr`, which round-trips doubles exactly.
+        """
+        parts = []
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "species":
+                value = tuple(
+                    (sp.name, sp.z, sp.mass, sp.dens, sp.temp) for sp in value
+                )
+            parts.append(f"{f.name}={value!r}")
+        return hashlib.sha256(";".join(parts).encode()).hexdigest()

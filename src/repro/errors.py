@@ -193,6 +193,16 @@ class RecoveryFailed(ResilienceError):
         self.reason = reason
 
 
+class CampaignError(ReproError):
+    """The campaign scheduler could not queue, pack, or run a job.
+
+    Raised when a request stream is malformed (bad JSON, duplicate
+    request ids), when a request cannot fit the machine at any node
+    count even alone (k=1), or when the runner is driven
+    inconsistently.
+    """
+
+
 class EnsembleValidationError(ReproError):
     """An XGYRO ensemble is invalid.
 

@@ -57,9 +57,17 @@ class MemoryLedger:
         return self._peak
 
     @property
-    def available_bytes(self) -> float:
-        """Bytes that can still be allocated."""
-        return self._limit - self._in_use
+    def available_bytes(self) -> "int | float":
+        """Bytes that can still be allocated.
+
+        An integer for enforced ledgers (``alloc`` coerces sizes to
+        int, so a fractional remainder is unusable anyway — flooring
+        keeps ``would_fit(name, available_bytes)`` always true), or
+        ``inf`` when unenforced.
+        """
+        if math.isinf(self._limit):
+            return math.inf
+        return math.floor(self._limit) - self._in_use
 
     def size_of(self, name: str) -> int:
         """Bytes held by allocation ``name`` (0 if absent)."""
@@ -126,9 +134,22 @@ class MemoryLedger:
         self._live.clear()
         self._in_use = 0
 
-    def would_fit(self, nbytes: "int | float") -> bool:
-        """Whether an extra allocation of ``nbytes`` would succeed."""
-        return self._in_use + int(nbytes) <= self._limit
+    def would_fit(self, name: str, nbytes: "int | float") -> bool:
+        """Whether ``alloc(name, nbytes)`` would succeed, without side
+        effects — the capacity probe schedulers use instead of
+        try/except control flow.
+
+        Applies exactly the checks :meth:`alloc` applies: the size is
+        coerced to int the same way, a live ``name`` cannot be
+        re-allocated (returns False), and a negative size raises
+        :class:`~repro.errors.LedgerError`.
+        """
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise LedgerError(f"allocation size must be >= 0, got {nbytes}")
+        if name in self._live:
+            return False
+        return self._in_use + nbytes <= self._limit
 
     def report(self, *, top: Optional[int] = None) -> str:
         """Human-readable usage table, largest allocations first."""

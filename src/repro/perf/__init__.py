@@ -32,6 +32,7 @@ from repro.perf.memory import cmat_dominance_ratio, min_nodes_required
 from repro.perf.report import (
     Figure2Result,
     figure2_comparison,
+    render_campaign_report,
     render_figure2,
     render_recovery_report,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "predict_xgyro_interval",
     "Figure2Result",
     "figure2_comparison",
+    "render_campaign_report",
     "render_figure2",
     "render_recovery_report",
     "render_figure1",

@@ -171,6 +171,61 @@ def render_figure2(result: Figure2Result, *, paper: Optional[Dict[str, float]] =
     return "\n".join(lines)
 
 
+def render_campaign_report(report, *, jobs: bool = True) -> str:
+    """Text rendering of a campaign run's service-level accounting.
+
+    ``report`` is a :class:`~repro.campaign.report.CampaignReport`;
+    ``jobs=False`` drops the per-job table for large campaigns.  All
+    quantities are simulated seconds.
+    """
+    lines = [
+        f"campaign on {report.machine_name} "
+        f"({report.machine_n_nodes} nodes) — "
+        f"{report.n_completed} request(s) completed in {report.n_jobs} "
+        f"job(s), mean k {report.mean_k:.1f}",
+        f"{'makespan':<26s} {report.makespan_s:>12.3f} s",
+        f"{'throughput':<26s} {report.throughput_member_steps_per_s:>12.1f}"
+        " member-steps/s",
+        f"{'node utilisation':<26s} {report.node_utilisation:>12.1%}",
+        f"{'peak cmat per rank':<26s} "
+        f"{report.peak_cmat_bytes_per_rank:>12d} B",
+    ]
+    if report.requests:
+        pct = report.latency_percentiles()
+        lines.append(
+            f"{'queue latency p50/p90/p99':<26s} "
+            + " / ".join(f"{pct[k]:.3f}" for k in ("p50", "p90", "p99"))
+            + " s"
+        )
+    if report.n_requeued:
+        lines.append(
+            f"{'requeued after faults':<26s} {report.n_requeued:>12d}"
+        )
+    if report.cache:
+        c = report.cache
+        lines.append(
+            f"{'cmat cache':<26s} {int(c['hits']):>5d} hit(s) / "
+            f"{int(c['misses'])} miss(es) ({c['hit_rate']:.0%}), "
+            f"{c['seconds_saved']:.3f} s of assembly saved, "
+            f"{int(c['evictions'])} eviction(s)"
+        )
+    if jobs and report.jobs:
+        lines.append(
+            f"{'job':<8s} {'rnd':>3s} {'wave':>4s} {'k':>3s} {'nodes':>5s} "
+            f"{'steps':>5s} {'start':>9s} {'elapsed':>9s} {'cmat':>6s} "
+            f"{'lost':>4s}"
+        )
+        for j in report.jobs:
+            lines.append(
+                f"{j.job_id:<8s} {j.round:>3d} {j.wave:>4d} {j.k:>3d} "
+                f"{j.n_nodes:>5d} {j.steps:>5d} {j.start_s:>9.3f} "
+                f"{j.elapsed_s:>9.3f} "
+                f"{'hit' if j.cache_hit else 'build':>6s} "
+                f"{len(j.lost_request_ids):>4d}"
+            )
+    return "\n".join(lines)
+
+
 def render_recovery_report(result, ledger=None) -> str:
     """Text rendering of a resilient run's cost accounting.
 

@@ -47,11 +47,19 @@ class RunResult:
     detection_s: float
     lost_work_s: float
     reassembly_s: float
+    member_labels_initial: Tuple[str, ...] = ()
 
     @property
     def recovery_overhead_s(self) -> float:
         """Total recovery bill: detection + lost work + re-assembly."""
         return self.detection_s + self.lost_work_s + self.reassembly_s
+
+    @property
+    def lost_member_labels(self) -> Tuple[str, ...]:
+        """Labels of members the run started with but shrank away —
+        what a job-level scheduler must requeue."""
+        final = set(self.member_labels)
+        return tuple(l for l in self.member_labels_initial if l not in final)
 
 
 class ResilientXgyroRunner:
@@ -76,6 +84,9 @@ class ResilientXgyroRunner:
         Degrade-vs-abort thresholds.
     ranks:
         Job ranks, as for :class:`XgyroEnsemble`.
+    charge_cmat_build:
+        As for :class:`XgyroEnsemble`: ``False`` models a warm start
+        where the machine already holds this signature's tensor.
     """
 
     def __init__(
@@ -88,6 +99,7 @@ class ResilientXgyroRunner:
         checkpoint_dir=None,
         policy: Optional[RecoveryPolicy] = None,
         ranks: Optional[Sequence[int]] = None,
+        charge_cmat_build: bool = True,
     ) -> None:
         if checkpoint_interval < 1:
             raise ResilienceError(
@@ -99,8 +111,13 @@ class ResilientXgyroRunner:
         self.policy = policy or RecoveryPolicy()
         self.injector = FaultInjector(world, self.plan)
         world.install_fault_injector(self.injector)
-        self.ensemble = XgyroEnsemble(world, inputs, ranks=ranks)
+        self.ensemble = XgyroEnsemble(
+            world, inputs, ranks=ranks, charge_cmat_build=charge_cmat_build
+        )
         self.n_members_initial = self.ensemble.n_members
+        self.member_labels_initial = tuple(
+            m.label for m in self.ensemble.members
+        )
         self.store = CheckpointStore(checkpoint_dir)
         self.store.save(self.ensemble)  # step-0 baseline to roll back to
         self.ledger = RecoveryLedger()
@@ -148,4 +165,5 @@ class ResilientXgyroRunner:
             detection_s=totals["detection_s"],
             lost_work_s=totals["lost_work_s"],
             reassembly_s=totals["reassembly_s"],
+            member_labels_initial=self.member_labels_initial,
         )

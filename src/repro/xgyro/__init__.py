@@ -31,7 +31,7 @@ from repro.xgyro.input import parse_ensemble, write_ensemble
 from repro.xgyro.partition import ensemble_coll_ranks, partition_ranks
 from repro.xgyro.shared_cmat import SharedCmatScheme
 from repro.xgyro.study import XgyroStudy
-from repro.xgyro.validate import validate_shareable
+from repro.xgyro.validate import group_by_signature, validate_shareable
 
 __all__ = [
     "XgyroEnsemble",
@@ -40,6 +40,7 @@ __all__ = [
     "XgyroStudy",
     "EnsembleReport",
     "validate_shareable",
+    "group_by_signature",
     "partition_ranks",
     "ensemble_coll_ranks",
     "parse_ensemble",

@@ -52,6 +52,12 @@ class XgyroEnsemble:
     ranks:
         World ranks of the job (defaults to all of them); split into
         equal contiguous member blocks.
+    charge_cmat_build:
+        Charge the shared tensor's assembly cost to the simulated
+        clocks (default).  ``False`` models a warm start — the machine
+        already holds this signature's tensor from a previous job, so
+        only the memory is re-registered (see
+        :class:`~repro.campaign.cache.CmatCache`).
     """
 
     def __init__(
@@ -60,6 +66,7 @@ class XgyroEnsemble:
         inputs: Sequence[CgyroInput],
         *,
         ranks: Optional[Sequence[int]] = None,
+        charge_cmat_build: bool = True,
     ) -> None:
         if len(inputs) == 0:
             raise EnsembleValidationError("an ensemble needs at least one member")
@@ -67,7 +74,7 @@ class XgyroEnsemble:
         self.inputs = tuple(inputs)
         job_ranks = tuple(ranks) if ranks is not None else tuple(range(world.n_ranks))
         blocks = partition_ranks(job_ranks, len(inputs))
-        self.scheme = SharedCmatScheme()
+        self.scheme = SharedCmatScheme(charge_build=charge_cmat_build)
         self.members: List[CgyroSimulation] = []
         for m, (inp, block) in enumerate(zip(inputs, blocks)):
             label = f"xgyro.m{m}.{inp.name}"

@@ -90,10 +90,24 @@ class CollShard:
 
 
 class SharedCmatScheme(CollisionScheme):
-    """cmat shared across an ensemble; coll phase on ensemble comms."""
+    """cmat shared across an ensemble; coll phase on ensemble comms.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    charge_build:
+        Charge the ``cmat_build`` assembly flops to the member ranks'
+        simulated clocks during :meth:`finalize` (the default).  The
+        campaign scheduler's cross-job :class:`~repro.campaign.cache.CmatCache`
+        passes ``False`` when a job's signature hits the cache: the
+        tensor contents are identical to the previous job's, so the
+        machine keeps them resident and re-assembly costs nothing.
+        Memory is still allocated in the ledgers either way — a cache
+        hit saves time, not space.
+    """
+
+    def __init__(self, *, charge_build: bool = True) -> None:
         self.members: List["CgyroSimulation"] = []
+        self.charge_build = charge_build
         self._finalized = False
         self._cmat: Dict[int, np.ndarray] = {}
         self._coll_comm: Dict[int, Communicator] = {}
@@ -177,11 +191,12 @@ class SharedCmatScheme(CollisionScheme):
                     "cmat", cmat_block_bytes(dims, shard.n_ic, decomp.nt_loc)
                 )
                 self._cmat[r] = self._prop.build(shard.ic_indices, n_idx)
-                world.charge_compute(
-                    r,
-                    flops=self._prop.build_flops(shard.n_ic, len(n_idx)),
-                    category="cmat_build",
-                )
+                if self.charge_build:
+                    world.charge_compute(
+                        r,
+                        flops=self._prop.build_flops(shard.n_ic, len(n_idx)),
+                        category="cmat_build",
+                    )
         self._finalized = True
 
     @property

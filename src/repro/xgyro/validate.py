@@ -5,14 +5,39 @@ influences [cmat's] value".  :class:`~repro.collision.signature.CmatSignature`
 is that subset; members whose signatures differ cannot share, and the
 error reports exactly which parameters broke the match — the
 diagnostic a user of the real tool would need.
+
+:func:`group_by_signature` computes the full shareable partition of an
+arbitrary input set — the primitive the campaign scheduler's
+:class:`~repro.campaign.batcher.SignatureBatcher` builds candidate
+ensembles from.  :func:`validate_shareable` is its degenerate use:
+a valid pre-formed ensemble is exactly one group.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import EnsembleValidationError
 from repro.cgyro.params import CgyroInput
+from repro.collision.signature import CmatSignature
+
+
+def group_by_signature(
+    inputs: Sequence[CgyroInput],
+) -> List[Tuple[CmatSignature, List[int]]]:
+    """Partition ``inputs`` into shareable groups.
+
+    Returns ``[(signature, member_indices), ...]`` where every index in
+    a group refers to an input whose cmat signature equals the group's.
+    Groups appear in first-seen order and indices stay in arrival
+    order, so interleaved duplicates land back in one group and the
+    first member of the second group is the first input that cannot
+    share with input 0.
+    """
+    groups: Dict[CmatSignature, List[int]] = {}
+    for index, inp in enumerate(inputs):
+        groups.setdefault(inp.cmat_signature(), []).append(index)
+    return list(groups.items())
 
 
 def validate_shareable(inputs: Sequence[CgyroInput]) -> None:
@@ -24,14 +49,16 @@ def validate_shareable(inputs: Sequence[CgyroInput]) -> None:
     """
     if len(inputs) == 0:
         raise EnsembleValidationError("an ensemble needs at least one member")
-    reference = inputs[0].cmat_signature()
-    for index, inp in enumerate(inputs[1:], start=1):
-        sig = inp.cmat_signature()
-        if not reference.matches(sig):
-            fields = reference.diff(sig)
-            raise EnsembleValidationError(
-                f"ensemble member {index} ({inp.name!r}) cannot share cmat "
-                f"with member 0 ({inputs[0].name!r}): these cmat-relevant "
-                f"parameters differ: {', '.join(fields)}",
-                mismatched_fields=fields,
-            )
+    groups = group_by_signature(inputs)
+    if len(groups) == 1:
+        return
+    reference, _ = groups[0]
+    offender_sig, offenders = groups[1]
+    index = offenders[0]
+    fields = reference.diff(offender_sig)
+    raise EnsembleValidationError(
+        f"ensemble member {index} ({inputs[index].name!r}) cannot share cmat "
+        f"with member 0 ({inputs[0].name!r}): these cmat-relevant "
+        f"parameters differ: {', '.join(fields)}",
+        mismatched_fields=fields,
+    )

@@ -71,8 +71,28 @@ class TestBasicAccounting:
     def test_would_fit(self):
         led = MemoryLedger(100)
         led.alloc("a", 60)
-        assert led.would_fit(40)
-        assert not led.would_fit(41)
+        assert led.would_fit("b", 40)
+        assert not led.would_fit("b", 41)
+
+    def test_would_fit_rejects_live_name_without_side_effects(self):
+        led = MemoryLedger(100)
+        led.alloc("a", 10)
+        assert not led.would_fit("a", 1)  # alloc("a", 1) would raise
+        assert led.in_use_bytes == 10
+
+    def test_would_fit_negative_size_raises(self):
+        with pytest.raises(ValueError):
+            MemoryLedger(10).would_fit("a", -1)
+
+    def test_available_bytes_is_int_and_allocatable(self):
+        led = MemoryLedger(100.7)
+        led.alloc("a", 60)
+        assert led.available_bytes == 40
+        assert isinstance(led.available_bytes, int)
+        assert led.would_fit("b", led.available_bytes)
+
+    def test_available_bytes_unlimited_is_inf(self):
+        assert math.isinf(MemoryLedger(None).available_bytes)
 
     def test_free_all_preserves_peak(self):
         led = MemoryLedger(100)
@@ -120,7 +140,7 @@ class TestPropertyBased:
     )
     def test_would_fit_agrees_with_alloc(self, limit, request):
         led = MemoryLedger(limit)
-        fits = led.would_fit(request)
+        fits = led.would_fit("x", request)
         if fits:
             led.alloc("x", request)  # must not raise
         else:

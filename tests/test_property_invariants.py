@@ -7,6 +7,8 @@ hypothesis-driven counterpart of the targeted unit suites:
   decompositions and random fields;
 - sharing contract: random sweep-parameter perturbations never change
   the cmat signature, random cmat-parameter perturbations always do;
+- grouping laws: arbitrary interleaved request streams partition into
+  shareable batches that never mix signatures or reporting cadences;
 - conservation: random collision inputs conserve particles/momentum to
   round-off through the full implicit propagator;
 - cost monotonicity: collective costs grow with participants and
@@ -137,6 +139,103 @@ class TestSharingContract:
         perturbed = CMAT_PERTURBATIONS[idx](base, v)
         assert base.cmat_signature() != perturbed.cmat_signature()
         assert len(base.cmat_signature().diff(perturbed.cmat_signature())) >= 1
+
+
+class TestSignatureGroupingAndBatching:
+    """Grouping laws the campaign batcher is built on: arbitrary
+    interleaved streams partition cleanly into shareable groups."""
+
+    @staticmethod
+    def _stream(fams, cadences):
+        """Inputs with signature family ``fams[i]`` (nu variant) and
+        reporting cadence ``cadences[i]``, in stream order."""
+        base = small_test()
+        return [
+            base.with_updates(
+                nu=base.nu * (1 + fam),
+                steps_per_report=cad,
+                name=f"s{i}.f{fam}",
+            )
+            for i, (fam, cad) in enumerate(zip(fams, cadences))
+        ]
+
+    @given(fams=st.lists(st.integers(0, 3), min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_group_by_signature_partitions_preserving_order(self, fams):
+        from repro.xgyro import group_by_signature
+
+        inputs = self._stream(fams, [5] * len(fams))
+        groups = group_by_signature(inputs)
+        seen = [i for _, idx in groups for i in idx]
+        # a partition: every index exactly once
+        assert sorted(seen) == list(range(len(inputs)))
+        for sig, idx in groups:
+            # arrival order within a group, one signature per group
+            assert list(idx) == sorted(idx)
+            assert all(inputs[i].cmat_signature() == sig for i in idx)
+        # interleaved duplicates merge: one group per distinct family
+        assert len(groups) == len(set(fams))
+
+    @given(
+        fams=st.lists(st.integers(0, 2), min_size=1, max_size=10),
+        cad_choices=st.lists(st.sampled_from([2, 5]), min_size=1, max_size=10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_batcher_never_mixes_signatures_or_cadences(
+        self, fams, cad_choices
+    ):
+        from repro.campaign import SignatureBatcher, SimRequest
+
+        n = min(len(fams), len(cad_choices))
+        inputs = self._stream(fams[:n], cad_choices[:n])
+        requests = [
+            SimRequest(request_id=f"r{i}", input=inp)
+            for i, inp in enumerate(inputs)
+        ]
+        batches = SignatureBatcher().batch(requests)
+        served = [r.request_id for b in batches for r in b.requests]
+        assert sorted(served) == sorted(r.request_id for r in requests)
+        for b in batches:
+            sigs = {r.input.cmat_signature() for r in b.requests}
+            cads = {r.input.steps_per_report for r in b.requests}
+            assert sigs == {b.signature}
+            assert cads == {b.steps_per_report}
+        # one batch per distinct (family, cadence) pair — interleaved
+        # arrivals of the same pair always merge
+        pairs = {(f, c) for f, c in zip(fams[:n], cad_choices[:n])}
+        assert len(batches) == len(pairs)
+
+    @given(
+        fams=st.lists(st.integers(0, 2), min_size=1, max_size=12),
+        cap=st.integers(1, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_batcher_cap_bounds_batches_without_losing_requests(
+        self, fams, cap
+    ):
+        from repro.campaign import SignatureBatcher, SimRequest
+
+        inputs = self._stream(fams, [5] * len(fams))
+        requests = [
+            SimRequest(request_id=f"r{i}", input=inp)
+            for i, inp in enumerate(inputs)
+        ]
+        batches = SignatureBatcher(max_batch=cap).batch(requests)
+        assert all(1 <= b.size <= cap for b in batches)
+        served = sorted(r.request_id for b in batches for r in b.requests)
+        assert served == sorted(r.request_id for r in requests)
+
+    def test_lone_unshareable_request_forms_k1_batch(self):
+        from repro.campaign import SignatureBatcher, SimRequest
+
+        inputs = self._stream([0, 0, 1], [5, 5, 5])
+        requests = [
+            SimRequest(request_id=f"r{i}", input=inp)
+            for i, inp in enumerate(inputs)
+        ]
+        batches = SignatureBatcher().batch(requests)
+        assert [b.size for b in batches] == [2, 1]
+        assert batches[1].requests[0].request_id == "r2"
 
 
 class TestConservationThroughPropagator:
