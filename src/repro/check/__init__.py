@@ -1,0 +1,69 @@
+"""Correctness tooling: protocol checking and differential physics.
+
+The paper's contribution rests on two claims the rest of the codebase
+asserts but never *checks end-to-end*:
+
+1. splitting the per-member str communicator from the ensemble-wide
+   coll communicator (Figure 3) preserves a valid collective
+   protocol — no mismatched collectives, no deadlocks; and
+2. sharing one distributed cmat changes *no physics* versus k
+   independent CGYRO runs.
+
+This package is the verification layer for both:
+
+- :mod:`repro.check.checker` — :class:`CollectiveChecker`, a runtime
+  conformance monitor for collective schedules.  Installed on a
+  :class:`~repro.vmpi.world.VirtualWorld` it validates every executed
+  collective; driven with explicit per-rank programs it simulates
+  blocking SPMD execution and turns would-be deadlocks into diagnosed
+  :class:`~repro.errors.ProtocolError`\\ s.
+- :mod:`repro.check.oracle` — the differential physics oracle:
+  run an XGYRO shared-cmat ensemble and the sequential CGYRO baseline
+  on identical inputs and assert per-member state equivalence,
+  reported as an :class:`EquivalenceReport`.
+- :mod:`repro.check.tracelint` — static lint and deterministic replay
+  of recorded :class:`~repro.vmpi.tracer.CollectiveEvent` traces,
+  including the Figure-1/Figure-3 structural checks.
+"""
+
+from repro.check.checker import (
+    CollectiveChecker,
+    CollectivePost,
+    ROOTED_KINDS,
+    UNIFORM_NBYTES_KINDS,
+)
+from repro.check.oracle import (
+    MODE_TOLERANCES,
+    EquivalenceReport,
+    FieldDelta,
+    MemberCheck,
+    differential_oracle,
+    resilient_differential_oracle,
+)
+from repro.check.tracelint import (
+    TraceLintReport,
+    TraceProblem,
+    lint_trace,
+    replay_trace,
+    verify_figure1,
+    verify_figure3,
+)
+
+__all__ = [
+    "CollectiveChecker",
+    "CollectivePost",
+    "UNIFORM_NBYTES_KINDS",
+    "ROOTED_KINDS",
+    "MODE_TOLERANCES",
+    "EquivalenceReport",
+    "FieldDelta",
+    "MemberCheck",
+    "differential_oracle",
+    "resilient_differential_oracle",
+    "TraceLintReport",
+    "TraceProblem",
+    "lint_trace",
+    "replay_trace",
+    "verify_figure1",
+    "verify_figure3",
+]

@@ -1,0 +1,534 @@
+"""Runtime conformance checking of collective protocols.
+
+:class:`CollectiveChecker` models the rules a real MPI job must obey
+and that lockstep execution silently bypasses:
+
+- every member of a communicator must take part in each of its
+  collectives, with matched kind / reduce-op / dtype / root;
+- byte counts must agree where the kind's convention demands it
+  (AllReduce-family); vector kinds (AllToAll(v), Gather(v), ...) may
+  differ per rank;
+- a communicator label must always denote the same ordered rank group
+  (label aliasing corrupts trace analysis and cost attribution);
+- a rank blocked in one collective may not post another — posting
+  while mid-flight on an *overlapping* communicator is exactly the
+  str-comm/coll-comm ordering bug unbalanced ensemble decompositions
+  invite;
+- a block handed to ``alltoall`` is *moved* (see
+  :mod:`repro.vmpi.communicator`): the sender may not submit it again.
+
+Two driving modes share one engine:
+
+- **Lockstep** (installed via ``world.install_checker``): every
+  executed collective posts all of its participants at once and must
+  complete inline; violations raise
+  :class:`~repro.errors.ProtocolError` at the call site.
+- **Schedule** (:meth:`CollectiveChecker.run_programs`): explicit
+  per-rank program orders are simulated under blocking semantics, so
+  mismatched orderings between overlapping communicators surface as a
+  *diagnosed deadlock* — the wait-for graph printed with ranks, comms
+  and sequence numbers — instead of a hang.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ProtocolError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.vmpi.communicator import Communicator
+    from repro.vmpi.tracer import CollectiveEvent
+
+#: Kinds whose convention requires every participant to contribute the
+#: same byte count (the AllReduce family).  Vector kinds — ``alltoall``
+#: covers MPI_Alltoall(v|w), ``allgather``/``gather`` their v-variants —
+#: legitimately differ per rank.
+UNIFORM_NBYTES_KINDS = frozenset(
+    {"barrier", "allreduce", "bcast", "reduce", "reduce_scatter", "scan", "sendrecv"}
+)
+
+#: Kinds that carry a root rank which must match across the group.
+ROOTED_KINDS = frozenset({"bcast", "reduce", "gather", "scatter"})
+
+#: Every kind the virtual MPI substrate can execute.
+KNOWN_KINDS = UNIFORM_NBYTES_KINDS | ROOTED_KINDS | frozenset(
+    {"alltoall", "allgather"}
+)
+
+
+@dataclass(frozen=True)
+class CollectivePost:
+    """One rank's entry into a collective, as seen by the checker.
+
+    ``seq`` is the checker's own monotone post counter — the number a
+    diagnosis refers to.  ``site`` is the caller's identifier for the
+    program point (per-rank program counter in schedule mode, world
+    trace seq in lockstep mode; -1 when unknown).
+    """
+
+    seq: int
+    rank: int
+    comm_label: str
+    comm_ranks: Tuple[int, ...]
+    kind: str
+    nbytes: int
+    op: str = ""
+    dtype: str = ""
+    root: int = -1
+    site: int = -1
+
+    def describe(self) -> str:
+        """Compact one-line rendering for diagnostics."""
+        extra = f", op={self.op}" if self.op else ""
+        return (
+            f"seq {self.seq}: rank {self.rank} {self.kind} on "
+            f"{self.comm_label!r} ({self.nbytes} B{extra})"
+        )
+
+
+class _InFlight:
+    """A collective some ranks have entered but not all."""
+
+    __slots__ = ("comm_label", "comm_ranks", "kind", "posts")
+
+    def __init__(self, comm_label: str, comm_ranks: Tuple[int, ...], kind: str):
+        self.comm_label = comm_label
+        self.comm_ranks = comm_ranks
+        self.kind = kind
+        self.posts: Dict[int, CollectivePost] = {}
+
+    @property
+    def missing(self) -> Tuple[int, ...]:
+        return tuple(r for r in self.comm_ranks if r not in self.posts)
+
+
+class _MovedBlock:
+    """Ownership record of a block transferred by ``alltoall``."""
+
+    __slots__ = ("ref", "owner", "seq")
+
+    def __init__(self, ref, owner: int, seq: int):
+        self.ref = ref
+        self.owner = owner
+        self.seq = seq
+
+
+class CollectiveChecker:
+    """Conformance monitor for collective schedules.
+
+    Stateless to construct; accumulate state by posting collectives
+    (directly, through :meth:`run_programs`, or by installation on a
+    world).  All violations raise :class:`~repro.errors.ProtocolError`
+    with the involved ranks, communicator labels and sequence numbers
+    attached.
+    """
+
+    def __init__(self) -> None:
+        self._seq = 0
+        #: completed collectives, in completion order
+        self.completed: List[Tuple[CollectivePost, ...]] = []
+        # in-flight collectives keyed by (label, membership): the label
+        # alone would conflate concurrent point-to-point pairs that
+        # legitimately share one communicator label
+        self._open: Dict[Tuple[str, Tuple[int, ...]], _InFlight] = {}
+        self._inflight_of: Dict[int, _InFlight] = {}
+        self._membership: Dict[str, Tuple[int, ...]] = {}
+        self._moved: Dict[int, _MovedBlock] = {}
+        #: world trace seqs observed via ``observe_event`` (lockstep)
+        self.observed_events = 0
+        self._last_t: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # core engine
+    # ------------------------------------------------------------------
+    @property
+    def n_completed(self) -> int:
+        """Collectives completed so far."""
+        return len(self.completed)
+
+    def rank_is_blocked(self, rank: int) -> bool:
+        """Whether ``rank`` is mid-flight in an incomplete collective."""
+        return rank in self._inflight_of
+
+    def post(
+        self,
+        rank: int,
+        *,
+        comm_label: str,
+        comm_ranks: Sequence[int],
+        kind: str,
+        nbytes: int = 0,
+        op: str = "",
+        dtype: str = "",
+        root: int = -1,
+        site: int = -1,
+        track_membership: bool = True,
+    ) -> None:
+        """Enter ``rank`` into a collective; validate on completion.
+
+        ``track_membership=False`` skips the label->membership
+        consistency table (used for point-to-point subgroups, where one
+        label legitimately carries many rank pairs).
+        """
+        self._seq += 1
+        comm_ranks = tuple(int(r) for r in comm_ranks)
+        post = CollectivePost(
+            seq=self._seq,
+            rank=int(rank),
+            comm_label=comm_label,
+            comm_ranks=comm_ranks,
+            kind=kind,
+            nbytes=int(nbytes),
+            op=op,
+            dtype=dtype,
+            root=int(root),
+            site=int(site),
+        )
+        if kind not in KNOWN_KINDS:
+            raise ProtocolError(
+                f"unknown collective kind {kind!r} ({post.describe()})",
+                ranks=(post.rank,),
+                comm_labels=(comm_label,),
+                seqs=(post.seq,),
+                code="unknown-kind",
+            )
+        if post.rank not in comm_ranks:
+            raise ProtocolError(
+                f"rank {post.rank} posted {kind} on {comm_label!r} but is not "
+                f"a member (members: {list(comm_ranks)}) ({post.describe()})",
+                ranks=(post.rank,),
+                comm_labels=(comm_label,),
+                seqs=(post.seq,),
+                code="membership",
+            )
+        if track_membership:
+            known = self._membership.get(comm_label)
+            if known is None:
+                self._membership[comm_label] = comm_ranks
+            elif known != comm_ranks:
+                raise ProtocolError(
+                    f"communicator label {comm_label!r} changed membership: "
+                    f"first seen as {list(known)}, now {list(comm_ranks)} "
+                    f"({post.describe()})",
+                    ranks=(post.rank,),
+                    comm_labels=(comm_label,),
+                    seqs=(post.seq,),
+                    code="membership",
+                )
+        blocked_in = self._inflight_of.get(post.rank)
+        if blocked_in is not None:
+            prior = blocked_in.posts[post.rank]
+            raise ProtocolError(
+                f"rank {post.rank} posted {kind} on {comm_label!r} while "
+                f"still mid-flight in {blocked_in.kind} on "
+                f"{blocked_in.comm_label!r} (waiting for ranks "
+                f"{list(blocked_in.missing)}) — a blocking collective cannot "
+                f"overlap another ({prior.describe()}; then {post.describe()})",
+                ranks=(post.rank,),
+                comm_labels=(blocked_in.comm_label, comm_label),
+                seqs=(prior.seq, post.seq),
+                code="mid-flight",
+            )
+        entry = self._open.get((comm_label, comm_ranks))
+        if entry is None:
+            entry = _InFlight(comm_label, comm_ranks, kind)
+            self._open[(comm_label, comm_ranks)] = entry
+        else:
+            if entry.kind != kind:
+                first = next(iter(entry.posts.values()))
+                raise ProtocolError(
+                    f"mismatched collective on {comm_label!r}: rank "
+                    f"{post.rank} posted {kind} but the in-flight collective "
+                    f"is {entry.kind} ({first.describe()}; then "
+                    f"{post.describe()})",
+                    ranks=(first.rank, post.rank),
+                    comm_labels=(comm_label,),
+                    seqs=(first.seq, post.seq),
+                    code="mismatch",
+                )
+            if post.rank in entry.posts:
+                prior = entry.posts[post.rank]
+                raise ProtocolError(
+                    f"rank {post.rank} posted {kind} on {comm_label!r} twice "
+                    f"in one collective ({prior.describe()}; then "
+                    f"{post.describe()})",
+                    ranks=(post.rank,),
+                    comm_labels=(comm_label,),
+                    seqs=(prior.seq, post.seq),
+                    code="duplicate",
+                )
+        entry.posts[post.rank] = post
+        self._inflight_of[post.rank] = entry
+        if not entry.missing:
+            self._complete(entry)
+
+    def _complete(self, entry: _InFlight) -> None:
+        """All members arrived: cross-validate, then retire the entry."""
+        posts = [entry.posts[r] for r in entry.comm_ranks]
+        ref = posts[0]
+
+        def _fail(attr: str, offender: CollectivePost, detail: str) -> None:
+            raise ProtocolError(
+                f"mismatched {attr} in {entry.kind} on "
+                f"{entry.comm_label!r}: {detail} ({ref.describe()}; vs "
+                f"{offender.describe()})",
+                ranks=(ref.rank, offender.rank),
+                comm_labels=(entry.comm_label,),
+                seqs=(ref.seq, offender.seq),
+                code="mismatch",
+            )
+
+        for p in posts[1:]:
+            if p.op != ref.op:
+                _fail("reduce op", p, f"{ref.op!r} vs {p.op!r}")
+            if p.dtype != ref.dtype:
+                _fail("dtype", p, f"{ref.dtype!r} vs {p.dtype!r}")
+            if entry.kind in ROOTED_KINDS and p.root != ref.root:
+                _fail("root", p, f"{ref.root} vs {p.root}")
+            if entry.kind in UNIFORM_NBYTES_KINDS and p.nbytes != ref.nbytes:
+                _fail(
+                    "byte count",
+                    p,
+                    f"{entry.kind} requires a uniform contribution, got "
+                    f"{ref.nbytes} vs {p.nbytes}",
+                )
+        if entry.kind in ROOTED_KINDS and ref.root not in entry.comm_ranks:
+            raise ProtocolError(
+                f"root {ref.root} of {entry.kind} on {entry.comm_label!r} is "
+                f"not a member (members: {list(entry.comm_ranks)})",
+                ranks=entry.comm_ranks,
+                comm_labels=(entry.comm_label,),
+                seqs=tuple(p.seq for p in posts),
+                code="membership",
+            )
+        for r in entry.comm_ranks:
+            del self._inflight_of[r]
+        del self._open[(entry.comm_label, entry.comm_ranks)]
+        self.completed.append(tuple(posts))
+
+    # ------------------------------------------------------------------
+    # quiescence / deadlock diagnosis
+    # ------------------------------------------------------------------
+    def assert_quiescent(self) -> None:
+        """Raise unless every posted collective has completed.
+
+        The failure diagnosis is the wait-for graph: for each stuck
+        collective, who arrived (with seq numbers) and where each
+        missing rank is blocked instead — the hang a real job would
+        experience, named instead of suffered.
+        """
+        if not self._open:
+            return
+        lines: List[str] = ["collective protocol deadlock:"]
+        ranks: List[int] = []
+        labels: List[str] = []
+        seqs: List[int] = []
+        for key in sorted(self._open):
+            entry = self._open[key]
+            label = entry.comm_label
+            arrived = ", ".join(
+                f"{r} (seq {entry.posts[r].seq})" for r in entry.posts
+            )
+            lines.append(
+                f"  {entry.kind} on {label!r} is stuck: arrived [{arrived}], "
+                f"missing ranks {list(entry.missing)}"
+            )
+            labels.append(label)
+            ranks.extend(entry.posts)
+            seqs.extend(p.seq for p in entry.posts.values())
+            for r in entry.missing:
+                other = self._inflight_of.get(r)
+                if other is not None and other is not entry:
+                    p = other.posts[r]
+                    lines.append(
+                        f"    rank {r} is blocked in {other.kind} on "
+                        f"{other.comm_label!r} (seq {p.seq}) — wait-for cycle "
+                        f"between {label!r} and {other.comm_label!r}"
+                    )
+                    ranks.append(r)
+                else:
+                    lines.append(f"    rank {r} never posted")
+        raise ProtocolError(
+            "\n".join(lines),
+            ranks=tuple(ranks),
+            comm_labels=tuple(labels),
+            seqs=tuple(seqs),
+            code="deadlock",
+        )
+
+    def run_programs(
+        self, programs: Mapping[int, Sequence[Mapping[str, object]]]
+    ) -> int:
+        """Simulate blocking SPMD execution of per-rank programs.
+
+        ``programs`` maps world rank -> ordered list of post keyword
+        dicts (``comm_label``, ``comm_ranks``, ``kind``, optionally
+        ``nbytes``/``op``/``dtype``/``root``).  Each rank executes its
+        program in order, blocking at every collective until the whole
+        group arrives.  Returns the number of collectives completed;
+        raises :class:`~repro.errors.ProtocolError` on any mismatch or
+        on deadlock (no progress with work remaining).
+        """
+        pc = {int(r): 0 for r in programs}
+        progs = {int(r): list(p) for r, p in programs.items()}
+        before = self.n_completed
+        progress = True
+        while progress:
+            progress = False
+            for r in sorted(progs):
+                if self.rank_is_blocked(r) or pc[r] >= len(progs[r]):
+                    continue
+                spec = dict(progs[r][pc[r]])
+                spec.setdefault("site", pc[r])
+                self.post(r, **spec)  # type: ignore[arg-type]
+                pc[r] += 1
+                progress = True
+        self.assert_quiescent()
+        return self.n_completed - before
+
+    # ------------------------------------------------------------------
+    # lockstep integration (world / communicator hooks)
+    # ------------------------------------------------------------------
+    def lockstep_collective(
+        self,
+        comm: "Communicator",
+        kind: str,
+        nbytes_by_rank: Mapping[int, int],
+        *,
+        op: str = "",
+        dtypes: Optional[Mapping[int, str]] = None,
+        root: int = -1,
+        track_membership: bool = True,
+    ) -> None:
+        """Validate one lockstep-executed collective (all ranks at once).
+
+        Called by :class:`~repro.vmpi.communicator.Communicator` before
+        data movement; the collective must complete inline, so any
+        in-flight residue from earlier misuse surfaces immediately.
+        ``dtypes`` carries each rank's buffer dtype string; a mixed
+        group (one rank reducing float32 against float64 peers — which
+        lockstep NumPy would silently upcast) is a diagnosed mismatch.
+        """
+        for r in comm.ranks:
+            self.post(
+                r,
+                comm_label=comm.label,
+                comm_ranks=comm.ranks,
+                kind=kind,
+                nbytes=int(nbytes_by_rank.get(r, 0)),
+                op=op,
+                dtype="" if dtypes is None else str(dtypes.get(r, "")),
+                root=root,
+                site=self.observed_events,
+                track_membership=track_membership,
+            )
+
+    def check_alltoall_blocks(
+        self, comm: "Communicator", rows: Sequence[Sequence[np.ndarray]]
+    ) -> None:
+        """Enforce ``alltoall`` move semantics on the submitted blocks.
+
+        ``rows[i][j]`` is the block comm-rank ``i`` sends to comm-rank
+        ``j``.  Transfers are *by reference*: once submitted, a block
+        belongs to its destination, and the sender resubmitting that
+        same array object later is flagged — the silent-aliasing
+        footgun documented in :mod:`repro.vmpi.communicator`.  The
+        destination itself may legitimately send the block onward.
+        """
+        seen_here: Dict[int, Tuple[int, np.ndarray]] = {}
+        for i, row in enumerate(rows):
+            sender = comm.ranks[i]
+            for block in row:
+                if not isinstance(block, np.ndarray) or block.nbytes == 0:
+                    continue
+                key = id(block)
+                dup = seen_here.get(key)
+                if dup is not None and dup[1] is block:
+                    raise ProtocolError(
+                        f"alltoall on {comm.label!r}: ranks {dup[0]} and "
+                        f"{sender} submitted the *same* array object to "
+                        f"multiple destinations — blocks move by reference "
+                        f"and may be sent exactly once",
+                        ranks=(dup[0], sender),
+                        comm_labels=(comm.label,),
+                        seqs=(self._seq,),
+                        code="moved-block",
+                    )
+                seen_here[key] = (sender, block)
+                rec = self._moved.get(key)
+                if (
+                    rec is not None
+                    and rec.ref() is block
+                    and rec.owner != sender
+                ):
+                    raise ProtocolError(
+                        f"alltoall on {comm.label!r}: rank {sender} "
+                        f"resubmitted a block it already moved to rank "
+                        f"{rec.owner} (transferred at checker seq "
+                        f"{rec.seq}) — submitted blocks are moved, not "
+                        f"copied",
+                        ranks=(sender, rec.owner),
+                        comm_labels=(comm.label,),
+                        seqs=(rec.seq, self._seq + 1),
+                        code="moved-block",
+                    )
+        # the exchange is legal: record the ownership transfers
+        for i, row in enumerate(rows):
+            for j, block in enumerate(row):
+                if not isinstance(block, np.ndarray) or block.nbytes == 0:
+                    continue
+                try:
+                    ref = weakref.ref(block)
+                except TypeError:  # pragma: no cover - exotic subclasses
+                    continue
+                self._moved[id(block)] = _MovedBlock(
+                    ref, owner=comm.ranks[j], seq=self._seq + 1
+                )
+        if len(self._moved) > 65536:
+            self._moved = {
+                k: v for k, v in self._moved.items() if v.ref() is not None
+            }
+
+    def observe_event(self, event: "CollectiveEvent") -> None:
+        """Post-execution bookkeeping for a world trace event.
+
+        Validates the physical-time invariant the cost model must
+        preserve — a rank's collectives never run backwards in
+        simulated time — and counts events so diagnoses can reference
+        world trace seq numbers.
+        """
+        self.observed_events += 1
+        for r in event.ranks:
+            last = self._last_t.get(r)
+            if last is not None and event.t_start < last - 1e-12:
+                raise ProtocolError(
+                    f"trace seq {event.seq}: {event.kind} on "
+                    f"{event.comm_label!r} starts at t={event.t_start:.9f} "
+                    f"but rank {r} was already past t={last:.9f} — "
+                    f"overlapping collectives on one rank",
+                    ranks=(r,),
+                    comm_labels=(event.comm_label,),
+                    seqs=(event.seq,),
+                    code="overlap",
+                )
+            self._last_t[r] = event.t_start + event.cost_s
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[Tuple[str, str], int]:
+        """Completed-collective counts keyed by (comm label, kind)."""
+        out: Dict[Tuple[str, str], int] = {}
+        for posts in self.completed:
+            key = (posts[0].comm_label, posts[0].kind)
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    def membership(self) -> Dict[str, Tuple[int, ...]]:
+        """Adopted label -> ordered membership table."""
+        return dict(self._membership)

@@ -11,6 +11,8 @@ a launcher invocation — against the virtual machine:
     python -m repro linear     DIR   --modes 1,2,3
     python -m repro figure2    [--measure-steps 1]
     python -m repro campaign   REQUESTS.json --nodes 4 [--fifo] [--no-cache]
+    python -m repro check-trace [TRACE.json ...] [--figure1] [--figure3]
+    python -m repro oracle     FILE  --reports 2 --baseline member
 
 Every command prints human-readable tables; ``run-*`` optionally write
 ``out.cgyro.timing`` CSVs next to the inputs.
@@ -283,6 +285,102 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _checked_demo_trace(figure: str):
+    """Run a tiny checker-installed demo; return its recorded events.
+
+    ``figure1`` is one traced CGYRO step (nonlinear), ``figure3`` one
+    traced step of a k=4 shared-cmat ensemble — the smallest runs that
+    exhibit each figure's full communicator structure.
+    """
+    from repro.cgyro.presets import small_test
+    from repro.check import CollectiveChecker
+    from repro.machine import generic_cluster
+
+    checker = CollectiveChecker()
+    if figure == "figure1":
+        machine = generic_cluster(n_nodes=2, ranks_per_node=4)
+        world = VirtualWorld(machine)
+        world.install_checker(checker)
+        sim = CgyroSimulation(world, range(world.n_ranks), small_test(nonlinear=True))
+        sim.step()
+    else:
+        machine = generic_cluster(n_nodes=4, ranks_per_node=4)
+        world = VirtualWorld(machine)
+        world.install_checker(checker)
+        inputs = [
+            small_test(name=f"m{i}", dlntdr=(3.0 + 0.1 * i, 3.0 + 0.1 * i))
+            for i in range(4)
+        ]
+        XgyroEnsemble(world, inputs).step()
+    checker.assert_quiescent()
+    return world.trace
+
+
+def cmd_check_trace(args: argparse.Namespace) -> int:
+    from repro.check import lint_trace, replay_trace, verify_figure1, verify_figure3
+    from repro.vmpi.export import export_trace_json, load_trace_json
+
+    jobs = []  # (source name, events, figure check or None)
+    for figure in ("figure1", "figure3"):
+        if getattr(args, figure):
+            trace = _checked_demo_trace(figure)
+            if args.save:
+                out = Path(args.save) / f"{figure}.trace.json"
+                out.parent.mkdir(parents=True, exist_ok=True)
+                export_trace_json(trace, out)
+                print(f"{figure} demo trace written to {out}")
+            jobs.append((f"<built-in {figure} demo>", trace.events, figure))
+    for path in args.traces:
+        events = load_trace_json(path)
+        figure = (
+            "figure1" if args.figure1 else "figure3" if args.figure3 else None
+        )
+        jobs.append((path, events, figure))
+    if not jobs:
+        print("nothing to check: give trace files and/or --figure1/--figure3")
+        return 2
+    failed = False
+    for name, events, figure in jobs:
+        print(f"== {name}")
+        reports = [lint_trace(events)]
+        if figure == "figure1":
+            reports.append(verify_figure1(events))
+        elif figure == "figure3":
+            reports.append(verify_figure3(events))
+        for rep in reports:
+            print(rep.render())
+            failed = failed or not rep.ok
+        if not args.no_replay:
+            ck = replay_trace(events)  # raises ProtocolError on mismatch
+            print(
+                f"replay: {ck.n_completed} collectives re-executed under "
+                f"blocking semantics — OK"
+            )
+    return 1 if failed else 0
+
+
+def cmd_oracle(args: argparse.Namespace) -> int:
+    from repro.check import differential_oracle
+    from repro.perf import render_equivalence_report
+
+    inputs = parse_ensemble(args.input)
+    machine = _machine_from_args(args)
+    report = differential_oracle(
+        inputs,
+        machine,
+        n_reports=args.reports,
+        baseline=args.baseline,
+        rtol=args.rtol,
+        atol=args.atol,
+        enforce_memory=args.enforce_memory,
+    )
+    print(render_equivalence_report(report))
+    if args.json:
+        Path(args.json).write_text(report.to_json())
+        print(f"report written to {args.json}")
+    return 0 if report.ok else 1
+
+
 def cmd_figure2(args: argparse.Namespace) -> int:
     machine = frontier_like(
         n_nodes=32, mem_per_rank_bytes=NL03C_SCALED_MEM_PER_RANK
@@ -402,6 +500,61 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--enforce-memory", action="store_true")
     p.add_argument("--json", default=None, help="also write the report as JSON")
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "check-trace",
+        help="lint / structurally verify / replay recorded collective traces",
+    )
+    p.add_argument(
+        "traces",
+        nargs="*",
+        help="trace JSON files (from export_trace_json); may be empty "
+        "when using --figure1/--figure3",
+    )
+    p.add_argument(
+        "--figure1",
+        action="store_true",
+        help="verify the CGYRO Figure-1 structure (on the given traces, "
+        "or on a built-in checker-installed demo when none are given)",
+    )
+    p.add_argument(
+        "--figure3",
+        action="store_true",
+        help="verify the XGYRO Figure-3 structure (as for --figure1)",
+    )
+    p.add_argument(
+        "--no-replay",
+        action="store_true",
+        help="skip the deterministic blocking-semantics replay",
+    )
+    p.add_argument(
+        "--save",
+        default=None,
+        metavar="DIR",
+        help="also write the built-in demo traces as JSON under DIR",
+    )
+    p.set_defaults(func=cmd_check_trace)
+
+    p = sub.add_parser(
+        "oracle",
+        help="differential physics oracle: shared-cmat ensemble vs "
+        "independent CGYRO baselines",
+    )
+    p.add_argument("input", help="input.xgyro path")
+    _add_machine_args(p)
+    p.add_argument("--reports", type=int, default=1)
+    p.add_argument(
+        "--baseline",
+        choices=["member", "full"],
+        default="member",
+        help="baseline rank count: 'member' (order-identical, exact) or "
+        "'full' (whole machine, tolerance-bounded)",
+    )
+    p.add_argument("--rtol", type=float, default=None)
+    p.add_argument("--atol", type=float, default=None)
+    p.add_argument("--enforce-memory", action="store_true")
+    p.add_argument("--json", default=None, help="also write the report as JSON")
+    p.set_defaults(func=cmd_oracle)
 
     p = sub.add_parser("figure2", help="regenerate the paper's Figure 2")
     p.add_argument("--measure-steps", type=int, default=1)

@@ -35,6 +35,48 @@ class CollectiveError(VmpiError):
     """
 
 
+class ProtocolError(VmpiError):
+    """A collective protocol violation, diagnosed rather than deadlocked.
+
+    Raised by :class:`repro.check.CollectiveChecker` (and the trace
+    lint built on it) when a collective schedule is inconsistent: a
+    kind/op/dtype/byte-count mismatch across a group, a rank posting
+    while still mid-flight on an overlapping communicator, membership
+    drift behind one communicator label, reuse of a block already moved
+    by ``alltoall``, or a wait-for cycle that would hang a real MPI
+    job.  The diagnosis names the ranks, communicator labels, and
+    checker sequence numbers involved.
+
+    Attributes
+    ----------
+    ranks:
+        World ranks involved in the violation, sorted.
+    comm_labels:
+        Labels of the communicators involved, in first-mention order.
+    seqs:
+        Checker sequence numbers of the offending posts, sorted.
+    code:
+        Short machine-readable violation class (``"mismatch"``,
+        ``"deadlock"``, ``"membership"``, ``"mid-flight"``,
+        ``"moved-block"``, ...).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        ranks: "tuple[int, ...]" = (),
+        comm_labels: "tuple[str, ...]" = (),
+        seqs: "tuple[int, ...]" = (),
+        code: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.ranks = tuple(sorted(int(r) for r in ranks))
+        self.comm_labels = tuple(comm_labels)
+        self.seqs = tuple(sorted(int(s) for s in seqs))
+        self.code = code
+
+
 class MachineError(ReproError):
     """Base class for machine-model errors."""
 

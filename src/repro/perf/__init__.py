@@ -33,6 +33,7 @@ from repro.perf.report import (
     Figure2Result,
     figure2_comparison,
     render_campaign_report,
+    render_equivalence_report,
     render_figure2,
     render_recovery_report,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "Figure2Result",
     "figure2_comparison",
     "render_campaign_report",
+    "render_equivalence_report",
     "render_figure2",
     "render_recovery_report",
     "render_figure1",

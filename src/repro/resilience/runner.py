@@ -87,6 +87,11 @@ class ResilientXgyroRunner:
     charge_cmat_build:
         As for :class:`XgyroEnsemble`: ``False`` models a warm start
         where the machine already holds this signature's tensor.
+    checker:
+        Optional :class:`~repro.check.checker.CollectiveChecker`
+        installed on the world before the ensemble is built, so every
+        collective of the run — including the shrink-and-recover
+        rebuild — is conformance-checked.
     """
 
     def __init__(
@@ -100,12 +105,15 @@ class ResilientXgyroRunner:
         policy: Optional[RecoveryPolicy] = None,
         ranks: Optional[Sequence[int]] = None,
         charge_cmat_build: bool = True,
+        checker: "object | None" = None,
     ) -> None:
         if checkpoint_interval < 1:
             raise ResilienceError(
                 f"checkpoint_interval must be >= 1, got {checkpoint_interval}"
             )
         self.world = world
+        if checker is not None:
+            world.install_checker(checker)
         self.plan = plan if plan is not None else FaultPlan.none()
         self.checkpoint_interval = int(checkpoint_interval)
         self.policy = policy or RecoveryPolicy()

@@ -14,7 +14,11 @@ cost), recording a trace event.
 Notes on buffer ownership: ``allreduce``/``bcast``/``allgather`` return
 freshly-allocated arrays.  ``alltoall`` transfers the sent blocks *by
 reference* (like a rendezvous protocol handing off pages); senders must
-treat submitted blocks as moved.
+treat submitted blocks as moved.  With a
+:class:`~repro.check.checker.CollectiveChecker` installed
+(``world.install_checker``), resubmitting a moved block raises a
+diagnosed :class:`~repro.errors.ProtocolError` instead of silently
+aliasing data.
 """
 
 from __future__ import annotations
@@ -147,6 +151,9 @@ class Communicator:
     # ------------------------------------------------------------------
     def barrier(self) -> None:
         """Synchronise all members."""
+        ck = self.world.checker
+        if ck is not None:
+            ck.lockstep_collective(self, "barrier", {r: 0 for r in self._ranks})
         self.world.charge_collective(
             "barrier", self._ranks, 0, comm_label=self.label
         )
@@ -172,6 +179,15 @@ class Communicator:
                     f"allreduce on {self.label!r}: rank {r} has shape {a.shape}, "
                     f"expected {shape}"
                 )
+        ck = self.world.checker
+        if ck is not None:
+            ck.lockstep_collective(
+                self,
+                "allreduce",
+                {r: a.nbytes for r, a in zip(self._ranks, arrays)},
+                op=getattr(op, "name", str(op)),
+                dtypes={r: str(a.dtype) for r, a in zip(self._ranks, arrays)},
+            )
         result = op.combine(arrays)
         nbytes = max(a.nbytes for a in arrays)
         self.world.charge_collective(
@@ -208,6 +224,17 @@ class Communicator:
                     f"{len(row)} blocks, expected {self.size}"
                 )
             rows.append(row)
+        ck = self.world.checker
+        if ck is not None:
+            ck.check_alltoall_blocks(self, rows)
+            ck.lockstep_collective(
+                self,
+                "alltoall",
+                {
+                    r: sum(np.asarray(b).nbytes for b in row)
+                    for r, row in zip(self._ranks, rows)
+                },
+            )
         recv: Dict[int, List[np.ndarray]] = {
             r: [rows[i][j] for i in range(self.size)]
             for j, r in enumerate(self._ranks)
@@ -232,6 +259,13 @@ class Communicator:
         """
         self._check_participants(values, "allgather")
         arrays = [np.asarray(values[r]) for r in self._ranks]
+        ck = self.world.checker
+        if ck is not None:
+            ck.lockstep_collective(
+                self,
+                "allgather",
+                {r: a.nbytes for r, a in zip(self._ranks, arrays)},
+            )
         nbytes = max(a.nbytes for a in arrays)
         self.world.charge_collective(
             "allgather", self._ranks, nbytes, comm_label=self.label
@@ -242,6 +276,15 @@ class Communicator:
         """Broadcast ``value`` from world rank ``root`` to all members."""
         self.comm_rank(root)  # validates membership
         arr = np.asarray(value)
+        ck = self.world.checker
+        if ck is not None:
+            ck.lockstep_collective(
+                self,
+                "bcast",
+                {r: arr.nbytes for r in self._ranks},
+                dtypes={r: str(arr.dtype) for r in self._ranks},
+                root=root,
+            )
         self.world.charge_collective(
             "bcast", self._ranks, arr.nbytes, comm_label=self.label
         )
@@ -264,6 +307,16 @@ class Communicator:
                     f"reduce on {self.label!r}: rank {r} has shape {a.shape}, "
                     f"expected {shape}"
                 )
+        ck = self.world.checker
+        if ck is not None:
+            ck.lockstep_collective(
+                self,
+                "reduce",
+                {r: a.nbytes for r, a in zip(self._ranks, arrays)},
+                op=getattr(op, "name", str(op)),
+                dtypes={r: str(a.dtype) for r, a in zip(self._ranks, arrays)},
+                root=root,
+            )
         result = op.combine(arrays)
         self.world.charge_collective(
             "reduce", self._ranks, max(a.nbytes for a in arrays), comm_label=self.label
@@ -275,6 +328,14 @@ class Communicator:
         self._check_participants(values, "gather")
         self.comm_rank(root)
         arrays = [np.asarray(values[r]).copy() for r in self._ranks]
+        ck = self.world.checker
+        if ck is not None:
+            ck.lockstep_collective(
+                self,
+                "gather",
+                {r: a.nbytes for r, a in zip(self._ranks, arrays)},
+                root=root,
+            )
         self.world.charge_collective(
             "gather",
             self._ranks,
@@ -292,6 +353,14 @@ class Communicator:
                 f"{self.size} ranks"
             )
         arrays = [np.asarray(b) for b in blocks]
+        ck = self.world.checker
+        if ck is not None:
+            ck.lockstep_collective(
+                self,
+                "scatter",
+                {r: arrays[i].nbytes for i, r in enumerate(self._ranks)},
+                root=root,
+            )
         self.world.charge_collective(
             "scatter",
             self._ranks,
@@ -325,6 +394,15 @@ class Communicator:
                 f"reduce_scatter on {self.label!r}: first axis must have "
                 f"length {self.size}, got shape {shape}"
             )
+        ck = self.world.checker
+        if ck is not None:
+            ck.lockstep_collective(
+                self,
+                "reduce_scatter",
+                {r: a.nbytes for r, a in zip(self._ranks, arrays)},
+                op=getattr(op, "name", str(op)),
+                dtypes={r: str(a.dtype) for r, a in zip(self._ranks, arrays)},
+            )
         reduced = op.combine(arrays)
         # costed like the reduce-scatter half of a ring allreduce
         self.world.charge_collective(
@@ -356,6 +434,15 @@ class Communicator:
                     f"scan on {self.label!r}: rank {r} has shape {a.shape}, "
                     f"expected {shape}"
                 )
+        ck = self.world.checker
+        if ck is not None:
+            ck.lockstep_collective(
+                self,
+                "scan",
+                {r: a.nbytes for r, a in zip(self._ranks, arrays)},
+                op=getattr(op, "name", str(op)),
+                dtypes={r: str(a.dtype) for r, a in zip(self._ranks, arrays)},
+            )
         out: Dict[int, np.ndarray] = {}
         for j, r in enumerate(self._ranks):
             upto = arrays[:j] if exclusive else arrays[: j + 1]
@@ -385,6 +472,20 @@ class Communicator:
         if source == dest:
             return arr.copy()
         pair = (source, dest)
+        ck = self.world.checker
+        if ck is not None:
+            # only the endpoints participate; the pair is a subset of the
+            # communicator, so the label<->membership table must not bind
+            for r in pair:
+                ck.post(
+                    r,
+                    comm_label=self.label,
+                    comm_ranks=pair,
+                    kind="sendrecv",
+                    nbytes=int(arr.nbytes),
+                    dtype=str(arr.dtype),
+                    track_membership=False,
+                )
         factor = 1.0
         if self.world.fault_injector is not None:
             factor = self.world.fault_injector.on_collective(
@@ -403,18 +504,19 @@ class Communicator:
         self.world._seq += 1
         from repro.vmpi.tracer import CollectiveEvent
 
-        self.world.trace.record(
-            CollectiveEvent(
-                seq=self.world._seq,
-                kind="sendrecv",
-                comm_label=self.label,
-                ranks=pair,
-                n_nodes=self.world.cost_model.n_nodes_of(pair),
-                nbytes=int(arr.nbytes),
-                algorithm="",
-                t_start=t_start,
-                cost_s=cost,
-                category=cat,
-            )
+        event = CollectiveEvent(
+            seq=self.world._seq,
+            kind="sendrecv",
+            comm_label=self.label,
+            ranks=pair,
+            n_nodes=self.world.cost_model.n_nodes_of(pair),
+            nbytes=int(arr.nbytes),
+            algorithm="",
+            t_start=t_start,
+            cost_s=cost,
+            category=cat,
         )
+        self.world.trace.record(event)
+        if ck is not None:
+            ck.observe_event(event)
         return arr.copy()

@@ -8,6 +8,10 @@ members overlap.
 
 ``export_csv`` writes one row per collective for spreadsheet-grade
 analysis.
+
+``export_trace_json`` / ``load_trace_json`` round-trip the raw event
+list losslessly — the interchange format ``repro check-trace`` lints
+and replays.
 """
 
 from __future__ import annotations
@@ -15,9 +19,9 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Iterable, Optional, Union
+from typing import Iterable, List, Optional, Union
 
-from repro.vmpi.tracer import TraceLog
+from repro.vmpi.tracer import CollectiveEvent, TraceLog
 
 
 def export_chrome_trace(
@@ -67,6 +71,27 @@ def export_chrome_trace(
         json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})
     )
     return n_collectives
+
+
+def export_trace_json(trace: TraceLog, path: Union[str, Path]) -> int:
+    """Write the raw event list as JSON; returns the event count.
+
+    Lossless: ``load_trace_json`` reconstructs the exact
+    :class:`~repro.vmpi.tracer.CollectiveEvent` sequence.
+    """
+    events = [ev.to_dict() for ev in trace]
+    Path(path).write_text(
+        json.dumps({"format": "repro-trace-v1", "events": events}, indent=1)
+        + "\n"
+    )
+    return len(events)
+
+
+def load_trace_json(path: Union[str, Path]) -> List[CollectiveEvent]:
+    """Load an event list saved by :func:`export_trace_json`."""
+    doc = json.loads(Path(path).read_text())
+    raw = doc["events"] if isinstance(doc, dict) else doc
+    return [CollectiveEvent.from_dict(d) for d in raw]
 
 
 def export_csv(trace: TraceLog, path: Union[str, Path]) -> int:

@@ -94,6 +94,7 @@ class VirtualWorld:
         }
         self._seq = 0
         self.fault_injector: "object | None" = None
+        self.checker: "object | None" = None
 
     def install_fault_injector(self, injector: "object | None") -> None:
         """Attach (or, with ``None``, detach) a fault injector.
@@ -109,6 +110,22 @@ class VirtualWorld:
         injector has exactly zero behavioural or cost difference.
         """
         self.fault_injector = injector
+
+    def install_checker(self, checker: "object | None") -> None:
+        """Attach (or, with ``None``, detach) a collective checker.
+
+        The checker — normally a
+        :class:`~repro.check.checker.CollectiveChecker` — is consulted
+        by every :class:`~repro.vmpi.communicator.Communicator`
+        collective before data movement (buffer/kind/membership
+        conformance, ``alltoall`` move semantics) and receives every
+        recorded :class:`~repro.vmpi.tracer.CollectiveEvent` through
+        ``observe_event``.  Violations raise
+        :class:`~repro.errors.ProtocolError` at the offending call.  A
+        world without a checker has exactly zero behavioural or cost
+        difference.
+        """
+        self.checker = checker
 
     # ------------------------------------------------------------------
     # communicators
@@ -204,20 +221,21 @@ class VirtualWorld:
         for r in ranks:
             self._add_category_time(int(r), cat, cost)
         self._seq += 1
-        self.trace.record(
-            CollectiveEvent(
-                seq=self._seq,
-                kind=kind,
-                comm_label=comm_label,
-                ranks=tuple(int(r) for r in ranks),
-                n_nodes=self.cost_model.n_nodes_of(ranks),
-                nbytes=int(nbytes),
-                algorithm=getattr(algorithm, "value", "") if algorithm else "",
-                t_start=t_start,
-                cost_s=cost,
-                category=cat,
-            )
+        event = CollectiveEvent(
+            seq=self._seq,
+            kind=kind,
+            comm_label=comm_label,
+            ranks=tuple(int(r) for r in ranks),
+            n_nodes=self.cost_model.n_nodes_of(ranks),
+            nbytes=int(nbytes),
+            algorithm=getattr(algorithm, "value", "") if algorithm else "",
+            t_start=t_start,
+            cost_s=cost,
+            category=cat,
         )
+        self.trace.record(event)
+        if self.checker is not None:
+            self.checker.observe_event(event)
         return cost
 
     def sync_charge(

@@ -43,6 +43,42 @@ class SequentialCgyroBaseline:
         self.trace = trace
         #: worlds of completed runs, for post-hoc trace inspection
         self.worlds: List[VirtualWorld] = []
+        self._sims: Optional[List[CgyroSimulation]] = None
+
+    def simulations(self) -> List[CgyroSimulation]:
+        """Persistent per-input simulations (one fresh world each).
+
+        Created on first call and advanced by :meth:`run_interval`, so
+        multi-interval trajectories continue instead of restarting —
+        what the differential oracle (:mod:`repro.check.oracle`) needs
+        to compare interval *n* against interval *n* of the ensemble.
+        Do not mix with :meth:`run_report_interval`, which rebuilds
+        fresh worlds (single-interval semantics) on every call.
+        """
+        if self._sims is None:
+            self.worlds = []
+            self._sims = []
+            for inp in self.inputs:
+                world = VirtualWorld(
+                    self.machine,
+                    n_ranks=self.n_ranks,
+                    enforce_memory=self.enforce_memory,
+                    trace=self.trace,
+                )
+                self._sims.append(
+                    CgyroSimulation(world, range(world.n_ranks), inp)
+                )
+                self.worlds.append(world)
+        return self._sims
+
+    def run_interval(self) -> List[ReportRow]:
+        """Advance the persistent simulations one reporting interval."""
+        cadences = {inp.steps_per_report for inp in self.inputs}
+        if len(cadences) != 1:
+            raise InputError(
+                f"inputs disagree on steps_per_report: {sorted(cadences)}"
+            )
+        return [sim.run_report_interval() for sim in self.simulations()]
 
     def run_report_interval(self) -> List[ReportRow]:
         """Run one reporting interval of every input, sequentially.

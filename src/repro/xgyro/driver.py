@@ -96,6 +96,15 @@ class XgyroEnsemble:
         """All world ranks of the job, in member order."""
         return tuple(r for m in self.members for r in m.ranks)
 
+    def member_states(self) -> "List[object]":
+        """Global ``(nc, nv, nt)`` state per member, in member order.
+
+        The quantity the differential oracle
+        (:mod:`repro.check.oracle`) compares against independent
+        baseline runs; gathering is pure assembly, charging nothing.
+        """
+        return [m.gather_h() for m in self.members]
+
     # ------------------------------------------------------------------
     def step(self) -> None:
         """One lockstep time step of the whole ensemble."""

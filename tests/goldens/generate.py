@@ -1,0 +1,67 @@
+"""Regenerate the committed golden EquivalenceReport JSON files.
+
+Run from the repository root:
+
+    PYTHONPATH=src python tests/goldens/generate.py
+
+The goldens pin the nl03c-scale differential-oracle result in
+``member`` mode, whose deltas are exactly zero by construction
+(order-identical reduction); the JSON must therefore be byte-stable
+across platforms.  ``tests/test_check_oracle.py`` asserts that a fresh
+oracle run reproduces these bytes exactly.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.check import differential_oracle
+from repro.cgyro.presets import NL03C_SCALED_MEM_PER_RANK, nl03c_scaled
+from repro.machine.presets import frontier_like
+
+HERE = Path(__file__).resolve().parent
+
+
+def nl03c_members(k: int):
+    base = nl03c_scaled(steps_per_report=1, nonlinear=False)
+    return [
+        base.with_updates(
+            name=f"nl03c.m{m}", dlntdr=(3.0 + 0.1 * m, 3.0 + 0.1 * m)
+        )
+        for m in range(k)
+    ]
+
+
+def nl03c_machine(k: int):
+    # 4 frontier-like nodes (32 ranks) per member, scaled memory so the
+    # paper's capacity arithmetic still binds at the scaled-down size
+    return frontier_like(
+        n_nodes=4 * k, mem_per_rank_bytes=NL03C_SCALED_MEM_PER_RANK
+    )
+
+
+CASES = {
+    "oracle_nl03c_k2.json": 2,
+    "oracle_nl03c_k4.json": 4,
+}
+
+
+def main() -> int:
+    for fname, k in CASES.items():
+        report = differential_oracle(
+            nl03c_members(k), nl03c_machine(k), n_reports=1, baseline="member"
+        )
+        out = HERE / fname
+        out.write_text(report.to_json())
+        print(
+            f"{out.name}: k={k}, ok={report.ok}, "
+            f"max_abs={report.max_abs:.3e}"
+        )
+        if not report.ok:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""Fault path under the checker: shrink-and-recover must emit a
+protocol-clean trace.
+
+A node loss mid-run kills one member; the surviving members roll back
+and rebuild on recovery communicators.  With the checker installed the
+whole lifecycle — pre-fault steps, the failed collective, the rebuild,
+the replayed steps — must leave the checker quiescent and the recorded
+trace lintable and replayable: no orphaned in-flight collectives, no
+event touching dead ranks after the shrink.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import (
+    CollectiveChecker,
+    lint_trace,
+    replay_trace,
+    resilient_differential_oracle,
+)
+from repro.cgyro.presets import small_test
+from repro.machine.presets import generic_cluster
+from repro.resilience.faults import FaultPlan, FaultSpec
+from repro.resilience.runner import ResilientXgyroRunner
+from repro.vmpi.world import VirtualWorld
+
+DEAD_NODE = 2          # ranks 8-11 on the 4x4 cluster = member m2
+FAIL_STEP = 1
+N_STEPS = 3
+
+
+@pytest.fixture(scope="module")
+def faulted_run():
+    machine = generic_cluster(n_nodes=4, ranks_per_node=4)
+    world = VirtualWorld(machine)
+    checker = CollectiveChecker()
+    inputs = [
+        small_test(name=f"m{i}", dlntdr=(3.0 + 0.1 * i, 3.0 + 0.1 * i))
+        for i in range(4)
+    ]
+    plan = FaultPlan(
+        specs=(FaultSpec(kind="node_loss", at_step=FAIL_STEP, node=DEAD_NODE),)
+    )
+    runner = ResilientXgyroRunner(world, inputs, plan=plan, checker=checker)
+    result = runner.run_steps(N_STEPS)
+    return world, checker, runner, result
+
+
+def test_run_shrank_and_completed(faulted_run):
+    _, _, _, result = faulted_run
+    assert result.steps == N_STEPS
+    assert result.n_members_initial == 4
+    assert result.n_members_final == 3
+    assert result.n_recoveries == 1
+    assert result.lost_member_labels == ("xgyro.m2.m2",)
+
+
+def test_checker_is_quiescent_after_recovery(faulted_run):
+    _, checker, _, _ = faulted_run
+    checker.assert_quiescent()  # no orphaned in-flight collectives
+    assert checker.n_completed > 0
+    assert checker.observed_events == len(faulted_run[0].trace)
+
+
+def test_trace_lints_clean(faulted_run):
+    world, _, _, _ = faulted_run
+    rep = lint_trace(world.trace.events)
+    assert rep.ok, rep.render()
+
+
+def test_trace_replays_clean(faulted_run):
+    world, _, _, _ = faulted_run
+    ck = replay_trace(world.trace.events)
+    assert ck.n_completed == len(world.trace.events)
+
+
+def test_recovery_generation_labels_present(faulted_run):
+    world, _, _, _ = faulted_run
+    labels = {ev.comm_label for ev in world.trace.events}
+    assert any(".r1" in label for label in labels)
+
+
+def test_dead_ranks_silent_after_shrink(faulted_run):
+    world, _, _, _ = faulted_run
+    dead = set(range(DEAD_NODE * 4, DEAD_NODE * 4 + 4))
+    events = list(world.trace.events)
+    first_recovery = next(
+        i for i, ev in enumerate(events) if ".r1" in ev.comm_label
+    )
+    for ev in events[first_recovery:]:
+        assert not (set(ev.ranks) & dead), (
+            f"seq {ev.seq} on {ev.comm_label!r} touches dead ranks"
+        )
+
+
+@pytest.mark.oracle
+def test_survivors_match_undisturbed_baselines():
+    machine = generic_cluster(n_nodes=4, ranks_per_node=4)
+    inputs = [
+        small_test(name=f"m{i}", dlntdr=(3.0 + 0.1 * i, 3.0 + 0.1 * i))
+        for i in range(4)
+    ]
+    plan = FaultPlan(
+        specs=(FaultSpec(kind="node_loss", at_step=FAIL_STEP, node=DEAD_NODE),)
+    )
+    report = resilient_differential_oracle(
+        inputs, machine, plan, n_steps=N_STEPS
+    )
+    assert report.ok, report.render()
+    assert report.mode == "resilient"
+    assert report.k == 3  # the dead member is gone, survivors compared
+    assert report.max_abs == 0.0  # rollback + replay is bit-exact

@@ -1,0 +1,160 @@
+"""Property tests: the checker accepts every valid schedule and
+rejects every singly-mutated one.
+
+The generator builds random-but-legal lockstep schedules: each round
+partitions a random rank set into disjoint groups, each group runs one
+collective with internally consistent kind/op/dtype/root/nbytes.  Such
+a schedule must always drive :meth:`CollectiveChecker.run_programs` to
+completion.  Mutating exactly one rank's post — kind, reduce op, byte
+count on a uniform-convention kind, or deleting the post outright —
+must always raise a :class:`ProtocolError` that names at least one
+offending sequence number.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st
+
+from repro.check import CollectiveChecker
+from repro.errors import ProtocolError
+
+# kinds the generator emits (sendrecv excluded: its pairs intentionally
+# bypass the one-label-one-group rule the mutations below rely on)
+_KINDS = (
+    "barrier",
+    "allreduce",
+    "bcast",
+    "reduce",
+    "reduce_scatter",
+    "scan",
+    "alltoall",
+    "allgather",
+    "gather",
+    "scatter",
+)
+_UNIFORM = {"barrier", "allreduce", "bcast", "reduce", "reduce_scatter", "scan"}
+_ROOTED = {"bcast", "reduce", "gather", "scatter"}
+_REDUCING = {"allreduce", "reduce", "reduce_scatter", "scan"}
+
+
+@st.composite
+def _schedules(draw):
+    """(n_ranks, rounds) where each round is a list of group specs."""
+    n_ranks = draw(st.integers(min_value=4, max_value=8))
+    n_rounds = draw(st.integers(min_value=1, max_value=5))
+    rounds = []
+    for _ in range(n_rounds):
+        ranks = list(range(n_ranks))
+        groups = []
+        while len(ranks) >= 2:
+            size = draw(st.integers(min_value=2, max_value=len(ranks)))
+            members = tuple(ranks[:size])
+            ranks = ranks[size:]
+            kind = draw(st.sampled_from(_KINDS))
+            per_rank = 8 * draw(st.integers(min_value=1, max_value=64))
+            spec = {
+                "comm_ranks": members,
+                "kind": kind,
+                "nbytes": per_rank,
+            }
+            if kind in _REDUCING:
+                spec["op"] = draw(st.sampled_from(("SUM", "MAX", "MIN")))
+                spec["dtype"] = draw(
+                    st.sampled_from(("float64", "complex128"))
+                )
+            if kind in _ROOTED:
+                spec["root"] = draw(st.sampled_from(members))
+            groups.append(spec)
+        if not groups:  # at least one real group per round
+            groups.append(
+                {"comm_ranks": (0, 1), "kind": "barrier", "nbytes": 0}
+            )
+        rounds.append(groups)
+    return n_ranks, rounds
+
+
+def _programs(n_ranks, rounds, *, skip=None, mutate=None):
+    """Expand a schedule into per-rank programs.
+
+    ``skip=(round, group, rank)`` drops that rank's post; ``mutate``
+    is a callable applied to one (round, group, rank)'s spec dict.
+    """
+    programs = {r: [] for r in range(n_ranks)}
+    for i, groups in enumerate(rounds):
+        for g, spec in enumerate(groups):
+            members = spec["comm_ranks"]
+            label = f"r{i}.g{g}.{'-'.join(map(str, members))}"
+            for r in members:
+                if skip == (i, g, r):
+                    continue
+                entry = dict(spec, comm_label=label)
+                if spec["kind"] == "barrier":
+                    entry["nbytes"] = 0
+                if mutate is not None:
+                    entry = mutate(i, g, r, entry)
+                programs[r].append(entry)
+    return programs
+
+
+def _first_multirank(rounds):
+    """(round, group, spec) of the first group with >= 2 members."""
+    for i, groups in enumerate(rounds):
+        for g, spec in enumerate(groups):
+            if len(spec["comm_ranks"]) >= 2:
+                return i, g, spec
+    raise AssertionError("generator guarantees a >= 2-rank group")
+
+
+@settings(deadline=None, max_examples=50)
+@given(_schedules())
+def test_valid_schedules_never_raise(sched):
+    n_ranks, rounds = sched
+    ck = CollectiveChecker()
+    n = ck.run_programs(_programs(n_ranks, rounds))
+    assert n == sum(len(groups) for groups in rounds)
+    ck.assert_quiescent()
+
+
+@settings(deadline=None, max_examples=50)
+@given(_schedules(), st.sampled_from(["kind", "op", "nbytes", "drop"]))
+def test_single_mutation_always_diagnosed(sched, what):
+    n_ranks, rounds = sched
+    i, g, spec = _first_multirank(rounds)
+    victim = spec["comm_ranks"][-1]
+
+    if what == "op" and spec["kind"] not in _REDUCING:
+        what = "kind"  # op is only checked on reducing kinds
+    if what == "nbytes" and spec["kind"] not in _UNIFORM - {"barrier"}:
+        what = "drop"  # ragged bytes are legal on vector kinds
+
+    skip = None
+    mutate = None
+    if what == "drop":
+        skip = (i, g, victim)
+    else:
+        def mutate(ri, gi, r, entry, _target=(i, g, victim), _what=what):
+            if (ri, gi, r) != _target:
+                return entry
+            if _what == "kind":
+                entry["kind"] = (
+                    "allgather" if entry["kind"] != "allgather" else "alltoall"
+                )
+                entry.pop("op", None)
+                entry.pop("dtype", None)
+                entry.pop("root", None)
+            elif _what == "op":
+                entry["op"] = "PROD"
+            elif _what == "nbytes":
+                entry["nbytes"] = entry["nbytes"] + 8
+            return entry
+
+    with pytest.raises(ProtocolError) as exc:
+        ck = CollectiveChecker()
+        ck.run_programs(_programs(n_ranks, rounds, skip=skip, mutate=mutate))
+    err = exc.value
+    assert err.seqs, "diagnosis must name the offending post seq numbers"
+    assert err.code in ("mismatch", "deadlock", "mid-flight", "membership")
