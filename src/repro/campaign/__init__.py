@@ -23,7 +23,10 @@ arbitrary request stream and packing them onto the machine:
 - :mod:`repro.campaign.runner` — :class:`CampaignRunner`, dispatching
   packed jobs through :class:`~repro.xgyro.driver.XgyroEnsemble` /
   :class:`~repro.xgyro.study.XgyroStudy`, requeueing members lost to
-  injected faults via :mod:`repro.resilience`;
+  injected faults via :mod:`repro.resilience` under a bounded
+  :class:`~repro.resilience.health.RetryPolicy` and steering placement
+  away from nodes the
+  :class:`~repro.resilience.health.NodeHealthTracker` quarantines;
 - :mod:`repro.campaign.report` — :class:`CampaignReport`: throughput
   in member-steps/s, queue-latency percentiles, cache hit rate, node
   utilisation (rendered by
@@ -33,7 +36,12 @@ arbitrary request stream and packing them onto the machine:
 from repro.campaign.batcher import CandidateBatch, SignatureBatcher
 from repro.campaign.cache import CacheEntry, CmatCache
 from repro.campaign.packer import CampaignPacker, JobShape, PackedJob
-from repro.campaign.report import CampaignReport, JobRecord, RequestRecord
+from repro.campaign.report import (
+    AbandonedRecord,
+    CampaignReport,
+    JobRecord,
+    RequestRecord,
+)
 from repro.campaign.request import (
     RequestQueue,
     SimRequest,
@@ -43,6 +51,7 @@ from repro.campaign.request import (
 from repro.campaign.runner import CampaignRunner
 
 __all__ = [
+    "AbandonedRecord",
     "CacheEntry",
     "CampaignPacker",
     "CampaignReport",

@@ -16,10 +16,17 @@ with ``charge_cmat_build=False`` so the assembly cost never touches
 the simulated clocks — exactly the effect of tensor residency on a
 real machine.  A hit saves time, never memory: every job still
 registers its cmat bytes in the per-rank ledgers.
+
+A resident tensor is also a long-lived SDC target: every record
+carries a checksum, :meth:`CmatCache.lookup` re-verifies it before
+serving, and a corrupted record is *never* served — it counts as a
+miss, is evicted on the spot, and bumps the ``integrity_failures``
+stat, so the dispatching job falls back to a (clean) rebuild.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -29,13 +36,25 @@ from repro.collision.signature import CmatSignature
 
 @dataclass
 class CacheEntry:
-    """One resident tensor: content address, size, and assembly bill."""
+    """One resident tensor: content address, size, and assembly bill.
+
+    ``checksum`` guards the record itself (the stand-in for the
+    resident tensor's bytes); it is computed at insert time and
+    re-verified on every lookup.
+    """
 
     key: str
     nbytes: int
     build_s: float
     hits: int = 0
     last_used: int = field(default=0, repr=False)
+    checksum: str = field(default="", repr=False)
+
+    def content_checksum(self) -> str:
+        """Checksum over the fields that model the tensor's content."""
+        return hashlib.sha256(
+            f"{self.key}:{self.nbytes}:{self.build_s!r}".encode()
+        ).hexdigest()
 
 
 class CmatCache:
@@ -61,6 +80,7 @@ class CmatCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.integrity_failures = 0
         self.seconds_saved = 0.0
 
     # ------------------------------------------------------------------
@@ -88,11 +108,21 @@ class CmatCache:
         On a hit the entry's assembly bill is added to
         :attr:`seconds_saved` — the simulated seconds the job skips by
         reusing the resident tensor.
+
+        The entry's checksum is re-verified first: a corrupted record
+        is evicted, counted under :attr:`integrity_failures`, and
+        reported as a miss — a poisoned tensor must never be served.
         """
         key = signature.content_hash()
         entry = self._entries.get(key)
         self._clock += 1
         if entry is None:
+            self.misses += 1
+            return None
+        if entry.content_checksum() != entry.checksum:
+            del self._entries[key]
+            self.evictions += 1
+            self.integrity_failures += 1
             self.misses += 1
             return None
         entry.hits += 1
@@ -117,6 +147,7 @@ class CmatCache:
             key=key, nbytes=int(nbytes), build_s=float(build_s),
             last_used=self._clock,
         )
+        entry.checksum = entry.content_checksum()
         self._entries[key] = entry
         self._evict()
         return entry
@@ -130,6 +161,17 @@ class CmatCache:
             self.evictions += 1
 
     # ------------------------------------------------------------------
+    def corrupt(self, signature: CmatSignature) -> bool:
+        """Corrupt ``signature``'s resident record in place (fault
+        injection: a bit-flip in a cached tensor).  The stored checksum
+        is left stale — the next :meth:`lookup` must catch it.  Returns
+        whether a record was present to corrupt."""
+        entry = self._entries.get(signature.content_hash())
+        if entry is None:
+            return False
+        entry.nbytes ^= 1
+        return True
+
     def entries(self) -> List[CacheEntry]:
         """Resident entries, most recently used first."""
         return sorted(
@@ -137,13 +179,31 @@ class CmatCache:
         )
 
     def stats(self) -> Dict[str, float]:
-        """Accounting snapshot for reports."""
+        """Accounting snapshot for reports.
+
+        Keys (all present even before the first lookup, when
+        ``hit_rate`` is defined as 0.0):
+
+        - ``entries`` — resident records;
+        - ``in_use_bytes`` — bytes of resident tensor;
+        - ``hits`` / ``misses`` — lookup outcomes (an integrity
+          failure counts as a miss);
+        - ``evictions`` — records dropped (LRU pressure *or* integrity
+          eviction);
+        - ``integrity_failures`` — corrupted records caught and
+          evicted by lookup verification;
+        - ``hit_rate`` — ``hits / (hits + misses)``, 0.0 at zero
+          lookups;
+        - ``seconds_saved`` — simulated assembly seconds skipped by
+          hits.
+        """
         return {
             "entries": len(self._entries),
             "in_use_bytes": self.in_use_bytes,
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "integrity_failures": self.integrity_failures,
             "hit_rate": self.hit_rate,
             "seconds_saved": self.seconds_saved,
         }

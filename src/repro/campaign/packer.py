@@ -25,6 +25,13 @@ The two packing moves:
 Node ranges are resolved to node ids through the machine's
 :class:`~repro.machine.placement.BlockPlacement`, the launcher default
 the rest of the reproduction assumes.
+
+When a :class:`~repro.resilience.health.NodeHealthTracker` is
+attached, quarantined nodes are struck from the allocatable pool
+entirely: wave capacity shrinks, placements slide past the bad
+hardware, and a job is never handed a node the circuit breaker has
+tripped on.  With nothing quarantined the packing is bit-identical to
+the health-free packer.
 """
 
 from __future__ import annotations
@@ -106,24 +113,45 @@ class CampaignPacker:
         maximal sharing, the paper's regime.  ``False`` packs every
         request as its own k=1 job, the FIFO baseline benchmarks
         compare against.
+    health:
+        Optional :class:`~repro.resilience.health.NodeHealthTracker`;
+        nodes it quarantines are excluded from placement (and from
+        wave capacity) on every subsequent :meth:`pack`.
     """
 
     def __init__(
-        self, machine: MachineModel, *, prefer_larger_k: bool = True
+        self,
+        machine: MachineModel,
+        *,
+        prefer_larger_k: bool = True,
+        health: "object | None" = None,
     ) -> None:
         self.machine = machine
         self.prefer_larger_k = prefer_larger_k
+        self.health = health
         self._placement = BlockPlacement(machine, machine.n_ranks)
+
+    def available_nodes(self) -> List[int]:
+        """Allocatable node ids: the machine minus any quarantined."""
+        if self.health is None:
+            return list(range(self.machine.n_nodes))
+        return self.health.available_nodes(self.machine.n_nodes)
 
     # ------------------------------------------------------------------
     # feasibility
     # ------------------------------------------------------------------
-    def shape_for(self, inp: CgyroInput, k: int) -> Optional[JobShape]:
+    def shape_for(
+        self, inp: CgyroInput, k: int, *, max_nodes: Optional[int] = None
+    ) -> Optional[JobShape]:
         """Smallest-node feasible geometry for k members sharing, or
-        ``None`` when no node count up to the machine fits."""
+        ``None`` when no node count up to ``max_nodes`` (default: the
+        whole machine) fits."""
         dims = inp.grid_dims()
         rpn = self.machine.ranks_per_node
-        for n_nodes in range(1, self.machine.n_nodes + 1):
+        limit = self.machine.n_nodes if max_nodes is None else min(
+            self.machine.n_nodes, max_nodes
+        )
+        for n_nodes in range(1, limit + 1):
             n_ranks = n_nodes * rpn
             if n_ranks % k != 0:
                 continue
@@ -168,24 +196,34 @@ class CampaignPacker:
         """Cut a candidate batch into feasible jobs.
 
         Greedy maximal sharing: repeatedly take the largest k for which
-        some node count fits.  Raises :class:`CampaignError` when even
-        a lone member (k=1) cannot fit — that request can never run on
-        this machine.
+        some node count fits the *allocatable* machine (quarantined
+        nodes excluded).  Raises :class:`CampaignError` when even a
+        lone member (k=1) cannot fit — that request can never run on
+        this machine (or on what quarantine has left of it).
         """
         jobs: List[Tuple[Tuple[SimRequest, ...], JobShape]] = []
         remaining = list(batch.requests)
+        n_avail = len(self.available_nodes())
         while remaining:
             top_k = len(remaining) if self.prefer_larger_k else 1
             chosen: Optional[JobShape] = None
             for k in range(top_k, 0, -1):
-                chosen = self.shape_for(remaining[0].input, k)
+                chosen = self.shape_for(
+                    remaining[0].input, k, max_nodes=n_avail
+                )
                 if chosen is not None:
                     break
             if chosen is None:
+                quarantined = self.machine.n_nodes - n_avail
+                detail = (
+                    f" ({quarantined} of {self.machine.n_nodes} nodes "
+                    "quarantined)" if quarantined else ""
+                )
                 raise CampaignError(
                     f"request {remaining[0].request_id!r} "
                     f"({remaining[0].input.name!r}) does not fit "
                     f"{self.machine.name} at any node count, even alone"
+                    f"{detail}"
                 )
             jobs.append((tuple(remaining[: chosen.k]), chosen))
             remaining = remaining[chosen.k :]
@@ -211,11 +249,12 @@ class CampaignPacker:
         waves: List[List[PackedJob]] = []
         used_nodes: List[int] = []
         seq = job_id_offset
+        available = self.available_nodes()
         for batch in batches:
             for requests, shape in self.split(batch):
                 wave_idx = None
                 for w, used in enumerate(used_nodes):
-                    if used + shape.n_nodes <= self.machine.n_nodes:
+                    if used + shape.n_nodes <= len(available):
                         wave_idx = w
                         break
                 if wave_idx is None:
@@ -223,11 +262,11 @@ class CampaignPacker:
                     used_nodes.append(0)
                     wave_idx = len(waves) - 1
                 start = used_nodes[wave_idx]
-                ranks = range(
-                    start * self.machine.ranks_per_node,
-                    (start + shape.n_nodes) * self.machine.ranks_per_node,
-                )
-                nodes = self._placement.nodes_of(ranks)
+                # next run of allocatable nodes (contiguous ids when
+                # nothing is quarantined — identical to the healthy
+                # packer — and the healthy nodes around a struck one
+                # otherwise)
+                nodes = tuple(available[start : start + shape.n_nodes])
                 waves[wave_idx].append(
                     PackedJob(
                         job_id=f"job{seq:03d}",

@@ -7,6 +7,12 @@ one :class:`RequestRecord` per *completed* request, one
 asks for — throughput in member-steps per simulated second, queue
 latency percentiles, cmat-cache hit rate, and node utilisation.
 
+Requests that exhaust the :class:`~repro.resilience.health.RetryPolicy`
+attempt cap land on the dead-letter list as :class:`AbandonedRecord`
+entries — surfaced, never silently dropped — and the report carries
+the :class:`~repro.resilience.health.NodeHealthTracker` snapshot
+(incident ledger, quarantined nodes) alongside them.
+
 All times are campaign-clock (simulated) seconds.
 """
 
@@ -114,6 +120,25 @@ class JobRecord:
         }
 
 
+@dataclass(frozen=True)
+class AbandonedRecord:
+    """Dead-letter entry: a request given up on after repeated faults."""
+
+    request_id: str
+    attempts: int
+    last_job_id: str
+    reason: str
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation."""
+        return {
+            "request_id": self.request_id,
+            "attempts": self.attempts,
+            "last_job_id": self.last_job_id,
+            "reason": self.reason,
+        }
+
+
 @dataclass
 class CampaignReport:
     """Service-level summary of one campaign run."""
@@ -125,6 +150,9 @@ class CampaignReport:
     requests: List[RequestRecord] = field(default_factory=list)
     cache: Dict[str, float] = field(default_factory=dict)
     peak_cmat_bytes_per_rank: int = 0
+    abandoned: List[AbandonedRecord] = field(default_factory=list)
+    quarantined_nodes: Tuple[int, ...] = ()
+    health: Dict[str, object] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -141,6 +169,11 @@ class CampaignReport:
     def n_requeued(self) -> int:
         """Member slots lost to faults and sent back to the queue."""
         return sum(len(j.lost_request_ids) for j in self.jobs)
+
+    @property
+    def n_abandoned(self) -> int:
+        """Requests dead-lettered after exhausting the retry policy."""
+        return len(self.abandoned)
 
     @property
     def total_member_steps(self) -> int:
@@ -197,6 +230,10 @@ class CampaignReport:
                 self.latency_percentiles() if self.requests else {}
             ),
             "cache": dict(self.cache),
+            "n_abandoned": self.n_abandoned,
+            "abandoned": [a.to_dict() for a in self.abandoned],
+            "quarantined_nodes": list(self.quarantined_nodes),
+            "health": dict(self.health),
             "jobs": [j.to_dict() for j in self.jobs],
             "requests": [r.to_dict() for r in self.requests],
         }

@@ -15,7 +15,11 @@ into completed simulations:
    :class:`~repro.campaign.cache.CmatCache` first — a hit runs the job
    with ``charge_cmat_build=False``;
 4. members lost to injected faults are requeued (same id, same arrival
-   time, attempt+1) and served in the next round.
+   time, attempt+1) under the :class:`~repro.resilience.health.RetryPolicy`
+   — held out of the queue for an exponentially backed-off (jittered)
+   interval of campaign time, and *dead-lettered* onto the report's
+   ``abandoned`` list once the attempt cap is exhausted, so a member
+   that faults every wave can no longer loop forever.
 
 Jobs of one wave occupy disjoint node sets, so running each in its own
 world of ``machine.with_nodes(job.n_nodes)`` is exact: disjoint node
@@ -25,24 +29,36 @@ each wave's makespan (the slowest job); waves and rounds serialise.
 Fault plans are keyed by *job index* — the integer in the packer's
 ``job007``-style id — so a plan targets one specific dispatch; the
 retry job gets a fresh id and (normally) no plan, which is what makes
-requeue-and-finish terminate.
+requeue-and-finish terminate.  ``node_faults`` instead keys plans by
+*physical node id*: every dispatch that lands on that node inherits
+the plan (targets remapped into the job's local rank/node space) — a
+flaky node, not a flaky job.  Each dispatch's fault fallout (crashes,
+SDC repairs, migrations) is charged to the physical nodes involved on
+the :class:`~repro.resilience.health.NodeHealthTracker`; once a node
+trips the circuit breaker the packer stops placing work on it.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Tuple
 
-from repro.errors import CampaignError
+from repro.errors import CampaignError, RecoveryFailed
 from repro.collision.cmat import cmat_total_bytes
 from repro.machine.model import MachineModel
-from repro.resilience.faults import FaultPlan
+from repro.resilience.faults import FaultPlan, FaultSpec
+from repro.resilience.health import NodeHealthTracker, RetryPolicy
 from repro.resilience.runner import ResilientXgyroRunner
 from repro.resilience.triage import RecoveryPolicy
 from repro.vmpi.world import VirtualWorld
 from repro.campaign.batcher import SignatureBatcher
 from repro.campaign.cache import CmatCache
 from repro.campaign.packer import CampaignPacker, PackedJob
-from repro.campaign.report import CampaignReport, JobRecord, RequestRecord
+from repro.campaign.report import (
+    AbandonedRecord,
+    CampaignReport,
+    JobRecord,
+    RequestRecord,
+)
 from repro.campaign.request import RequestQueue
 
 
@@ -68,6 +84,21 @@ class CampaignRunner:
         Make each job's world ledgers raise on oversubscription —
         normally redundant (the packer's probes already guarantee fit)
         but useful as a cross-check in tests.
+    node_faults:
+        Map from *physical node id* to a :class:`FaultPlan` injected
+        into every dispatch placed on that node (targets remapped to
+        the job's local rank/node space) — models chronically bad
+        hardware rather than a one-off fault.
+    retry:
+        Requeue policy for fault-lost requests.  The default
+        :class:`RetryPolicy` caps total dispatches at 3 with
+        exponential backoff; ``retry=None`` restores the legacy
+        unbounded requeue (bounded only by ``max_rounds``).
+    health:
+        Per-node incident tracker; defaults to a fresh
+        :class:`NodeHealthTracker`.  It is shared with the packer (when
+        the packer has none of its own) so quarantine decisions steer
+        placement.
     """
 
     def __init__(
@@ -82,10 +113,21 @@ class CampaignRunner:
         checkpoint_interval: int = 1,
         policy: Optional[RecoveryPolicy] = None,
         enforce_memory: bool = False,
+        node_faults: Optional[Mapping[int, FaultPlan]] = None,
+        retry: Optional[RetryPolicy] = RetryPolicy(),
+        health: Optional[NodeHealthTracker] = None,
     ) -> None:
         self.machine = machine
         self.batcher = batcher or SignatureBatcher()
-        self.packer = packer or CampaignPacker(machine)
+        self.health = health if health is not None else NodeHealthTracker()
+        if packer is None:
+            self.packer = CampaignPacker(machine, health=self.health)
+        else:
+            self.packer = packer
+            if getattr(packer, "health", None) is None:
+                packer.health = self.health
+            else:
+                self.health = packer.health
         if use_cache:
             # explicit None test: an empty CmatCache is falsy but must
             # be kept — callers share it across runs to model warmth
@@ -93,9 +135,12 @@ class CampaignRunner:
         else:
             self.cache = None
         self.fault_plans: Dict[int, FaultPlan] = dict(fault_plans or {})
+        self.node_faults: Dict[int, FaultPlan] = dict(node_faults or {})
+        self.retry = retry
         self.checkpoint_interval = checkpoint_interval
         self.policy = policy
         self.enforce_memory = enforce_memory
+        self._hold_until: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     def run(
@@ -116,6 +161,7 @@ class CampaignRunner:
         clock = 0.0
         jobs: List[JobRecord] = []
         done: List[RequestRecord] = []
+        abandoned: List[AbandonedRecord] = []
         peak_cmat = 0
         rounds = 0
         while queue:
@@ -125,7 +171,24 @@ class CampaignRunner:
                     f"{len(queue)} request(s) still pending "
                     "(fault plans keep killing retries?)"
                 )
-            batches = self.batcher.batch(queue.drain())
+            pending = queue.drain()
+            held = [
+                r
+                for r in pending
+                if self._hold_until.get(r.request_id, 0.0) > clock
+            ]
+            ready = [r for r in pending if r not in held]
+            if not ready:
+                # every pending request is backing off — idle the
+                # campaign clock forward to the earliest release
+                clock = min(self._hold_until[r.request_id] for r in held)
+                for r in held:
+                    queue.submit(r)
+                rounds += 1
+                continue
+            for r in held:
+                queue.submit(r)
+            batches = self.batcher.batch(ready)
             waves = self.packer.pack(batches, job_id_offset=len(jobs))
             for wave in waves:
                 wave_makespan = 0.0
@@ -136,7 +199,9 @@ class CampaignRunner:
                     jobs.append(record)
                     done.extend(completed)
                     for req in lost:
-                        queue.submit(req.requeued())
+                        self._requeue_or_abandon(
+                            req, record, queue, clock, abandoned
+                        )
                     wave_makespan = max(wave_makespan, record.elapsed_s)
                     peak_cmat = max(peak_cmat, job.shape.per_rank_cmat_bytes)
                 clock += wave_makespan
@@ -149,6 +214,141 @@ class CampaignRunner:
             requests=done,
             cache=self.cache.stats() if self.cache is not None else {},
             peak_cmat_bytes_per_rank=peak_cmat,
+            abandoned=abandoned,
+            quarantined_nodes=self.health.quarantined,
+            health=self.health.to_dict(),
+        )
+
+    # ------------------------------------------------------------------
+    def _requeue_or_abandon(
+        self,
+        req,
+        record: JobRecord,
+        queue: RequestQueue,
+        clock: float,
+        abandoned: List[AbandonedRecord],
+    ) -> None:
+        """Requeue a fault-lost request under the retry policy, or
+        dead-letter it once the attempt cap is exhausted."""
+        attempts_done = req.attempt + 1  # dispatches consumed so far
+        if self.retry is not None and not self.retry.allows(attempts_done + 1):
+            abandoned.append(
+                AbandonedRecord(
+                    request_id=req.request_id,
+                    attempts=attempts_done,
+                    last_job_id=record.job_id,
+                    reason=(
+                        f"lost to faults on all {attempts_done} dispatch(es); "
+                        f"retry policy max_attempts={self.retry.max_attempts}"
+                    ),
+                )
+            )
+            return
+        if self.retry is not None:
+            backoff = self.retry.backoff_s(attempts_done, key=req.request_id)
+            self._hold_until[req.request_id] = (
+                clock + record.elapsed_s + backoff
+            )
+        queue.submit(req.requeued())
+
+    # ------------------------------------------------------------------
+    def _job_plan(self, job: PackedJob) -> Optional[FaultPlan]:
+        """The fault plan for one dispatch: the per-job-index plan (if
+        any) merged with every ``node_faults`` plan whose physical node
+        this job landed on, targets remapped into the job's local
+        rank/node space."""
+        base = self.fault_plans.get(int(job.job_id[3:]))
+        if not self.node_faults:
+            return base
+        specs = list(base.specs) if base is not None else []
+        timeout = base.detection_timeout_s if base is not None else 30.0
+        seed = base.seed if base is not None else 0
+        rpn = self.machine.ranks_per_node
+        extra = False
+        for local_node, phys_node in enumerate(job.nodes):
+            node_plan = self.node_faults.get(phys_node)
+            if node_plan is None:
+                continue
+            extra = True
+            timeout = max(timeout, node_plan.detection_timeout_s)
+            for s in node_plan.specs:
+                if s.kind == "node_loss" or (
+                    s.kind in ("slowdown", "link_slowdown") and s.rank < 0
+                ):
+                    # node-scoped spec: retarget at the local node index
+                    specs.append(
+                        FaultSpec(
+                            kind=s.kind,
+                            at_step=s.at_step,
+                            node=local_node,
+                            factor=s.factor,
+                            phase=s.phase,
+                        )
+                    )
+                else:
+                    # rank-scoped spec: ``rank`` is the offset within
+                    # the flaky node (clamped into [0, rpn))
+                    off = s.rank if 0 <= s.rank < rpn else 0
+                    specs.append(
+                        FaultSpec(
+                            kind=s.kind,
+                            at_step=s.at_step,
+                            rank=local_node * rpn + off,
+                            factor=s.factor,
+                            phase=s.phase,
+                        )
+                    )
+        if not extra:
+            return base
+        return FaultPlan(
+            specs=tuple(specs), detection_timeout_s=timeout, seed=seed
+        )
+
+    def _record_health(
+        self,
+        job: PackedJob,
+        runner: ResilientXgyroRunner,
+        world: VirtualWorld,
+        start_s: float,
+    ) -> None:
+        """Charge one dispatch's fault fallout to the physical nodes
+        involved, mapping the job's local node indices through
+        ``job.nodes``."""
+
+        for ev in runner.ledger.events:
+            for local_node in ev.failed_nodes:
+                self._record_incident(
+                    job,
+                    local_node,
+                    "crash",
+                    start_s,
+                    f"{job.job_id}: rank crash at step {ev.step}",
+                )
+        for sdc in runner.ledger.sdc_events:
+            for rank in sdc.ranks:
+                self._record_incident(
+                    job,
+                    world.placement.node_of(int(rank)),
+                    "sdc",
+                    start_s,
+                    f"{job.job_id}: shard checksum mismatch at step {sdc.step}",
+                )
+        for mig in runner.ledger.migrations:
+            self._record_incident(
+                job,
+                mig.node,
+                "straggler",
+                start_s,
+                f"{job.job_id}: member {mig.member} migrated at step {mig.step}",
+            )
+
+    def _record_incident(
+        self, job: PackedJob, local_node: int, kind: str, at_s: float, detail: str
+    ) -> None:
+        """Record one incident against the *physical* node backing the
+        job-local node index."""
+        self.health.record(
+            job.nodes[local_node], kind, at_s=at_s, detail=detail
         )
 
     # ------------------------------------------------------------------
@@ -175,7 +375,7 @@ class CampaignRunner:
             self.machine.with_nodes(job.n_nodes),
             enforce_memory=self.enforce_memory,
         )
-        plan = self.fault_plans.get(int(job.job_id[3:]))
+        plan = self._job_plan(job)
         runner = ResilientXgyroRunner(
             world,
             [r.input for r in job.requests],
@@ -184,7 +384,40 @@ class CampaignRunner:
             policy=self.policy,
             charge_cmat_build=hit is None,
         )
-        result = runner.run_steps(steps)
+        try:
+            result = runner.run_steps(steps)
+        except RecoveryFailed as abort:
+            # whole-job abort (e.g. shrunk below the policy minimum):
+            # every member is lost; requeue them all under the retry
+            # policy rather than crashing the campaign
+            self._record_health(job, runner, world, start_s)
+            for rank in abort.failed_ranks:
+                self._record_incident(
+                    job,
+                    world.placement.node_of(int(rank)),
+                    "crash",
+                    start_s,
+                    f"{job.job_id}: aborted ({abort.reason})",
+                )
+            elapsed = world.elapsed()
+            record = JobRecord(
+                job_id=job.job_id,
+                round=round_idx,
+                wave=job.wave,
+                signature_key=job.signature_key,
+                k=job.k,
+                n_nodes=job.n_nodes,
+                nodes=job.nodes,
+                steps=runner.ensemble.step_count,
+                start_s=start_s,
+                elapsed_s=elapsed,
+                cache_hit=hit is not None,
+                cmat_build_s=0.0,
+                n_recoveries=len(runner.ledger),
+                lost_request_ids=tuple(r.request_id for r in job.requests),
+            )
+            return record, [], list(job.requests)
+        self._record_health(job, runner, world, start_s)
 
         build_s = 0.0
         if hit is None:

@@ -11,6 +11,8 @@ a launcher invocation — against the virtual machine:
     python -m repro linear     DIR   --modes 1,2,3
     python -m repro figure2    [--measure-steps 1]
     python -m repro campaign   REQUESTS.json --nodes 4 [--fifo] [--no-cache]
+                               [--flaky-node 0:plan.json --max-attempts 3
+                                --backoff 30 --quarantine-after 2]
     python -m repro check-trace [TRACE.json ...] [--figure1] [--figure3]
     python -m repro oracle     FILE  --reports 2 --baseline member
 
@@ -243,19 +245,25 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         SignatureBatcher,
     )
     from repro.perf import render_campaign_report
-    from repro.resilience import FaultPlan
+    from repro.resilience import FaultPlan, NodeHealthTracker, RetryPolicy
 
     machine = _machine_from_args(args)
     queue = RequestQueue.from_json(args.requests)
     n_pending = len(queue)
-    fault_plans = {}
-    for spec in args.faults or ():
-        idx, _, path = spec.partition(":")
-        if not path:
-            raise ReproError(
-                f"--faults wants JOB_INDEX:PLAN.json, got {spec!r}"
-            )
-        fault_plans[int(idx)] = FaultPlan.from_file(path)
+
+    def _keyed_plans(specs, flag, metavar):
+        plans = {}
+        for spec in specs or ():
+            idx, _, path = spec.partition(":")
+            if not path:
+                raise ReproError(
+                    f"{flag} wants {metavar}:PLAN.json, got {spec!r}"
+                )
+            plans[int(idx)] = FaultPlan.from_file(path)
+        return plans
+
+    fault_plans = _keyed_plans(args.faults, "--faults", "JOB_INDEX")
+    node_faults = _keyed_plans(args.flaky_node, "--flaky-node", "NODE")
     if args.fifo:
         # FIFO baseline: one request per job, no sharing
         batcher = SignatureBatcher(max_batch=1)
@@ -263,12 +271,27 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     else:
         batcher = SignatureBatcher(max_batch=args.max_batch)
         packer = CampaignPacker(machine)
+    retry = (
+        None
+        if args.max_attempts == 0
+        else RetryPolicy(
+            max_attempts=args.max_attempts, base_backoff_s=args.backoff
+        )
+    )
+    health = NodeHealthTracker(
+        quarantine_threshold=(
+            None if args.quarantine_after == 0 else args.quarantine_after
+        )
+    )
     runner = CampaignRunner(
         machine,
         batcher=batcher,
         packer=packer,
         use_cache=not args.no_cache,
         fault_plans=fault_plans,
+        node_faults=node_faults,
+        retry=retry,
+        health=health,
         checkpoint_interval=args.checkpoint_interval,
         enforce_memory=args.enforce_memory,
     )
@@ -497,6 +520,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject a fault plan into the job with that index (repeatable)",
     )
     p.add_argument("--checkpoint-interval", type=int, default=1)
+    p.add_argument(
+        "--flaky-node",
+        action="append",
+        metavar="NODE:PLAN.json",
+        help="fault plan injected into every job placed on the physical "
+        "node (repeatable)",
+    )
+    p.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="retry-policy dispatch cap per request; 0 = unbounded "
+        "legacy requeue (default 3)",
+    )
+    p.add_argument(
+        "--backoff",
+        type=float,
+        default=30.0,
+        help="base retry backoff in simulated seconds (default 30)",
+    )
+    p.add_argument(
+        "--quarantine-after",
+        type=int,
+        default=2,
+        help="incidents before a node is quarantined; 0 = never "
+        "(default 2)",
+    )
     p.add_argument("--enforce-memory", action="store_true")
     p.add_argument("--json", default=None, help="also write the report as JSON")
     p.set_defaults(func=cmd_campaign)

@@ -201,6 +201,20 @@ def render_campaign_report(report, *, jobs: bool = True) -> str:
         lines.append(
             f"{'requeued after faults':<26s} {report.n_requeued:>12d}"
         )
+    if report.n_abandoned:
+        lines.append(
+            f"{'abandoned (dead-letter)':<26s} {report.n_abandoned:>12d}"
+        )
+        for a in report.abandoned:
+            lines.append(
+                f"  {a.request_id}: {a.attempts} attempt(s), "
+                f"last {a.last_job_id} — {a.reason}"
+            )
+    if report.quarantined_nodes:
+        lines.append(
+            f"{'quarantined nodes':<26s} "
+            + ", ".join(str(n) for n in report.quarantined_nodes)
+        )
     if report.cache:
         c = report.cache
         lines.append(
@@ -209,6 +223,11 @@ def render_campaign_report(report, *, jobs: bool = True) -> str:
             f"{c['seconds_saved']:.3f} s of assembly saved, "
             f"{int(c['evictions'])} eviction(s)"
         )
+        if c.get("integrity_failures"):
+            lines.append(
+                f"{'cache integrity failures':<26s} "
+                f"{int(c['integrity_failures']):>12d}"
+            )
     if jobs and report.jobs:
         lines.append(
             f"{'job':<8s} {'rnd':>3s} {'wave':>4s} {'k':>3s} {'nodes':>5s} "
@@ -240,18 +259,35 @@ def render_recovery_report(result, ledger=None) -> str:
         f"{result.n_recoveries} recoveries",
         f"{'elapsed':<22s} {result.elapsed_s:>12.3f} s",
     ]
-    if result.n_recoveries == 0:
+    gray = getattr(result, "gray_overhead_s", 0.0)
+    if result.n_recoveries == 0 and gray == 0.0:
         lines.append("no failures detected; recovery overhead 0.000 s")
         return "\n".join(lines)
-    overhead = result.recovery_overhead_s
-    share = overhead / result.elapsed_s if result.elapsed_s > 0 else 0.0
-    lines += [
-        f"{'detection timeout':<22s} {result.detection_s:>12.3f} s",
-        f"{'lost work (replayed)':<22s} {result.lost_work_s:>12.3f} s",
-        f"{'cmat re-assembly':<22s} {result.reassembly_s:>12.3f} s",
-        f"{'recovery overhead':<22s} {overhead:>12.3f} s  ({share:.1%} of elapsed)",
-    ]
-    if ledger is not None and len(ledger):
+    if result.n_recoveries:
+        overhead = result.recovery_overhead_s
+        share = overhead / result.elapsed_s if result.elapsed_s > 0 else 0.0
+        lines += [
+            f"{'detection timeout':<22s} {result.detection_s:>12.3f} s",
+            f"{'lost work (replayed)':<22s} {result.lost_work_s:>12.3f} s",
+            f"{'cmat re-assembly':<22s} {result.reassembly_s:>12.3f} s",
+            f"{'recovery overhead':<22s} {overhead:>12.3f} s  ({share:.1%} of elapsed)",
+        ]
+    if getattr(result, "n_sdc_repairs", 0):
+        lines.append(
+            f"{'SDC repairs':<22s} {result.n_sdc_repairs:>12d}  "
+            f"({result.sdc_s:.3f} s scan+repair+replay)"
+        )
+    if getattr(result, "n_migrations", 0):
+        lines.append(
+            f"{'straggler migrations':<22s} {result.n_migrations:>12d}  "
+            f"({result.migration_s:.3f} s state transfer)"
+        )
+    has_events = ledger is not None and (
+        len(ledger)
+        or getattr(ledger, "sdc_events", ())
+        or getattr(ledger, "migrations", ())
+    )
+    if has_events:
         lines.append("per-event:")
         lines.extend("  " + ln for ln in ledger.render().splitlines())
     return "\n".join(lines)

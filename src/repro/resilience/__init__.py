@@ -20,15 +20,33 @@ The subsystem is deliberately layered like a real FT-MPI stack:
   rebuilding the Figure-3 partition over the survivors and recomputing
   only the lost cmat shards;
 - :mod:`repro.resilience.ledger` — the recovery-cost ledger
-  (detection, lost work, re-assembly) in simulated seconds;
+  (detection, lost work, re-assembly, plus SDC repairs and straggler
+  migrations) in simulated seconds;
+- :mod:`repro.resilience.health` — gray-failure response:
+  :class:`NodeHealthTracker` (per-node incident ledger with circuit-
+  breaker quarantine), :class:`RetryPolicy` (bounded exponential
+  backoff for campaign requeues), and :class:`StragglerDetector`
+  (robust-deviation flagging over per-rank imposed collective waits);
 - :mod:`repro.resilience.runner` — :class:`ResilientXgyroRunner`,
-  the driver loop tying it all together.
+  the driver loop tying it all together, including the checkpoint-
+  boundary SDC checksum scan and speculative straggler migration.
 """
 
 from repro.resilience.checkpoint import CheckpointStore
 from repro.resilience.faults import FaultPlan, FaultSpec
+from repro.resilience.health import (
+    HealthIncident,
+    NodeHealthTracker,
+    RetryPolicy,
+    StragglerDetector,
+)
 from repro.resilience.injector import FaultInjector
-from repro.resilience.ledger import RecoveryEvent, RecoveryLedger
+from repro.resilience.ledger import (
+    MigrationEvent,
+    RecoveryEvent,
+    RecoveryLedger,
+    SdcEvent,
+)
 from repro.resilience.recovery import shrink_and_recover
 from repro.resilience.runner import ResilientXgyroRunner, RunResult
 from repro.resilience.triage import RecoveryPolicy, TriageReport, classify
@@ -38,11 +56,17 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
+    "HealthIncident",
+    "MigrationEvent",
+    "NodeHealthTracker",
     "RecoveryEvent",
     "RecoveryLedger",
     "RecoveryPolicy",
     "ResilientXgyroRunner",
+    "RetryPolicy",
     "RunResult",
+    "SdcEvent",
+    "StragglerDetector",
     "TriageReport",
     "classify",
     "shrink_and_recover",

@@ -21,7 +21,7 @@ import numpy as np
 from repro.errors import FaultPlanError
 
 #: Fault kinds a plan may contain.
-KINDS = ("rank_crash", "node_loss", "link_slowdown")
+KINDS = ("rank_crash", "node_loss", "link_slowdown", "slowdown", "bitflip")
 
 
 @dataclass(frozen=True)
@@ -33,17 +33,26 @@ class FaultSpec:
     kind:
         ``"rank_crash"`` kills one rank, ``"node_loss"`` kills every
         rank placed on one node, ``"link_slowdown"`` multiplies the
-        cost of matching collectives (a flaky cable, not a death).
+        cost of matching collectives (a flaky cable, not a death),
+        ``"slowdown"`` makes one rank (or every rank on one node) run
+        ``factor``× slower — a straggler: its compute charges stretch
+        and every collective it joins stalls on it — and ``"bitflip"``
+        flips one bit of the target rank's shared-cmat shard in place
+        (silent data corruption; nothing crashes, the physics silently
+        rots unless a checksum guard catches it).
     at_step:
         Ensemble step index (0-based) from which the fault is armed;
         it fires at the first matching collective boundary at or after
         that step — the earliest point a lockstep job can observe it.
+        (``slowdown`` compute stretching and ``bitflip`` corruption
+        apply from the start of that step.)
     rank:
-        Target world rank (``rank_crash`` only).
+        Target world rank (``rank_crash``, ``bitflip``, and rank-
+        targeted ``slowdown``).
     node:
-        Target node id (``node_loss`` only).
+        Target node id (``node_loss`` and node-targeted ``slowdown``).
     factor:
-        Cost multiplier >= 1 (``link_slowdown`` only).
+        Cost multiplier >= 1 (``link_slowdown`` and ``slowdown``).
     phase:
         Optional category gate (e.g. ``"coll_comm"``): the fault only
         fires/applies inside that phase.  Empty matches any phase.
@@ -80,6 +89,24 @@ class FaultSpec:
             if not self.factor >= 1.0:
                 raise FaultPlanError(
                     f"link_slowdown factor must be >= 1, got {self.factor}"
+                )
+        elif self.kind == "slowdown":
+            if not self.factor >= 1.0:
+                raise FaultPlanError(
+                    f"slowdown factor must be >= 1, got {self.factor}"
+                )
+            has_rank = 0 <= self.rank < n_ranks
+            has_node = 0 <= self.node < n_nodes
+            if not (has_rank or has_node):
+                raise FaultPlanError(
+                    f"slowdown must target a valid rank [0, {n_ranks}) or "
+                    f"node [0, {n_nodes}); got rank={self.rank} node={self.node}"
+                )
+        elif self.kind == "bitflip":
+            if not 0 <= self.rank < n_ranks:
+                raise FaultPlanError(
+                    f"bitflip targets rank {self.rank}, world has "
+                    f"ranks [0, {n_ranks})"
                 )
 
 
@@ -143,7 +170,20 @@ class FaultPlan:
                 specs.append(
                     FaultSpec(kind, at_step, node=int(rng.integers(n_nodes)))
                 )
-            else:
+            elif kind == "slowdown":
+                specs.append(
+                    FaultSpec(
+                        kind,
+                        at_step,
+                        rank=int(rng.integers(n_ranks)),
+                        factor=float(1.0 + 9.0 * rng.random()),
+                    )
+                )
+            elif kind == "bitflip":
+                specs.append(
+                    FaultSpec(kind, at_step, rank=int(rng.integers(n_ranks)))
+                )
+            else:  # link_slowdown
                 specs.append(
                     FaultSpec(
                         kind,

@@ -44,8 +44,14 @@ class FaultInjector:
         self.plan = plan
         self.dead_ranks: Set[int] = set()
         self.dead_nodes: Set[int] = set()
-        self._pending = [s for s in plan.specs if s.kind != "link_slowdown"]
+        self._pending = [
+            s for s in plan.specs if s.kind in ("rank_crash", "node_loss")
+        ]
         self._slowdowns = [s for s in plan.specs if s.kind == "link_slowdown"]
+        self._rank_slowdowns = [s for s in plan.specs if s.kind == "slowdown"]
+        self._bitflips = [s for s in plan.specs if s.kind == "bitflip"]
+        self._fired_bitflips: Set[int] = set()  # indices into _bitflips
+        self._migrated: Set[int] = set()  # ranks moved off slow hardware
         self._step = 0
 
     # ------------------------------------------------------------------
@@ -122,6 +128,83 @@ class FaultInjector:
             if spec.at_step <= self._step and self._phase_matches(spec):
                 factor *= spec.factor
         return factor
+
+    # ------------------------------------------------------------------
+    # gray faults: stragglers and silent data corruption
+    # ------------------------------------------------------------------
+    def _slowdown_targets_rank(self, spec: FaultSpec, rank: int) -> bool:
+        if spec.rank >= 0:
+            return spec.rank == rank
+        return self.world.placement.node_of(rank) == spec.node
+
+    def compute_multiplier(self, rank: int) -> float:
+        """Compute-cost stretch factor for ``rank`` at the current step.
+
+        Consulted by :meth:`VirtualWorld.charge_compute`: an armed
+        ``slowdown`` spec makes its target's compute charges ``factor``×
+        longer, so the straggler's clock runs ahead and every collective
+        it joins stalls on it — the peers' waits are what the straggler
+        detector later reads.
+        """
+        if rank in self._migrated:
+            return 1.0
+        factor = 1.0
+        for spec in self._rank_slowdowns:
+            if (
+                spec.at_step <= self._step
+                and self._phase_matches(spec)
+                and self._slowdown_targets_rank(spec, rank)
+            ):
+                factor *= spec.factor
+        return factor
+
+    def slowed_ranks(self) -> Tuple[int, ...]:
+        """Ranks with an active ``slowdown`` spec at the current step."""
+        out = set()
+        for spec in self._rank_slowdowns:
+            if spec.at_step <= self._step:
+                for r in range(self.world.n_ranks):
+                    if (
+                        r not in self._migrated
+                        and self._slowdown_targets_rank(spec, r)
+                    ):
+                        out.add(r)
+        return tuple(sorted(out))
+
+    def mark_migrated(self, ranks: Sequence[int]) -> None:
+        """Exempt ``ranks`` from slowdown targeting from now on.
+
+        The migration response calls this after a member's work is
+        moved off degraded hardware: a spec models a slow *node*, and
+        the migrated ranks no longer run there (other ranks still on
+        that node stay slow).
+        """
+        self._migrated.update(int(r) for r in ranks)
+
+    def take_due_bitflips(self) -> Tuple[FaultSpec, ...]:
+        """Bitflip specs due at the current step, each returned once.
+
+        Call after :meth:`begin_step`; the driver applies the
+        corruption (see ``SharedCmatScheme.corrupt_shard``).  Fired
+        specs never return again, so replaying rolled-back steps after
+        a recovery does not re-corrupt the repaired shard.
+        """
+        due = []
+        for i, spec in enumerate(self._bitflips):
+            if i not in self._fired_bitflips and spec.at_step <= self._step:
+                self._fired_bitflips.add(i)
+                due.append(spec)
+        return tuple(due)
+
+    @property
+    def has_bitflips(self) -> bool:
+        """Whether the plan contains any ``bitflip`` spec (fired or not)."""
+        return bool(self._bitflips)
+
+    @property
+    def has_slowdowns(self) -> bool:
+        """Whether the plan contains any rank/node ``slowdown`` spec."""
+        return bool(self._rank_slowdowns)
 
     # ------------------------------------------------------------------
     def fail_summary(self) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:

@@ -11,8 +11,16 @@ an operator would want to read it:
 - **re-assembly** — recomputing the dead ranks' shards of the shared
   collisional tensor on the survivors.
 
+Gray failures get their own entries: an :class:`SdcEvent` prices a
+detected-and-repaired silent corruption (scan + recompute + any
+rollback/replay), a :class:`MigrationEvent` prices a speculative
+member migration off a straggling node.  They live in separate lists
+so ``len(ledger)`` keeps meaning "crash recoveries", which
+:class:`~repro.resilience.runner.RunResult` reports as
+``n_recoveries``.
+
 The totals feed :mod:`repro.perf.report` and the
-``bench_recovery_overhead`` benchmark.
+``bench_recovery_overhead`` / ``bench_degraded_mode`` benchmarks.
 """
 
 from __future__ import annotations
@@ -44,31 +52,105 @@ class RecoveryEvent:
         return self.detection_s + self.lost_work_s + self.reassembly_s
 
 
+@dataclass(frozen=True)
+class SdcEvent:
+    """One detected-and-repaired silent corruption of a cmat shard."""
+
+    step: int  # checkpoint-boundary step where the scan fired
+    ranks: Tuple[int, ...]  # shard owners that failed verification
+    rebuilt_blocks: int  # (ic, n) propagator blocks recomputed
+    scan_s: float  # checksum scan time charged (max over ranks)
+    repair_s: float  # shard recompute time charged (max over ranks)
+    rolled_back_steps: int  # steps replayed from the clean checkpoint
+    lost_work_s: float  # simulated time discarded by the rollback
+
+    @property
+    def total_s(self) -> float:
+        """Scan + repair + discarded work, simulated seconds."""
+        return self.scan_s + self.repair_s + self.lost_work_s
+
+
+@dataclass(frozen=True)
+class MigrationEvent:
+    """One speculative member migration off a straggling node."""
+
+    step: int  # checkpoint boundary where the migration ran
+    rank: int  # straggling world rank vacated
+    node: int  # node the rank was placed on
+    member: int  # ensemble member index that was migrated
+    state_bytes: int  # checkpoint state shipped to the new home
+    migrate_s: float  # transfer + restart cost charged to the group
+    imposed_wait_s: float  # peer wait the straggler had caused so far
+
+
 class RecoveryLedger:
-    """Accumulates :class:`RecoveryEvent` entries for one run."""
+    """Accumulates recovery, SDC, and migration events for one run.
+
+    ``len(ledger)`` counts crash recoveries only; SDC repairs and
+    migrations are tallied separately (``sdc_events``,
+    ``migrations``).
+    """
 
     def __init__(self) -> None:
         self.events: List[RecoveryEvent] = []
+        self.sdc_events: List[SdcEvent] = []
+        self.migrations: List[MigrationEvent] = []
 
     def record(self, event: RecoveryEvent) -> None:
         """Append one recovery."""
         self.events.append(event)
 
+    def record_sdc(self, event: SdcEvent) -> None:
+        """Append one detected-and-repaired corruption."""
+        self.sdc_events.append(event)
+
+    def record_migration(self, event: MigrationEvent) -> None:
+        """Append one straggler migration."""
+        self.migrations.append(event)
+
     def __len__(self) -> int:
         return len(self.events)
 
     def totals(self) -> Dict[str, float]:
-        """Summed costs over all recoveries (keys in report order)."""
+        """Summed costs over all recoveries (keys in report order).
+
+        Crash-recovery keys (``detection_s`` … ``total_s``) keep their
+        PR-1 meaning; SDC and migration costs are reported under their
+        own keys so existing consumers see unchanged numbers when no
+        gray fault fired.
+        """
         return {
             "detection_s": sum(e.detection_s for e in self.events),
             "lost_work_s": sum(e.lost_work_s for e in self.events),
             "reassembly_s": sum(e.reassembly_s for e in self.events),
             "total_s": sum(e.total_s for e in self.events),
+            "sdc_s": sum(e.total_s for e in self.sdc_events),
+            "migration_s": sum(e.migrate_s for e in self.migrations),
         }
+
+    def _render_gray(self) -> List[str]:
+        lines = []
+        for e in self.sdc_events:
+            lines.append(
+                f"  sdc step {e.step}: ranks {list(e.ranks)} repaired "
+                f"({e.rebuilt_blocks} blocks, scan {e.scan_s:.3f}s, "
+                f"repair {e.repair_s:.3f}s, rolled back "
+                f"{e.rolled_back_steps} steps / {e.lost_work_s:.3f}s)"
+            )
+        for e in self.migrations:
+            lines.append(
+                f"  migration step {e.step}: member {e.member} off rank "
+                f"{e.rank} (node {e.node}), {e.state_bytes} B state, "
+                f"{e.migrate_s:.3f}s (had imposed {e.imposed_wait_s:.3f}s wait)"
+            )
+        return lines
 
     def render(self) -> str:
         """Human-readable recovery table (simulated seconds)."""
         if not self.events:
+            gray = self._render_gray()
+            if gray:
+                return "\n".join(["no crash recoveries"] + gray)
             return "no recoveries"
         lines = [
             f"{'step':>6s} {'members':>9s} {'detect_s':>10s} "
@@ -86,4 +168,5 @@ class RecoveryLedger:
             f"{t['lost_work_s']:>12.3f} {t['reassembly_s']:>13.3f} "
             f"{t['total_s']:>10.3f}"
         )
+        lines.extend(self._render_gray())
         return "\n".join(lines)

@@ -7,7 +7,10 @@ The sequence, mirroring a ULFM-style shrink on a real machine:
 2. rebuild the Figure-3 partition over the surviving members —
    survivors keep their shards of the shared collisional tensor and
    adopt the dead ranks' configuration points, recomputing **only
-   those** blocks (charged under :data:`REASSEMBLY_CATEGORY`);
+   those** blocks (charged under :data:`REASSEMBLY_CATEGORY`); before
+   adoption each survivor's shard is checksum-verified (see
+   ``SharedCmatScheme.verify_shards``) so silent corruption can never
+   be grandfathered into the rebuilt partition;
 3. roll every survivor back to the last checkpoint and resynchronise
    their clocks (clocks never roll back — the discarded simulated time
    is the *lost work* the ledger reports);

@@ -11,10 +11,26 @@ was rolled back to the checkpoint, so the rolled-back steps replay with
 the surviving members — which is how the lost work the ledger reports
 actually gets re-paid in simulated time.
 
+Gray faults ride the same loop.  ``bitflip`` specs corrupt a shared-
+cmat shard in place at their armed step; the SDC guard re-hashes every
+shard at each checkpoint boundary *and* at run end (so corruption can
+never reach a reported result), repairs only the bad shard by
+recomputing it from the propagator, rolls back to the last clean
+checkpoint, and replays — the fired-once semantics of
+:meth:`FaultInjector.take_due_bitflips` guarantee the replay is clean,
+so the final physics is bit-identical to a fault-free run.
+``slowdown`` specs stretch their target's compute charges; the
+straggler detector reads the per-boundary *imposed wait* each rank
+inflicted on its peers and, on a flag, speculatively migrates the
+afflicted member to healthy hardware at the checkpoint — state
+transfer priced over the inter-node link, booked as a
+:class:`~repro.resilience.ledger.MigrationEvent`.
+
 An empty :class:`~repro.resilience.faults.FaultPlan` makes the whole
 apparatus transparent: the injector returns a 1.0 multiplier, the
-checkpoint store charges nothing, and the run is bit-identical —
-clocks, traces and physics — to a bare ``XgyroEnsemble`` run.
+checkpoint store charges nothing, the SDC guard and straggler
+detector stay disarmed, and the run is bit-identical — clocks, traces
+and physics — to a bare ``XgyroEnsemble`` run.
 """
 
 from __future__ import annotations
@@ -26,12 +42,18 @@ from repro.errors import RankFailure, ResilienceError
 from repro.cgyro.params import CgyroInput
 from repro.resilience.checkpoint import CheckpointStore
 from repro.resilience.faults import FaultPlan
+from repro.resilience.health import StragglerDetector
 from repro.resilience.injector import FaultInjector
-from repro.resilience.ledger import RecoveryLedger
+from repro.resilience.ledger import MigrationEvent, RecoveryLedger, SdcEvent
 from repro.resilience.recovery import shrink_and_recover
 from repro.resilience.triage import RecoveryPolicy
 from repro.vmpi.world import VirtualWorld
 from repro.xgyro.driver import XgyroEnsemble
+
+#: Categories the gray-failure machinery charges under.
+SDC_SCAN_CATEGORY = "sdc_scan"
+SDC_REPAIR_CATEGORY = "sdc_repair"
+MIGRATE_CATEGORY = "straggler_migrate"
 
 
 @dataclass(frozen=True)
@@ -48,11 +70,20 @@ class RunResult:
     lost_work_s: float
     reassembly_s: float
     member_labels_initial: Tuple[str, ...] = ()
+    n_sdc_repairs: int = 0
+    sdc_s: float = 0.0
+    n_migrations: int = 0
+    migration_s: float = 0.0
 
     @property
     def recovery_overhead_s(self) -> float:
-        """Total recovery bill: detection + lost work + re-assembly."""
+        """Total crash-recovery bill: detection + lost work + re-assembly."""
         return self.detection_s + self.lost_work_s + self.reassembly_s
+
+    @property
+    def gray_overhead_s(self) -> float:
+        """Total gray-failure bill: SDC scans/repairs + migrations."""
+        return self.sdc_s + self.migration_s
 
     @property
     def lost_member_labels(self) -> Tuple[str, ...]:
@@ -92,6 +123,21 @@ class ResilientXgyroRunner:
         installed on the world before the ensemble is built, so every
         collective of the run — including the shrink-and-recover
         rebuild — is conformance-checked.
+    guard_sdc:
+        Run the shard-checksum scan at every checkpoint boundary and
+        at run end.  ``None`` (default) arms the guard exactly when
+        the plan contains ``bitflip`` specs, keeping fault-free runs
+        bit-identical; pass ``True`` to price the scan on a healthy
+        run (the overhead benchmark does) or ``False`` to run naked.
+    straggler_detector:
+        Detector consulted at checkpoint boundaries.  ``None``
+        (default) installs a stock :class:`StragglerDetector` exactly
+        when the plan contains ``slowdown`` specs; pass an instance to
+        tune thresholds, or ``False`` to disable detection.
+    migrate_stragglers:
+        Respond to a flagged straggler by migrating the afflicted
+        member at the boundary (default).  ``False`` detects and logs
+        only — the do-nothing baseline the benchmark prices against.
     """
 
     def __init__(
@@ -106,6 +152,9 @@ class ResilientXgyroRunner:
         ranks: Optional[Sequence[int]] = None,
         charge_cmat_build: bool = True,
         checker: "object | None" = None,
+        guard_sdc: "bool | None" = None,
+        straggler_detector: "StragglerDetector | bool | None" = None,
+        migrate_stragglers: bool = True,
     ) -> None:
         if checkpoint_interval < 1:
             raise ResilienceError(
@@ -129,6 +178,23 @@ class ResilientXgyroRunner:
         self.store = CheckpointStore(checkpoint_dir)
         self.store.save(self.ensemble)  # step-0 baseline to roll back to
         self.ledger = RecoveryLedger()
+        self.guard_sdc = (
+            self.injector.has_bitflips if guard_sdc is None else bool(guard_sdc)
+        )
+        if straggler_detector is None:
+            self.straggler_detector: "StragglerDetector | None" = (
+                StragglerDetector() if self.injector.has_slowdowns else None
+            )
+        elif straggler_detector is False:
+            self.straggler_detector = None
+        elif straggler_detector is True:
+            self.straggler_detector = StragglerDetector()
+        else:
+            self.straggler_detector = straggler_detector
+        self.migrate_stragglers = migrate_stragglers
+        self._imposed_snapshot = world.imposed_wait_s.copy()
+        self._elapsed_at_boundary = world.elapsed(self.ensemble.ranks)
+        self._migrated_ranks: set = set()
 
     # ------------------------------------------------------------------
     def run_steps(self, n_steps: int) -> RunResult:
@@ -141,6 +207,13 @@ class ResilientXgyroRunner:
             raise ResilienceError(f"n_steps must be >= 0, got {n_steps}")
         while self.ensemble.step_count < n_steps:
             self.injector.begin_step(self.ensemble.step_count)
+            for spec in self.injector.take_due_bitflips():
+                # a flip on a rank that no longer owns a shard (dead,
+                # or dropped with its member) has nothing to corrupt
+                if self.ensemble.scheme.shard_nbytes(spec.rank) > 0:
+                    self.ensemble.scheme.corrupt_shard(
+                        spec.rank, seed=self.plan.seed
+                    )
             try:
                 self.ensemble.step()
             except RankFailure as failure:
@@ -153,12 +226,120 @@ class ResilientXgyroRunner:
                     recoveries_so_far=len(self.ledger),
                 )
                 continue
-            if (
+            at_checkpoint = (
                 self.ensemble.step_count % self.checkpoint_interval == 0
                 and self.ensemble.step_count < n_steps
-            ):
+            )
+            at_end = self.ensemble.step_count >= n_steps
+            if self.guard_sdc and (at_checkpoint or at_end):
+                if self._sdc_scan_and_heal():
+                    continue  # rolled back; replay from the clean state
+            if at_checkpoint:
+                if self.straggler_detector is not None:
+                    self._check_stragglers()
                 self.store.save(self.ensemble)
         return self.result()
+
+    # ------------------------------------------------------------------
+    # gray-failure guards (checkpoint-boundary hooks)
+    # ------------------------------------------------------------------
+    def _sdc_scan_and_heal(self) -> bool:
+        """Checksum-scan every shard; heal and roll back on corruption.
+
+        Returns True when corruption was found — the caller must replay
+        from the restored checkpoint.  Checkpoints are only ever saved
+        after a clean scan, so the rollback target is guaranteed
+        uncorrupted.
+        """
+        scheme = self.ensemble.scheme
+        ranks = self.ensemble.ranks
+        elapsed_pre_scan = self.world.elapsed(ranks)
+        # the sweep is a straight memory read of each shard; price it
+        # at link bandwidth (a conservative stand-in for stream rate)
+        bw = self.world.machine.intra.bandwidth_Bps
+        scan_seconds = {r: scheme.shard_nbytes(r) / bw for r in ranks}
+        self.world.charge_compute(
+            ranks, seconds=scan_seconds, category=SDC_SCAN_CATEGORY
+        )
+        bad = scheme.verify_shards(ranks)
+        if not bad:
+            return False
+        repair_before = self.world.category_time(
+            SDC_REPAIR_CATEGORY, ranks, reduce="max"
+        )
+        rebuilt = 0
+        for r in bad:
+            rebuilt += scheme.repair_shard(r, category=SDC_REPAIR_CATEGORY)
+        repair_s = (
+            self.world.category_time(SDC_REPAIR_CATEGORY, ranks, reduce="max")
+            - repair_before
+        )
+        detected_step = self.ensemble.step_count
+        rolled_back = detected_step - self.store.step
+        for m in self.ensemble.members:
+            self.store.restore_member(m)
+        self.ensemble.step_count = self.store.step
+        self.ledger.record_sdc(
+            SdcEvent(
+                step=detected_step,
+                ranks=tuple(bad),
+                rebuilt_blocks=rebuilt,
+                scan_s=max(scan_seconds.values()) if scan_seconds else 0.0,
+                repair_s=repair_s,
+                rolled_back_steps=rolled_back,
+                lost_work_s=max(
+                    0.0, elapsed_pre_scan - self.store.elapsed_at_save
+                ),
+            )
+        )
+        return True
+
+    def _check_stragglers(self) -> None:
+        """Flag stragglers on this interval's imposed waits; migrate."""
+        world = self.world
+        delta = world.imposed_wait_s - self._imposed_snapshot
+        elapsed = world.elapsed(self.ensemble.ranks)
+        flagged = self.straggler_detector.flag(
+            delta,
+            self.ensemble.ranks,
+            interval_s=elapsed - self._elapsed_at_boundary,
+        )
+        self._imposed_snapshot = world.imposed_wait_s.copy()
+        self._elapsed_at_boundary = elapsed
+        if not self.migrate_stragglers:
+            return
+        for r in flagged:
+            if r in self._migrated_ranks:
+                continue
+            hit = next(
+                (
+                    (mi, m)
+                    for mi, m in enumerate(self.ensemble.members)
+                    if r in m.ranks
+                ),
+                None,
+            )
+            if hit is None:
+                continue
+            mi, member = hit
+            # ship the member's checkpoint state to its new home and
+            # exempt all its ranks from the (now vacated) slow node
+            state_bytes = int(member.gather_h().nbytes)
+            migrate_s = state_bytes / world.machine.inter.bandwidth_Bps
+            world.sync_charge(member.ranks, migrate_s, category=MIGRATE_CATEGORY)
+            self.injector.mark_migrated(member.ranks)
+            self._migrated_ranks.update(int(x) for x in member.ranks)
+            self.ledger.record_migration(
+                MigrationEvent(
+                    step=self.ensemble.step_count,
+                    rank=int(r),
+                    node=world.placement.node_of(int(r)),
+                    member=mi,
+                    state_bytes=state_bytes,
+                    migrate_s=migrate_s,
+                    imposed_wait_s=float(world.imposed_wait_s[int(r)]),
+                )
+            )
 
     def result(self) -> RunResult:
         """Summarise the run so far."""
@@ -174,4 +355,8 @@ class ResilientXgyroRunner:
             lost_work_s=totals["lost_work_s"],
             reassembly_s=totals["reassembly_s"],
             member_labels_initial=self.member_labels_initial,
+            n_sdc_repairs=len(self.ledger.sdc_events),
+            sdc_s=totals["sdc_s"],
+            n_migrations=len(self.ledger.migrations),
+            migration_s=totals["migration_s"],
         )

@@ -83,6 +83,13 @@ class VirtualWorld:
             machine, self.placement, auto_select=auto_algorithms
         )
         self.clock = np.zeros(self.n_ranks, dtype=np.float64)
+        # Per-rank collective-wait accounting (straggler forensics):
+        # coll_wait_s[r] is the time r spent blocked at collective
+        # entry; imposed_wait_s[r] is the total time *other* ranks
+        # spent blocked in collectives where r arrived last.  A
+        # straggler has low coll_wait and high imposed_wait.
+        self.coll_wait_s = np.zeros(self.n_ranks, dtype=np.float64)
+        self.imposed_wait_s = np.zeros(self.n_ranks, dtype=np.float64)
         limit = machine.mem_per_rank_bytes if enforce_memory else None
         self.ledgers: List[MemoryLedger] = [
             MemoryLedger(limit, rank=r) for r in range(self.n_ranks)
@@ -189,6 +196,10 @@ class VirtualWorld:
                 dt = self.machine.compute_seconds(fl)
             if dt < 0:
                 raise VmpiError(f"negative time charge {dt} for rank {r}")
+            if self.fault_injector is not None:
+                mult = getattr(self.fault_injector, "compute_multiplier", None)
+                if mult is not None:
+                    dt *= mult(int(r))
             self.clock[r] += dt
             self._add_category_time(r, cat, dt)
 
@@ -213,6 +224,12 @@ class VirtualWorld:
             factor = self.fault_injector.on_collective(kind, ranks, comm_label)
         idx = np.asarray(ranks, dtype=np.intp)
         t_start = float(self.clock[idx].max())
+        waits = t_start - self.clock[idx]
+        self.coll_wait_s[idx] += waits
+        # the total wait is imposed by whoever arrived last
+        self.imposed_wait_s[idx[int(np.argmax(self.clock[idx]))]] += float(
+            waits.sum()
+        )
         cost = factor * self.cost_model.collective_cost(
             kind, ranks, nbytes, algorithm=algorithm
         )
@@ -309,5 +326,7 @@ class VirtualWorld:
     def reset_clocks(self) -> None:
         """Zero all clocks and category accumulators (trace retained)."""
         self.clock[:] = 0.0
+        self.coll_wait_s[:] = 0.0
+        self.imposed_wait_s[:] = 0.0
         for times in self._category_time.values():
             times.clear()

@@ -110,6 +110,7 @@ class SharedCmatScheme(CollisionScheme):
         self.charge_build = charge_build
         self._finalized = False
         self._cmat: Dict[int, np.ndarray] = {}
+        self._checksums: Dict[int, str] = {}
         self._coll_comm: Dict[int, Communicator] = {}
         self._shards: Dict[int, List[CollShard]] = {}
         self._prop: "CmatPropagator | None" = None
@@ -191,6 +192,7 @@ class SharedCmatScheme(CollisionScheme):
                     "cmat", cmat_block_bytes(dims, shard.n_ic, decomp.nt_loc)
                 )
                 self._cmat[r] = self._prop.build(shard.ic_indices, n_idx)
+                self._checksums[r] = self._checksum(self._cmat[r])
                 if self.charge_build:
                     world.charge_compute(
                         r,
@@ -216,6 +218,94 @@ class SharedCmatScheme(CollisionScheme):
                 if s.world_rank == world_rank:
                     return s
         return None
+
+    # ------------------------------------------------------------------
+    # SDC guards: per-shard content checksums
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _checksum(arr: np.ndarray) -> str:
+        """Content hash of one shard's propagator blocks."""
+        import hashlib
+
+        return hashlib.sha256(np.ascontiguousarray(arr).tobytes()).hexdigest()
+
+    def shard_nbytes(self, world_rank: int) -> int:
+        """Bytes held by ``world_rank``'s shard (0 if it owns none)."""
+        arr = self._cmat.get(world_rank)
+        return 0 if arr is None else int(arr.nbytes)
+
+    def verify_shards(
+        self, ranks: "Sequence[int] | None" = None
+    ) -> Tuple[int, ...]:
+        """Re-hash shards and return the ranks whose contents diverged
+        from the checksum recorded at assembly — silent corruption.
+
+        Verification itself is free on the simulated clocks; callers
+        model the scan cost (memory-bandwidth-bound) explicitly so the
+        overhead is visible in reports rather than buried here.
+        """
+        check = self._cmat.keys() if ranks is None else ranks
+        bad = []
+        for r in check:
+            arr = self._cmat.get(r)
+            if arr is None:
+                continue
+            if self._checksum(arr) != self._checksums.get(r):
+                bad.append(int(r))
+        return tuple(sorted(bad))
+
+    def repair_shard(self, world_rank: int, *, category: str = "sdc_repair") -> int:
+        """Recompute ``world_rank``'s shard from the propagator.
+
+        The constant tensor is a pure function of the shared inputs, so
+        a corrupted shard needs no peer data to heal — just the same
+        per-block inversions :meth:`finalize` did, charged to the
+        owner's clock under ``category``.  Returns the number of
+        (ic, n) blocks rebuilt.
+        """
+        shard = self.shard_of(world_rank)
+        if shard is None or self._prop is None:
+            raise RecoveryFailed(
+                f"rank {world_rank} owns no shard to repair",
+                failed_ranks=(world_rank,),
+                reason="no shard",
+            )
+        first = self.members[0]
+        decomp = first.decomp
+        i2 = next(
+            g for g, shards in self._shards.items()
+            if any(s.world_rank == world_rank for s in shards)
+        )
+        n_idx = range(*decomp.nt_slice(i2).indices(first.dims.nt))
+        self._cmat[world_rank] = self._prop.build(shard.ic_indices, n_idx)
+        self._checksums[world_rank] = self._checksum(self._cmat[world_rank])
+        first.world.charge_compute(
+            world_rank,
+            flops=self._prop.build_flops(shard.n_ic, len(n_idx)),
+            category=category,
+        )
+        return shard.n_ic * len(n_idx)
+
+    def corrupt_shard(self, world_rank: int, *, seed: int = 0) -> None:
+        """Flip one bit of ``world_rank``'s shard in place (fault
+        injection: models a radiation upset in the long-lived tensor).
+
+        The flipped (word, bit) position is derived deterministically
+        from ``(world_rank, seed)`` so faulted runs stay reproducible.
+        The recorded checksum is *not* updated — that is the point.
+        """
+        import hashlib
+
+        arr = self._cmat.get(world_rank)
+        if arr is None:
+            raise EnsembleValidationError(
+                f"rank {world_rank} owns no shard to corrupt"
+            )
+        words = arr.view(np.uint64)
+        digest = hashlib.sha256(f"{world_rank}:{seed}".encode()).digest()
+        pos = int.from_bytes(digest[:8], "big") % words.size
+        bit = digest[8] % 64
+        words.flat[pos] ^= np.uint64(1) << np.uint64(bit)
 
     # ------------------------------------------------------------------
     # the ensemble coll phase
@@ -331,6 +421,10 @@ class SharedCmatScheme(CollisionScheme):
                     failed_ranks=tuple(removed_ranks),
                     reason="whole coll group lost",
                 )
+            # SDC guard: never adopt onto silently-corrupted survivors —
+            # re-verify their shards first, healing any bad one in place
+            for bad_rank in self.verify_shards([s.world_rank for s in keep]):
+                rebuilt_blocks += self.repair_shard(bad_rank, category=category)
             # adopt lost indices round-robin over the survivors
             adopted: Dict[int, List[int]] = {s.world_rank: [] for s in keep}
             for pos, shard in enumerate(lost):
@@ -365,6 +459,7 @@ class SharedCmatScheme(CollisionScheme):
                     else:
                         merged[i] = fresh[new_pos[ic]]
                 self._cmat[r] = merged
+                self._checksums[r] = self._checksum(merged)
                 ledger = world.ledgers[r]
                 ledger.free("cmat")
                 ledger.alloc(
@@ -373,6 +468,7 @@ class SharedCmatScheme(CollisionScheme):
                 new_shards.append(CollShard(r, merged_ics))
             for s in lost:
                 self._cmat.pop(s.world_rank, None)
+                self._checksums.pop(s.world_rank, None)
                 ledger = world.ledgers[s.world_rank]
                 if "cmat" in ledger:
                     ledger.free("cmat")
