@@ -27,7 +27,7 @@ def measured_cost(world, p, algorithm):
     return world.elapsed(range(p)) - before
 
 
-def test_allreduce_cost_vs_participants(benchmark, frontier32):
+def test_allreduce_cost_vs_participants(benchmark, frontier32, bench_json):
     world = VirtualWorld(frontier32, trace=False)
     sizes = [2, 4, 8, 16, 32, 64, 128, 256]
 
@@ -37,6 +37,11 @@ def test_allreduce_cost_vs_participants(benchmark, frontier32):
         }
 
     costs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    bench_json.record(
+        "allreduce_scaling",
+        ring_p32_s=costs[32],
+        ring_p256_s=costs[256],
+    )
     print()
     print("ring AllReduce cost vs participants (calibrated frontier-like):")
     for p, c in costs.items():

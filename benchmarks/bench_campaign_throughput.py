@@ -119,11 +119,20 @@ def reports(scenario):
     return {"cold": cold, "warm": warm, "fifo": fifo}
 
 
-def test_batched_beats_fifo_makespan_and_throughput(reports):
+def test_batched_beats_fifo_makespan_and_throughput(reports, bench_json):
     """Sharing turns many serialised waves into a few wide jobs."""
     cold, fifo = reports["cold"], reports["fifo"]
     assert cold.n_completed == fifo.n_completed
     speedup = fifo.makespan_s / cold.makespan_s
+    bench_json.record(
+        "campaign_throughput",
+        batched_makespan_s=cold.makespan_s,
+        fifo_makespan_s=fifo.makespan_s,
+        fifo_speedup=speedup,
+        batched_throughput_member_steps_per_s=(
+            cold.throughput_member_steps_per_s
+        ),
+    )
     print(
         f"\nmakespan: batched {cold.makespan_s:.3f} s "
         f"({cold.n_jobs} jobs, mean k {cold.mean_k:.1f}) vs "
@@ -173,10 +182,15 @@ def test_batched_needs_less_cmat_memory_per_process(reports):
     assert cold.peak_cmat_bytes_per_rank < fifo.peak_cmat_bytes_per_rank
 
 
-def test_warm_cache_saves_assembly_time(reports):
+def test_warm_cache_saves_assembly_time(reports, bench_json):
     """The second identical stream hits the cache on every job."""
     cold, warm = reports["cold"], reports["warm"]
     stats = warm.cache
+    bench_json.record(
+        "campaign_throughput",
+        warm_makespan_s=warm.makespan_s,
+        cache_seconds_saved=stats["seconds_saved"],
+    )
     print(
         f"\nwarm cache: {int(stats['hits'])} hit(s), "
         f"{stats['seconds_saved']:.4f} s of assembly saved; "

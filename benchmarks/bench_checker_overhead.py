@@ -53,7 +53,7 @@ def test_checker_is_invisible_to_the_model(scenario):
     assert list(w0.trace.events) == list(w1.trace.events)
 
 
-def test_checker_step_overhead(benchmark, scenario):
+def test_checker_step_overhead(benchmark, scenario, bench_json):
     machine, inp = scenario
     n = benchmark.pedantic(
         lambda: _run(machine, inp, checked=True)[0].checker.n_completed,
@@ -61,4 +61,5 @@ def test_checker_step_overhead(benchmark, scenario):
         iterations=1,
     )
     print(f"\nchecked collectives per step: {n}")
+    bench_json.record("checker_overhead", checked_collectives_per_step=n)
     assert n > 0

@@ -68,7 +68,7 @@ def test_direct_solve_every_step(benchmark, setup):
     assert result.shape == h.shape
 
 
-def test_tradeoff_magnitudes(setup):
+def test_tradeoff_magnitudes(setup, bench_json):
     """Apply beats solve by ~an order of magnitude; results agree; the
     memory price is the nv^2 blocks."""
     import time
@@ -97,6 +97,9 @@ def test_tradeoff_magnitudes(setup):
     np.testing.assert_allclose(fast, slow, rtol=1e-8, atol=1e-12)
     speedup = t_solve / t_apply
     mem = cmat.nbytes
+    # host wall-clock (the speedup) is too noisy for the 5% gate band;
+    # record only the deterministic memory price
+    bench_json.record("cmat_tradeoff", cmat_bytes=mem)
     print(f"\nimplicit collision step: precomputed apply {t_apply*1e3:.2f} ms "
           f"vs per-step solve {t_solve*1e3:.2f} ms -> {speedup:.1f}x speedup "
           f"for {mem/2**20:.1f} MiB of cmat")

@@ -92,7 +92,7 @@ def _queue(inputs):
     return q
 
 
-def test_quarantine_and_backoff_beat_naive_retry(scenario):
+def test_quarantine_and_backoff_beat_naive_retry(scenario, bench_json):
     """A repeated-fault node: circuit breaker vs always-retry."""
     machine, _, inputs, steps = scenario
     flaky = FaultPlan(
@@ -128,6 +128,11 @@ def test_quarantine_and_backoff_beat_naive_retry(scenario):
             f"{str(list(rep.quarantined_nodes)):>12s}"
         )
 
+    bench_json.record(
+        "degraded_mode",
+        tracked_makespan_s=tracked.makespan_s,
+        naive_makespan_s=naive.makespan_s,
+    )
     assert tracked.quarantined_nodes == (0,)
     assert tracked.n_completed == len(inputs)
     assert tracked.n_abandoned == 0
@@ -137,7 +142,7 @@ def test_quarantine_and_backoff_beat_naive_retry(scenario):
     assert tracked.makespan_s < naive.makespan_s
 
 
-def test_sdc_scan_overhead_under_one_percent(scenario):
+def test_sdc_scan_overhead_under_one_percent(scenario, bench_json):
     """Checkpoint-boundary checksum sweeps must be ~free."""
     _, machine, inputs, steps = scenario
     world = VirtualWorld(machine)
@@ -156,11 +161,12 @@ def test_sdc_scan_overhead_under_one_percent(scenario):
         f"{result.elapsed_s:.3f} s ({steps} steps, scan every step) "
         f"= {share:.3%} of modeled time"
     )
+    bench_json.record("degraded_mode", sdc_scan_share=share)
     assert result.n_sdc_repairs == 0  # healthy run: scans only, no heals
     assert share < 0.01
 
 
-def test_slowdown_changes_time_not_physics(scenario):
+def test_slowdown_changes_time_not_physics(scenario, bench_json):
     """Straggler stalls collectives; arithmetic is untouched."""
     _, machine, inputs, steps = scenario
     plan = FaultPlan(
@@ -200,6 +206,12 @@ def test_slowdown_changes_time_not_physics(scenario):
         f"{migrated.migration_s:.4f} s transfer)"
     )
 
+    bench_json.record(
+        "degraded_mode",
+        clean_elapsed_s=clean_result.elapsed_s,
+        stalled_elapsed_s=stalled.elapsed_s,
+        migrated_elapsed_s=migrated.elapsed_s,
+    )
     for a, b, c in zip(clean_state, stalled_state, migrated_state):
         assert np.array_equal(a, b)
         assert np.array_equal(a, c)

@@ -28,7 +28,7 @@ def one_step_str_comm(machine, inp):
     return world.category_time("str_comm", sim.ranks)
 
 
-def test_em_adds_one_third_more_str_comm(benchmark):
+def test_em_adds_one_third_more_str_comm(benchmark, bench_json):
     """3 moments instead of 2 -> str AllReduce time x1.5 exactly (the
     per-call cost is message-size-insensitive at these sizes)."""
     machine = frontier_like(n_nodes=32, mem_per_rank_bytes=NL03C_SCALED_MEM_PER_RANK)
@@ -42,6 +42,9 @@ def test_em_adds_one_third_more_str_comm(benchmark):
     print()
     print(f"str comm per step: ES {t_es:.4f} s, EM {t_em:.4f} s "
           f"({t_em / t_es:.2f}x)")
+    bench_json.record(
+        "em_overhead", es_str_comm_s=t_es, em_str_comm_s=t_em
+    )
     assert t_em / t_es == pytest.approx(1.5, rel=0.02)
 
 

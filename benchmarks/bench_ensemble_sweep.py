@@ -37,11 +37,17 @@ def sweep_table(machine, inp, total_ranks, ks):
     return rows
 
 
-def test_ensemble_size_sweep(benchmark, frontier32):
+def test_ensemble_size_sweep(benchmark, frontier32, bench_json):
     inp = nl03c_scaled()
     ks = [1, 2, 4, 8]
     rows = benchmark.pedantic(
         lambda: sweep_table(frontier32, inp, 256, ks), rounds=1, iterations=1
+    )
+    bench_json.record(
+        "ensemble_sweep",
+        k1_wall_s=rows[1]["wall"],
+        k8_wall_s=rows[8]["wall"],
+        k8_str_comm_s=rows[8]["str_comm"],
     )
     dims = inp.grid_dims()
     print()
@@ -76,11 +82,12 @@ def test_ensemble_size_sweep(benchmark, frontier32):
             assert rows[k]["wall"] < k * rows[1]["wall"], f"k={k}"
 
 
-def test_benefit_grows_with_ensemble_size(frontier32):
+def test_benefit_grows_with_ensemble_size(frontier32, bench_json):
     """Speedup over the sequential baseline increases with k."""
     inp = nl03c_scaled()
     rows = sweep_table(frontier32, inp, 256, [1, 2, 4, 8])
     speedups = [k * rows[1]["wall"] / rows[k]["wall"] for k in (2, 4, 8)]
+    bench_json.record("ensemble_sweep", k8_speedup=speedups[-1])
     print(f"\nspeedups vs sequential at k=2,4,8: "
           f"{', '.join(f'{s:.2f}x' for s in speedups)}")
     assert all(b > a for a, b in zip(speedups, speedups[1:]))

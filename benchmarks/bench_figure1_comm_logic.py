@@ -25,7 +25,7 @@ def traced_sim(frontier32, nl03c):
     return sim
 
 
-def test_figure1_comm_logic(benchmark, traced_sim):
+def test_figure1_comm_logic(benchmark, traced_sim, bench_json):
     """Verify and render the Figure-1 communicator structure."""
     sim = traced_sim
     trace = sim.world.trace
@@ -37,6 +37,11 @@ def test_figure1_comm_logic(benchmark, traced_sim):
     ar = trace.filter(kind="allreduce", category="str_comm")
     a2a = trace.filter(kind="alltoall", category="coll_comm")
     assert ar and a2a
+    bench_json.record(
+        "figure1_comm_logic",
+        n_str_allreduce=len(ar),
+        n_coll_alltoall=len(a2a),
+    )
 
     # 1. the same communicators carry both collectives (the reuse)
     assert {e.comm_label for e in ar} == {e.comm_label for e in a2a}

@@ -27,7 +27,7 @@ def figure2(frontier32, nl03c_sweep):
     )
 
 
-def test_figure2_headline(benchmark, frontier32, nl03c_sweep, figure2):
+def test_figure2_headline(benchmark, frontier32, nl03c_sweep, figure2, bench_json):
     """Regenerate Figure 2 and check the paper's claims."""
     # benchmark the cheap re-rendering path on the measured result;
     # the heavy end-to-end run happened once in the fixture
@@ -40,6 +40,15 @@ def test_figure2_headline(benchmark, frontier32, nl03c_sweep, figure2):
     print(render_figure2(figure2, paper=PAPER_TARGETS))
 
     res = figure2
+    bench_json.record(
+        "figure2_headline",
+        cgyro_wall_s=res.cgyro_sum.wall_s,
+        xgyro_wall_s=res.xgyro.wall_s,
+        cgyro_str_comm_s=res.cgyro_sum.str_comm_s,
+        xgyro_str_comm_s=res.xgyro.str_comm_s,
+        speedup=res.speedup,
+        str_comm_reduction=res.str_comm_reduction,
+    )
     # paper's numbers: 375 vs 250 (1.5x); 145 vs 33 (4.39x)
     assert res.cgyro_sum.wall_s == pytest.approx(375.0, rel=0.10)
     assert res.xgyro.wall_s == pytest.approx(250.0, rel=0.10)

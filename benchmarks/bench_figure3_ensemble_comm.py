@@ -30,7 +30,7 @@ def traced_ensemble(frontier32, nl03c_sweep):
     return ens
 
 
-def test_figure3_ensemble_comm_logic(benchmark, traced_ensemble):
+def test_figure3_ensemble_comm_logic(benchmark, traced_ensemble, bench_json):
     ens = traced_ensemble
     world = ens.world
     dec = ens.members[0].decomp
@@ -71,6 +71,11 @@ def test_figure3_ensemble_comm_logic(benchmark, traced_ensemble):
 
     private = PrivateCollisionScheme().cmat_bytes_per_rank(ens.members[0])
     shared = ens.scheme.cmat_bytes_per_rank(ens.members[0])
+    bench_json.record(
+        "figure3_ensemble_comm",
+        shared_cmat_bytes_per_rank=shared,
+        cmat_sharing_reduction=private / shared,
+    )
     assert private == k * shared
 
 

@@ -26,11 +26,12 @@ def measured_ratio(machine, inp, n_ranks):
     return cmat / other, ledger
 
 
-def test_memory_breakdown(benchmark, nl03c):
+def test_memory_breakdown(benchmark, nl03c, bench_json):
     machine = frontier_like(n_nodes=32, mem_per_rank_bytes=64 * MiB)
     ratio, ledger = benchmark.pedantic(
         lambda: measured_ratio(machine, nl03c, 256), rounds=1, iterations=1
     )
+    bench_json.record("memory_breakdown", cmat_over_other_ratio=ratio)
     print()
     print(f"nl03c per-rank memory at 256 ranks (P1=32): cmat/other = {ratio:.1f}x")
     print(ledger.report())

@@ -24,7 +24,7 @@ from repro.vmpi import VirtualWorld
 from repro.xgyro import XgyroEnsemble
 
 
-def test_min_nodes_table(benchmark, nl03c):
+def test_min_nodes_table(benchmark, nl03c, bench_json):
     machine = frontier_like(n_nodes=64, mem_per_rank_bytes=NL03C_SCALED_MEM_PER_RANK)
 
     def table():
@@ -34,6 +34,9 @@ def test_min_nodes_table(benchmark, nl03c):
         }
 
     result = benchmark.pedantic(table, rounds=1, iterations=1)
+    bench_json.record(
+        "min_nodes", min_nodes_k1=result[1], min_nodes_k8=result[8]
+    )
     print()
     print("minimum nodes (memory model), scaled nl03c on frontier-like:")
     for k, nodes in result.items():

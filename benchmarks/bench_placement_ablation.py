@@ -51,13 +51,18 @@ def small_sweep():
     ]
 
 
-def test_placement_ablation(benchmark, small_sweep):
+def test_placement_ablation(benchmark, small_sweep, bench_json):
     machine = frontier_like(n_nodes=32, mem_per_rank_bytes=NL03C_SCALED_MEM_PER_RANK)
 
     block = benchmark.pedantic(
         lambda: run_xgyro_step(machine, small_sweep), rounds=1, iterations=1
     )
     scattered = run_xgyro_step(machine, small_sweep, RoundRobinPlacement)
+    bench_json.record(
+        "placement_ablation",
+        block_str_comm_s=block["str_comm"],
+        scattered_str_comm_s=scattered["str_comm"],
+    )
 
     print()
     print("placement ablation, one XGYRO step (k=8, 32 nodes):")

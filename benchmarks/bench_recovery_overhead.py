@@ -114,7 +114,7 @@ def test_recovery_scales_with_checkpoint_distance():
     assert lost[1] > lost[0]
 
 
-def test_recovery_overhead_headline_nl03c():
+def test_recovery_overhead_headline_nl03c(bench_json):
     """The paper-scale scenario: 8 nl03c members on 32 Frontier-like
     nodes, one node dies mid-run; report the full recovery bill."""
     base = nl03c_scaled(steps_per_report=1, nonlinear=False)
@@ -141,6 +141,13 @@ def test_recovery_overhead_headline_nl03c():
         f"({event.rebuilt_blocks} blocks, {frac:.1%} of the tensor)\n"
         f"  total      {result.recovery_overhead_s:10.3f} s over "
         f"{result.elapsed_s:.3f} s elapsed"
+    )
+    bench_json.record(
+        "recovery_overhead",
+        detection_s=result.detection_s,
+        lost_work_s=result.lost_work_s,
+        reassembly_s=result.reassembly_s,
+        recovery_overhead_s=result.recovery_overhead_s,
     )
     # the shrunk (k=7) partition covers nc=128 unevenly but completely
     for shards in runner.ensemble.scheme.shards.values():

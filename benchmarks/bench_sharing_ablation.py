@@ -70,7 +70,7 @@ def test_private_cmat_cosched_ooms_on_32_nodes(benchmark):
     assert err.requested_bytes > 0
 
 
-def test_sharing_buys_memory_not_str_comm():
+def test_sharing_buys_memory_not_str_comm(bench_json):
     """On a memory-rich machine both modes run; str comm matches, the
     shared mode stores 8x less cmat per rank."""
     roomy = frontier_like(
@@ -96,6 +96,12 @@ def test_sharing_buys_memory_not_str_comm():
             f"  {name:<10s} {row['str_comm']:>11.4f} {row['coll_comm']:>12.4f} "
             f"{row['cmat_per_rank']:>12d}"
         )
+    bench_json.record(
+        "sharing_ablation",
+        shared_cmat_bytes_per_rank=shared["cmat_per_rank"],
+        private_cmat_bytes_per_rank=private["cmat_per_rank"],
+        shared_str_comm_s=shared["str_comm"],
+    )
     # identical per-member str communicators -> identical str comm
     assert shared["str_comm"] == pytest.approx(private["str_comm"], rel=1e-9)
     # the memory factor is exactly k

@@ -37,10 +37,15 @@ def scaling_table(inp, node_counts):
     return rows
 
 
-def test_strong_scaling(benchmark):
+def test_strong_scaling(benchmark, bench_json):
     inp = nl03c_scaled()
     nodes = [8, 16, 32, 64]
     rows = benchmark.pedantic(lambda: scaling_table(inp, nodes), rounds=1, iterations=1)
+    bench_json.record(
+        "strong_scaling",
+        comm_fraction_8n=rows[8]["fraction"],
+        comm_fraction_64n=rows[64]["fraction"],
+    )
     print()
     print("single-simulation strong scaling (per reporting step):")
     print(f"{'nodes':>6s} {'total s':>9s} {'compute s':>10s} {'comm s':>8s} {'comm %':>7s}")
@@ -61,11 +66,12 @@ def test_strong_scaling(benchmark):
     assert comms[-1] > comms[0]
 
 
-def test_scaling_efficiency_degrades(benchmark=None):
+def test_scaling_efficiency_degrades(bench_json, benchmark=None):
     """Parallel efficiency at 64 nodes is visibly below 8-node level."""
     inp = nl03c_scaled()
     rows = scaling_table(inp, [8, 64])
     speedup = rows[8]["total"] / rows[64]["total"]
     efficiency = speedup / 8.0
+    bench_json.record("strong_scaling", efficiency_8_to_64=efficiency)
     print(f"\n8->64 node speedup {speedup:.2f}x, efficiency {efficiency:.1%}")
     assert efficiency < 0.9

@@ -6,6 +6,12 @@ alongside the problem dimensions so the paper's memory arithmetic is
 preserved.  Run with::
 
     pytest benchmarks/ --benchmark-only -s
+
+Every bench records its headline numbers through the session-scoped
+``bench_json`` fixture; ``--json PATH`` writes them as a
+machine-readable ``repro-bench-v1`` document that ``repro perf-gate``
+compares against the committed baseline
+(``benchmarks/baselines/BENCH_PR5.json``).
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ import pytest
 
 from repro.cgyro.presets import NL03C_SCALED_MEM_PER_RANK, nl03c_scaled
 from repro.machine import frontier_like
+from repro.obs.gate import write_bench_records
 
 
 def pytest_addoption(parser):
@@ -24,6 +31,42 @@ def pytest_addoption(parser):
         help="run benchmarks at their smallest scale (CI rot check; "
         "numbers are not representative)",
     )
+    parser.addoption(
+        "--json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="write bench records (repro-bench-v1) to PATH for the "
+        "perf-regression gate",
+    )
+
+
+class BenchRecorder:
+    """Accumulates ``{bench: {metric: value}}`` across the session."""
+
+    def __init__(self):
+        self.records = {}
+
+    def record(self, bench_name, **metrics):
+        """Merge ``metrics`` into the record for ``bench_name``."""
+        entry = self.records.setdefault(bench_name, {})
+        for key, value in metrics.items():
+            entry[key] = float(value)
+
+
+_RECORDER = BenchRecorder()
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    """The session bench recorder; call ``record(name, **metrics)``."""
+    return _RECORDER
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--json")
+    if path and _RECORDER.records:
+        write_bench_records(_RECORDER.records, path)
 
 
 @pytest.fixture(scope="session")

@@ -121,6 +121,35 @@ class JobRecord:
 
 
 @dataclass(frozen=True)
+class WaveRecord:
+    """Timeline entry for one wave of node-disjoint jobs."""
+
+    round: int
+    wave: int
+    start_s: float
+    end_s: float
+    n_jobs: int
+    nodes_busy: int
+
+    @property
+    def duration_s(self) -> float:
+        """Wave makespan (its slowest job)."""
+        return self.end_s - self.start_s
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation."""
+        return {
+            "round": self.round,
+            "wave": self.wave,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "duration_s": self.duration_s,
+            "n_jobs": self.n_jobs,
+            "nodes_busy": self.nodes_busy,
+        }
+
+
+@dataclass(frozen=True)
 class AbandonedRecord:
     """Dead-letter entry: a request given up on after repeated faults."""
 
@@ -153,6 +182,13 @@ class CampaignReport:
     abandoned: List[AbandonedRecord] = field(default_factory=list)
     quarantined_nodes: Tuple[int, ...] = ()
     health: Dict[str, object] = field(default_factory=dict)
+    #: wave timeline (start/end/nodes-busy per wave, in dispatch order)
+    waves: List[WaveRecord] = field(default_factory=list)
+    #: total imposed straggler wait summed over every dispatch's ranks
+    imposed_wait_s: float = 0.0
+    #: ``{"node", "start_s", "end_s"}`` per quarantined node — from the
+    #: incident that tripped the breaker to the end of the campaign
+    quarantine_windows: List[Dict[str, float]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     @property
@@ -234,6 +270,9 @@ class CampaignReport:
             "abandoned": [a.to_dict() for a in self.abandoned],
             "quarantined_nodes": list(self.quarantined_nodes),
             "health": dict(self.health),
+            "waves": [w.to_dict() for w in self.waves],
+            "imposed_wait_s": self.imposed_wait_s,
+            "quarantine_windows": [dict(w) for w in self.quarantine_windows],
             "jobs": [j.to_dict() for j in self.jobs],
             "requests": [r.to_dict() for r in self.requests],
         }

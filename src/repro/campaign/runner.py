@@ -58,6 +58,7 @@ from repro.campaign.report import (
     CampaignReport,
     JobRecord,
     RequestRecord,
+    WaveRecord,
 )
 from repro.campaign.request import RequestQueue
 
@@ -99,6 +100,12 @@ class CampaignRunner:
         :class:`NodeHealthTracker`.  It is shared with the packer (when
         the packer has none of its own) so quarantine decisions steer
         placement.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry` bundle.  Every dispatch
+        installs it on the job's world with the tracer's
+        ``time_offset`` pointed at the wave's campaign-clock start, so
+        one span tree — campaign > wave > job > step > phase >
+        collective — covers the whole run at campaign-absolute times.
     """
 
     def __init__(
@@ -116,6 +123,7 @@ class CampaignRunner:
         node_faults: Optional[Mapping[int, FaultPlan]] = None,
         retry: Optional[RetryPolicy] = RetryPolicy(),
         health: Optional[NodeHealthTracker] = None,
+        telemetry=None,
     ) -> None:
         self.machine = machine
         self.batcher = batcher or SignatureBatcher()
@@ -140,7 +148,9 @@ class CampaignRunner:
         self.checkpoint_interval = checkpoint_interval
         self.policy = policy
         self.enforce_memory = enforce_memory
+        self.telemetry = telemetry
         self._hold_until: Dict[str, float] = {}
+        self._imposed_wait_s = 0.0
 
     # ------------------------------------------------------------------
     def run(
@@ -162,8 +172,15 @@ class CampaignRunner:
         jobs: List[JobRecord] = []
         done: List[RequestRecord] = []
         abandoned: List[AbandonedRecord] = []
+        wave_records: List[WaveRecord] = []
         peak_cmat = 0
         rounds = 0
+        self._imposed_wait_s = 0.0
+        tele = self.telemetry
+        root_span = None
+        if tele is not None:
+            tele.tracer.time_offset = 0.0
+            root_span = tele.tracer.begin("campaign", "campaign", clock)
         while queue:
             if rounds >= max_rounds:
                 raise CampaignError(
@@ -192,6 +209,13 @@ class CampaignRunner:
             waves = self.packer.pack(batches, job_id_offset=len(jobs))
             for wave in waves:
                 wave_makespan = 0.0
+                wave_nodes: set = set()
+                wave_idx = wave[0].wave if wave else 0
+                if tele is not None:
+                    tele.tracer.time_offset = 0.0
+                    tele.tracer.begin(
+                        f"wave{wave_idx}", "wave", clock, round=rounds
+                    )
                 for job in wave:
                     record, completed, lost = self._dispatch(
                         job, rounds, clock, steps
@@ -203,9 +227,31 @@ class CampaignRunner:
                             req, record, queue, clock, abandoned
                         )
                     wave_makespan = max(wave_makespan, record.elapsed_s)
+                    wave_nodes.update(job.nodes)
                     peak_cmat = max(peak_cmat, job.shape.per_rank_cmat_bytes)
+                wave_records.append(
+                    WaveRecord(
+                        round=rounds,
+                        wave=wave_idx,
+                        start_s=clock,
+                        end_s=clock + wave_makespan,
+                        n_jobs=len(wave),
+                        nodes_busy=len(wave_nodes),
+                    )
+                )
                 clock += wave_makespan
+                if tele is not None:
+                    tele.tracer.time_offset = 0.0
+                    tele.tracer.end(clock)
             rounds += 1
+        if tele is not None and root_span is not None:
+            tele.tracer.time_offset = 0.0
+            tele.tracer.end(clock)
+            for node in self.health.quarantined:
+                tele.metrics.gauge("node_quarantined", node=node).set(1.0)
+            if self.cache is not None:
+                for key, val in self.cache.stats().items():
+                    tele.metrics.gauge(f"campaign_cache_{key}").set(val)
         return CampaignReport(
             machine_name=self.machine.name,
             machine_n_nodes=self.machine.n_nodes,
@@ -217,7 +263,32 @@ class CampaignRunner:
             abandoned=abandoned,
             quarantined_nodes=self.health.quarantined,
             health=self.health.to_dict(),
+            waves=wave_records,
+            imposed_wait_s=self._imposed_wait_s,
+            quarantine_windows=self._quarantine_windows(clock),
         )
+
+    def _quarantine_windows(self, end_s: float) -> List[Dict[str, float]]:
+        """One ``{"node", "start_s", "end_s"}`` window per quarantined
+        node, opening at the incident that tripped the breaker (0.0 for
+        a forced quarantine) and closing at campaign end — the model
+        has no operator reset mid-campaign."""
+        windows: List[Dict[str, float]] = []
+        thr = self.health.quarantine_threshold
+        for node in self.health.quarantined:
+            incidents = self.health.incidents(node)
+            if thr is not None and len(incidents) >= thr:
+                start = incidents[thr - 1].at_s
+            else:
+                start = 0.0
+            windows.append(
+                {
+                    "node": float(node),
+                    "start_s": float(start),
+                    "end_s": float(end_s),
+                }
+            )
+        return windows
 
     # ------------------------------------------------------------------
     def _requeue_or_abandon(
@@ -232,6 +303,10 @@ class CampaignRunner:
         dead-letter it once the attempt cap is exhausted."""
         attempts_done = req.attempt + 1  # dispatches consumed so far
         if self.retry is not None and not self.retry.allows(attempts_done + 1):
+            if self.telemetry is not None:
+                self.telemetry.metrics.counter(
+                    "campaign_dead_letters_total"
+                ).inc()
             abandoned.append(
                 AbandonedRecord(
                     request_id=req.request_id,
@@ -249,6 +324,8 @@ class CampaignRunner:
             self._hold_until[req.request_id] = (
                 clock + record.elapsed_s + backoff
             )
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter("campaign_retries_total").inc()
         queue.submit(req.requeued())
 
     # ------------------------------------------------------------------
@@ -352,6 +429,31 @@ class CampaignRunner:
         )
 
     # ------------------------------------------------------------------
+    def _finish_job_telemetry(self, job: PackedJob, world: VirtualWorld) -> None:
+        """Book one finished dispatch: imposed-wait total, job-span
+        close, memory high-water marker + gauge."""
+        job_imposed = float(world.imposed_wait_s.sum())
+        self._imposed_wait_s += job_imposed
+        tele = self.telemetry
+        if tele is None:
+            return
+        t_end = world.elapsed()
+        peak = max((l.peak_bytes for l in world.ledgers), default=0)
+        tele.tracer.record(
+            f"{job.job_id}.mem",
+            "marker",
+            t_end,
+            0.0,
+            mem_high_water_bytes=int(peak),
+        )
+        tele.tracer.end(t_end)
+        tele.tracer.time_offset = 0.0
+        tele.metrics.gauge("memory_high_water_bytes", job=job.job_id).max(peak)
+        tele.metrics.counter("campaign_imposed_wait_seconds_total").inc(
+            job_imposed
+        )
+
+    # ------------------------------------------------------------------
     def _dispatch(
         self,
         job: PackedJob,
@@ -375,6 +477,25 @@ class CampaignRunner:
             self.machine.with_nodes(job.n_nodes),
             enforce_memory=self.enforce_memory,
         )
+        tele = self.telemetry
+        if tele is not None:
+            # the job's world clock starts at zero: shift its spans to
+            # the wave's campaign-clock start
+            tele.tracer.time_offset = start_s
+            tele.tracer.begin(
+                job.job_id,
+                "job",
+                0.0,
+                k=job.k,
+                n_nodes=job.n_nodes,
+                signature=job.signature_key,
+                cache_hit=hit is not None,
+            )
+            tele.metrics.counter(
+                "campaign_cache_hits_total"
+                if hit is not None
+                else "campaign_cache_misses_total"
+            ).inc()
         plan = self._job_plan(job)
         runner = ResilientXgyroRunner(
             world,
@@ -383,6 +504,7 @@ class CampaignRunner:
             checkpoint_interval=self.checkpoint_interval,
             policy=self.policy,
             charge_cmat_build=hit is None,
+            telemetry=tele,
         )
         try:
             result = runner.run_steps(steps)
@@ -399,6 +521,7 @@ class CampaignRunner:
                     start_s,
                     f"{job.job_id}: aborted ({abort.reason})",
                 )
+            self._finish_job_telemetry(job, world)
             elapsed = world.elapsed()
             record = JobRecord(
                 job_id=job.job_id,
@@ -418,6 +541,7 @@ class CampaignRunner:
             )
             return record, [], list(job.requests)
         self._record_health(job, runner, world, start_s)
+        self._finish_job_telemetry(job, world)
 
         build_s = 0.0
         if hit is None:

@@ -362,9 +362,19 @@ class CgyroSimulation:
 
     def step(self) -> None:
         """One full time step: str -> nl -> coll."""
-        self.streaming_phase()
-        self.nonlinear_phase()
-        self.collision_phase()
+        with self.world.span(
+            f"{self.label}.str", "phase", ranks=self.ranks, category="str_compute"
+        ):
+            self.streaming_phase()
+        if self.inp.nonlinear:
+            with self.world.span(
+                f"{self.label}.nl", "phase", ranks=self.ranks, category="nl_compute"
+            ):
+                self.nonlinear_phase()
+        with self.world.span(
+            f"{self.label}.coll", "phase", ranks=self.ranks, category="coll_compute"
+        ):
+            self.collision_phase()
         self.time += self.inp.delta_t
         self.step_count += 1
 
@@ -410,8 +420,16 @@ class CgyroSimulation:
         """Advance ``steps_per_report`` steps and report timings + physics."""
         before = snapshot(self.world, self.ranks)
         for _ in range(self.inp.steps_per_report):
-            self.step()
-        flux, phi2 = self.diagnostics()
+            with self.world.span(
+                f"{self.label}.step{self.step_count}",
+                "step",
+                ranks=self.ranks,
+            ):
+                self.step()
+        with self.world.span(
+            f"{self.label}.diag", "phase", ranks=self.ranks, category="diag"
+        ):
+            flux, phi2 = self.diagnostics()
         after = snapshot(self.world, self.ranks)
         diff = delta(after, before)
         wall = diff.pop("elapsed")

@@ -15,6 +15,10 @@ a launcher invocation — against the virtual machine:
                                 --backoff 30 --quarantine-after 2]
     python -m repro check-trace [TRACE.json ...] [--figure1] [--figure3]
     python -m repro oracle     FILE  --reports 2 --baseline member
+    python -m repro trace      [FILE] [--nl03c] [--spans-out S.jsonl]
+                               [--chrome-out T.json]
+    python -m repro metrics    [FILE] [--nl03c] [--json M.json]
+    python -m repro perf-gate  BENCH.json BASELINE.json [--tolerance 0.05]
 
 Every command prints human-readable tables; ``run-*`` optionally write
 ``out.cgyro.timing`` CSVs next to the inputs.
@@ -404,6 +408,94 @@ def cmd_oracle(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _traced_run(args: argparse.Namespace):
+    """Run an ensemble with telemetry installed; returns the bundle.
+
+    Input selection: an ``input.xgyro`` path if given, the nl03c k=4
+    headline configuration under ``--nl03c``, else a small built-in
+    k=4 demo that runs in seconds.
+    """
+    from repro.cgyro.presets import small_test
+    from repro.machine import generic_cluster
+    from repro.obs import Telemetry
+
+    tele = Telemetry()
+    if args.input:
+        inputs = parse_ensemble(args.input)
+        machine = _machine_from_args(args)
+    elif args.nl03c:
+        machine = frontier_like(
+            n_nodes=32, mem_per_rank_bytes=NL03C_SCALED_MEM_PER_RANK
+        )
+        base = nl03c_scaled()
+        inputs = [
+            base.with_updates(
+                dlntdr=(3.0 + 0.1 * m, 3.0 + 0.1 * m), name=f"nl03c.m{m}"
+            )
+            for m in range(4)
+        ]
+    else:
+        machine = generic_cluster(n_nodes=4, ranks_per_node=4)
+        inputs = [
+            small_test(name=f"m{i}", dlntdr=(3.0 + 0.1 * i, 3.0 + 0.1 * i))
+            for i in range(4)
+        ]
+    world = VirtualWorld(machine, enforce_memory=args.enforce_memory)
+    tele.install(world)
+    ensemble = XgyroEnsemble(world, inputs)
+    for _ in range(args.reports):
+        ensemble.run_report_interval()
+    print(
+        f"traced: k={ensemble.n_members} members x "
+        f"{len(ensemble.members[0].ranks)} ranks on {machine.name}, "
+        f"{args.reports} report interval(s), {len(tele.tracer)} span(s)"
+    )
+    return tele, world, ensemble
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        export_spans_chrome,
+        export_spans_jsonl,
+        render_telemetry_report,
+    )
+
+    tele, _world, _ensemble = _traced_run(args)
+    spans = tele.tracer.spans
+    print(render_telemetry_report(spans, metrics=tele.metrics,
+                                  top_stalls=args.top_stalls))
+    if args.spans_out:
+        n = export_spans_jsonl(spans, args.spans_out)
+        print(f"{n} span(s) written to {args.spans_out}")
+    if args.chrome_out:
+        n = export_spans_chrome(spans, args.chrome_out)
+        print(f"Chrome/Perfetto trace of {n} span(s) written to {args.chrome_out}")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    tele, _world, _ensemble = _traced_run(args)
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(tele.metrics.to_dict(), indent=1, sort_keys=True) + "\n"
+        )
+        print(f"metrics snapshot written to {args.json}")
+    print(tele.metrics.render_prometheus(), end="")
+    return 0
+
+
+def cmd_perf_gate(args: argparse.Namespace) -> int:
+    from repro.obs import run_gate
+
+    result = run_gate(
+        args.current, args.baseline, tolerance=args.tolerance
+    )
+    print(result.render())
+    return 0 if result.ok else 1
+
+
 def cmd_figure2(args: argparse.Namespace) -> int:
     machine = frontier_like(
         n_nodes=32, mem_per_rank_bytes=NL03C_SCALED_MEM_PER_RANK
@@ -605,6 +697,65 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--enforce-memory", action="store_true")
     p.add_argument("--json", default=None, help="also write the report as JSON")
     p.set_defaults(func=cmd_oracle)
+
+    def _add_traced_run_args(p):
+        p.add_argument(
+            "input",
+            nargs="?",
+            default=None,
+            help="optional input.xgyro path (default: built-in k=4 demo)",
+        )
+        _add_machine_args(p)
+        p.add_argument(
+            "--nl03c",
+            action="store_true",
+            help="run the nl03c k=4 headline configuration on 32 "
+            "frontier-like nodes instead of the small demo",
+        )
+        p.add_argument("--reports", type=int, default=1)
+        p.add_argument("--enforce-memory", action="store_true")
+
+    p = sub.add_parser(
+        "trace",
+        help="run a traced ensemble and print its critical-path report",
+    )
+    _add_traced_run_args(p)
+    p.add_argument("--top-stalls", type=int, default=5)
+    p.add_argument(
+        "--spans-out", default=None, help="write the span tree as JSONL"
+    )
+    p.add_argument(
+        "--chrome-out",
+        default=None,
+        help="write a Chrome/Perfetto trace (pid=member, tid=rank)",
+    )
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "metrics",
+        help="run a traced ensemble and print its metrics registry "
+        "(Prometheus text exposition)",
+    )
+    _add_traced_run_args(p)
+    p.add_argument(
+        "--json", default=None, help="also write the snapshot as JSON"
+    )
+    p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser(
+        "perf-gate",
+        help="compare a fresh bench-record file against a committed "
+        "baseline with tolerance bands",
+    )
+    p.add_argument("current", help="fresh bench records (e.g. BENCH_PR5.json)")
+    p.add_argument("baseline", help="committed baseline record file")
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="relative tolerance band per metric (default 0.05)",
+    )
+    p.set_defaults(func=cmd_perf_gate)
 
     p = sub.add_parser("figure2", help="regenerate the paper's Figure 2")
     p.add_argument("--measure-steps", type=int, default=1)

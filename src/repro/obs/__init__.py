@@ -1,0 +1,88 @@
+"""Unified telemetry: span tracing, metrics, attribution, perf gates.
+
+The observability spine of the reproduction.  One
+:class:`~repro.obs.span.SpanTracer` + one
+:class:`~repro.obs.metrics.MetricsRegistry` pair — bundled as a
+:class:`Telemetry` — can be installed across every layer
+(``VirtualWorld`` collectives, solver phases, ensemble steps,
+resilience events, campaign waves/jobs), yielding a single span tree
+and metric set for a whole campaign.  On top of that sit:
+
+- :mod:`repro.obs.critical` — exact critical-path extraction and the
+  ``render_telemetry_report`` attribution table;
+- :mod:`repro.obs.export` — byte-stable JSONL span logs and nested
+  Chrome/Perfetto traces (pid=member, tid=rank, counter tracks);
+- :mod:`repro.obs.gate` — the bench-record schema and the CI
+  perf-regression gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.critical import (
+    CriticalPath,
+    CriticalSegment,
+    extract_critical_path,
+    render_telemetry_report,
+)
+from repro.obs.export import (
+    export_spans_chrome,
+    export_spans_jsonl,
+    load_spans_jsonl,
+)
+from repro.obs.gate import (
+    GateFinding,
+    GateResult,
+    compare_bench_records,
+    load_bench_records,
+    metric_direction,
+    run_gate,
+    write_bench_records,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.span import LEAF_KINDS, Span, SpanTracer
+
+
+@dataclass
+class Telemetry:
+    """One tracer + one registry, shared across a whole run."""
+
+    tracer: SpanTracer = field(default_factory=SpanTracer)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    def install(self, world) -> None:
+        """Install both halves on a virtual world."""
+        world.install_telemetry(tracer=self.tracer, metrics=self.metrics)
+
+    def report(self, **kwargs) -> str:
+        """The combined attribution report over everything recorded."""
+        return render_telemetry_report(
+            self.tracer.spans, metrics=self.metrics, **kwargs
+        )
+
+
+__all__ = [
+    "Telemetry",
+    "Span",
+    "SpanTracer",
+    "LEAF_KINDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "CriticalPath",
+    "CriticalSegment",
+    "extract_critical_path",
+    "render_telemetry_report",
+    "export_spans_chrome",
+    "export_spans_jsonl",
+    "load_spans_jsonl",
+    "GateFinding",
+    "GateResult",
+    "compare_bench_records",
+    "load_bench_records",
+    "metric_direction",
+    "run_gate",
+    "write_bench_records",
+]

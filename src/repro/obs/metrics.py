@@ -1,0 +1,241 @@
+"""A labelled metrics registry: counters, gauges, histograms.
+
+Replaces the ad-hoc tallies each subsystem grew on its own (trace byte
+sums, cache stats dicts, ledger totals) with one registry every layer
+writes into and one exporter everything reads from.  Metric identity is
+``(name, sorted labels)``; values are plain floats on the simulated
+timeline's side — there is no sampling thread, callers update metrics
+at the moment they charge the simulated clocks.
+
+Export formats:
+
+- :meth:`MetricsRegistry.render_prometheus` — Prometheus text
+  exposition (``# TYPE`` headers, ``name{label="v"} value`` samples,
+  ``_bucket``/``_sum``/``_count`` for histograms);
+- :meth:`MetricsRegistry.to_dict` — JSON-safe snapshot, byte-stable
+  under round-trip (sorted keys), for machine comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.errors import ReproError
+
+#: Default histogram bucket upper bounds (simulated seconds).
+DEFAULT_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0, 600.0
+)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """Monotone accumulator."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ReproError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        self.value = float(value)
+
+    def max(self, value: float) -> None:
+        """Raise the gauge to ``value`` if larger (high-water marks)."""
+        self.value = max(self.value, float(value))
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
+            raise ReproError(f"histogram buckets must strictly increase: {buckets}")
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * len(self.buckets)  # per upper bound, non-cumulative
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.sum += float(value)
+        self.count += 1
+        for i, ub in enumerate(self.buckets):
+            if value <= ub:
+                self.counts[i] += 1
+                break
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, +Inf last."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for ub, c in zip(self.buckets, self.counts):
+            running += c
+            out.append((ub, running))
+        out.append((float("inf"), self.count))
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create registry of labelled metrics."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: object) -> Counter:
+        """The counter ``name`` with exactly these labels."""
+        key = (name, _label_key(labels))
+        got = self._counters.get(key)
+        if got is None:
+            got = self._counters[key] = Counter()
+        return got
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """The gauge ``name`` with exactly these labels."""
+        key = (name, _label_key(labels))
+        got = self._gauges.get(key)
+        if got is None:
+            got = self._gauges[key] = Gauge()
+        return got
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        buckets: Optional[Tuple[float, ...]] = None,
+        **labels: object,
+    ) -> Histogram:
+        """The histogram ``name`` with exactly these labels."""
+        key = (name, _label_key(labels))
+        got = self._histograms.get(key)
+        if got is None:
+            got = self._histograms[key] = Histogram(
+                buckets if buckets is not None else DEFAULT_BUCKETS
+            )
+        return got
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def counter_total(self, name: str, **label_filter: object) -> float:
+        """Sum of ``name`` counters whose labels match every filter."""
+        want = {str(k): str(v) for k, v in label_filter.items()}
+        total = 0.0
+        for (n, key), c in self._counters.items():
+            if n != name:
+                continue
+            have = dict(key)
+            if all(have.get(k) == v for k, v in want.items()):
+                total += c.value
+        return total
+
+    def names(self) -> Tuple[str, ...]:
+        """Distinct metric names, sorted."""
+        out = {n for n, _ in self._counters}
+        out.update(n for n, _ in self._gauges)
+        out.update(n for n, _ in self._histograms)
+        return tuple(sorted(out))
+
+    def __iter__(self) -> Iterator[Tuple[str, LabelKey, str, float]]:
+        """Yield ``(name, labels, type, value)`` for scalar metrics."""
+        for (n, key), c in self._counters.items():
+            yield n, key, "counter", c.value
+        for (n, key), g in self._gauges.items():
+            yield n, key, "gauge", g.value
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot with deterministic ordering."""
+
+        def scalar(table: Mapping[Tuple[str, LabelKey], object], attr: str):
+            rows = []
+            for (n, key), m in sorted(table.items()):
+                rows.append(
+                    {
+                        "name": n,
+                        "labels": {k: v for k, v in key},
+                        "value": getattr(m, attr),
+                    }
+                )
+            return rows
+
+        hists = []
+        for (n, key), h in sorted(self._histograms.items()):
+            hists.append(
+                {
+                    "name": n,
+                    "labels": {k: v for k, v in key},
+                    "buckets": list(h.buckets),
+                    "counts": list(h.counts),
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+            )
+        return {
+            "counters": scalar(self._counters, "value"),
+            "gauges": scalar(self._gauges, "value"),
+            "histograms": hists,
+        }
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of every metric, sorted."""
+        lines: List[str] = []
+        by_name: Dict[str, List[str]] = {}
+
+        for (n, key), c in sorted(self._counters.items()):
+            by_name.setdefault(f"counter {n}", []).append(
+                f"{n}{_render_labels(key)} {c.value:g}"
+            )
+        for (n, key), g in sorted(self._gauges.items()):
+            by_name.setdefault(f"gauge {n}", []).append(
+                f"{n}{_render_labels(key)} {g.value:g}"
+            )
+        for (n, key), h in sorted(self._histograms.items()):
+            rows = by_name.setdefault(f"histogram {n}", [])
+            for ub, cum in h.cumulative():
+                le = "+Inf" if ub == float("inf") else f"{ub:g}"
+                bucket_key = key + (("le", le),)
+                rows.append(f"{n}_bucket{_render_labels(bucket_key)} {cum}")
+            rows.append(f"{n}_sum{_render_labels(key)} {h.sum:g}")
+            rows.append(f"{n}_count{_render_labels(key)} {h.count}")
+
+        for typed_name in sorted(by_name):
+            mtype, name = typed_name.split(" ", 1)
+            lines.append(f"# TYPE {name} {mtype}")
+            lines.extend(by_name[typed_name])
+        return "\n".join(lines) + ("\n" if lines else "")

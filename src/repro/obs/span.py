@@ -1,0 +1,292 @@
+"""Hierarchical span tracing over the simulated clock.
+
+A :class:`Span` is one timed region of a run — a campaign wave, a job,
+an ensemble step, a member phase, a single collective — positioned on
+the *simulated* timeline and linked to its parent, so one tree covers
+a whole campaign down to individual AllReduces:
+
+    campaign
+      wave 0
+        job000
+          step 0
+            xgyro.m0.nl03c.str           (phase)
+              allreduce [....comm1.g0]   (collective leaf)
+            xgyro.coll                   (phase)
+              alltoall [xgyro.coll.g0]   (collective leaf)
+
+Spans are *not* wall-clock: ``t_start``/``duration`` are simulated
+seconds read from the :class:`~repro.vmpi.world.VirtualWorld` clocks
+(max over the span's rank set), which is what makes the critical-path
+arithmetic in :mod:`repro.obs.critical` exact rather than sampled.
+
+``SpanTracer.time_offset`` shifts recorded times into a larger frame:
+the campaign runner dispatches each job in its own world (clock starts
+at 0) but sets the offset to the wave's campaign-clock start, so job
+spans land at campaign-absolute times and the tree stays one timeline.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+#: Span kinds whose intervals are direct clock charges — the leaves the
+#: critical-path extractor chains over.  Everything else (phase, step,
+#: member, job, wave, campaign) is structural.
+LEAF_KINDS = ("collective", "compute", "sync")
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed timed region of the simulated timeline.
+
+    Attributes
+    ----------
+    span_id:
+        Unique id within the tracer (creation order).
+    name:
+        Human-readable label (``"allreduce [nl03c.comm1.g0]"``).
+    kind:
+        Structural role: ``campaign``/``wave``/``job``/``member``/
+        ``step``/``phase`` for interior spans, one of
+        :data:`LEAF_KINDS` (plus ``checkpoint``/``recovery``/
+        ``migration`` markers) for leaves.
+    t_start / duration:
+        Simulated seconds (offset-adjusted; see
+        :attr:`SpanTracer.time_offset`).
+    parent:
+        ``span_id`` of the enclosing span, or ``None`` for roots.
+    category:
+        Phase category active when the span was charged ("" if none).
+    ranks:
+        World ranks the span covers (empty for scheduler-level spans).
+    attrs:
+        Free-form metadata (bytes, communicator label, last-arrival
+        rank, ...). Values must be JSON-safe.
+    """
+
+    span_id: int
+    name: str
+    kind: str
+    t_start: float
+    duration: float
+    parent: Optional[int] = None
+    category: str = ""
+    ranks: Tuple[int, ...] = ()
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def t_end(self) -> float:
+        """End of the span on the simulated timeline."""
+        return self.t_start + self.duration
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping (inverse of :meth:`from_dict`)."""
+        return {
+            "span_id": self.span_id,
+            "name": self.name,
+            "kind": self.kind,
+            "t_start": self.t_start,
+            "duration": self.duration,
+            "parent": self.parent,
+            "category": self.category,
+            "ranks": list(self.ranks),
+            "attrs": dict(self.attrs),
+        }
+
+    @staticmethod
+    def from_dict(d: Dict[str, object]) -> "Span":
+        """Inverse of :meth:`to_dict`."""
+        parent = d.get("parent")
+        return Span(
+            span_id=int(d["span_id"]),
+            name=str(d["name"]),
+            kind=str(d["kind"]),
+            t_start=float(d["t_start"]),
+            duration=float(d["duration"]),
+            parent=None if parent is None else int(parent),
+            category=str(d.get("category", "")),
+            ranks=tuple(int(r) for r in d.get("ranks", ())),  # type: ignore[union-attr]
+            attrs=dict(d.get("attrs", {})),  # type: ignore[arg-type]
+        )
+
+
+class SpanTracer:
+    """Builds one span tree across worlds, runners and schedulers.
+
+    Interior spans are opened/closed with :meth:`begin`/:meth:`end` (or
+    the :meth:`span` context manager, which reads a clock callable at
+    entry and exit); completed leaves are appended with :meth:`record`.
+    Parentage follows the open-span stack unless given explicitly.
+    """
+
+    def __init__(self, *, time_offset: float = 0.0) -> None:
+        #: Added to every recorded time — the campaign runner points
+        #: this at the wave's campaign-clock start before dispatching a
+        #: job so the job world's local times land absolutely.
+        self.time_offset = float(time_offset)
+        self._spans: List[Span] = []
+        self._stack: List[Tuple[int, str, str, float, str, Tuple[int, ...], Dict[str, object]]] = []
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @property
+    def current_id(self) -> Optional[int]:
+        """``span_id`` of the innermost open span (``None`` at root)."""
+        return self._stack[-1][0] if self._stack else None
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open spans."""
+        return len(self._stack)
+
+    def begin(
+        self,
+        name: str,
+        kind: str,
+        t_start: float,
+        *,
+        category: str = "",
+        ranks: Sequence[int] = (),
+        **attrs: object,
+    ) -> int:
+        """Open a span at ``t_start`` (pre-offset); returns its id."""
+        span_id = self._next_id
+        self._next_id += 1
+        self._stack.append(
+            (
+                span_id,
+                name,
+                kind,
+                t_start + self.time_offset,
+                category,
+                tuple(int(r) for r in ranks),
+                dict(attrs),
+            )
+        )
+        return span_id
+
+    def end(self, t_end: float) -> Span:
+        """Close the innermost open span at ``t_end`` (pre-offset)."""
+        if not self._stack:
+            raise ReproError("SpanTracer.end() with no open span")
+        span_id, name, kind, t0, category, ranks, attrs = self._stack.pop()
+        span = Span(
+            span_id=span_id,
+            name=name,
+            kind=kind,
+            t_start=t0,
+            duration=max(0.0, t_end + self.time_offset - t0),
+            parent=self._stack[-1][0] if self._stack else None,
+            category=category,
+            ranks=ranks,
+            attrs=attrs,
+        )
+        self._spans.append(span)
+        return span
+
+    def record(
+        self,
+        name: str,
+        kind: str,
+        t_start: float,
+        duration: float,
+        *,
+        category: str = "",
+        ranks: Sequence[int] = (),
+        parent: Optional[int] = "stack",  # type: ignore[assignment]
+        **attrs: object,
+    ) -> Span:
+        """Append an already-completed (leaf) span.
+
+        ``parent`` defaults to the innermost open span; pass ``None``
+        to force a root.
+        """
+        if parent == "stack":
+            parent = self.current_id
+        span_id = self._next_id
+        self._next_id += 1
+        span = Span(
+            span_id=span_id,
+            name=name,
+            kind=kind,
+            t_start=t_start + self.time_offset,
+            duration=float(duration),
+            parent=parent,
+            category=category,
+            ranks=tuple(int(r) for r in ranks),
+            attrs=dict(attrs),
+        )
+        self._spans.append(span)
+        return span
+
+    @contextlib.contextmanager
+    def span(
+        self,
+        name: str,
+        kind: str,
+        clock: Callable[[], float],
+        *,
+        category: str = "",
+        ranks: Sequence[int] = (),
+        **attrs: object,
+    ) -> Iterator[int]:
+        """Scope a span over ``clock()`` readings at entry and exit."""
+        span_id = self.begin(
+            name, kind, clock(), category=category, ranks=ranks, **attrs
+        )
+        try:
+            yield span_id
+        finally:
+            self.end(clock())
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def spans(self) -> Tuple[Span, ...]:
+        """Completed spans in ``span_id`` order."""
+        return tuple(sorted(self._spans, key=lambda s: s.span_id))
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def makespan(self) -> float:
+        """Latest span end on the timeline (0.0 when empty)."""
+        return max((s.t_end for s in self._spans), default=0.0)
+
+    def children_of(self, span_id: Optional[int]) -> Tuple[Span, ...]:
+        """Direct children of ``span_id`` (roots for ``None``)."""
+        return tuple(
+            s
+            for s in self.spans
+            if s.parent == span_id and s.span_id != span_id
+        )
+
+    def leaves(self) -> Tuple[Span, ...]:
+        """Spans of a leaf kind (see :data:`LEAF_KINDS`)."""
+        return tuple(s for s in self.spans if s.kind in LEAF_KINDS)
+
+    def render_tree(self, *, max_children: int = 8) -> str:
+        """Indented text rendering of the span tree (debug aid)."""
+        lines: List[str] = []
+
+        def walk(parent: Optional[int], depth: int) -> None:
+            kids = self.children_of(parent)
+            for i, s in enumerate(kids):
+                if i >= max_children:
+                    lines.append("  " * depth + f"... {len(kids) - i} more")
+                    break
+                lines.append(
+                    "  " * depth
+                    + f"{s.name} [{s.kind}] {s.t_start:.6f}+{s.duration:.6f}s"
+                )
+                walk(s.span_id, depth + 1)
+
+        walk(None, 0)
+        return "\n".join(lines)

@@ -210,11 +210,20 @@ def render_campaign_report(report, *, jobs: bool = True) -> str:
                 f"  {a.request_id}: {a.attempts} attempt(s), "
                 f"last {a.last_job_id} — {a.reason}"
             )
+    if report.imposed_wait_s:
+        lines.append(
+            f"{'imposed straggler wait':<26s} {report.imposed_wait_s:>12.3f} s"
+        )
     if report.quarantined_nodes:
         lines.append(
             f"{'quarantined nodes':<26s} "
             + ", ".join(str(n) for n in report.quarantined_nodes)
         )
+        for w in report.quarantine_windows:
+            lines.append(
+                f"  node {int(w['node'])}: quarantined "
+                f"{w['start_s']:.3f} s -> {w['end_s']:.3f} s"
+            )
     if report.cache:
         c = report.cache
         lines.append(
@@ -227,6 +236,16 @@ def render_campaign_report(report, *, jobs: bool = True) -> str:
             lines.append(
                 f"{'cache integrity failures':<26s} "
                 f"{int(c['integrity_failures']):>12d}"
+            )
+    if report.waves:
+        lines.append(
+            f"{'wave':>4s} {'rnd':>3s} {'start':>9s} {'end':>9s} "
+            f"{'jobs':>4s} {'nodes busy':>10s}"
+        )
+        for w in report.waves:
+            lines.append(
+                f"{w.wave:>4d} {w.round:>3d} {w.start_s:>9.3f} "
+                f"{w.end_s:>9.3f} {w.n_jobs:>4d} {w.nodes_busy:>10d}"
             )
     if jobs and report.jobs:
         lines.append(

@@ -138,6 +138,11 @@ class ResilientXgyroRunner:
         Respond to a flagged straggler by migrating the afflicted
         member at the boundary (default).  ``False`` detects and logs
         only — the do-nothing baseline the benchmark prices against.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry` bundle, installed on the
+        world before the ensemble is built; checkpoints, recoveries and
+        migrations then appear as spans in the same tree as the
+        collectives they interleave with.
     """
 
     def __init__(
@@ -155,6 +160,7 @@ class ResilientXgyroRunner:
         guard_sdc: "bool | None" = None,
         straggler_detector: "StragglerDetector | bool | None" = None,
         migrate_stragglers: bool = True,
+        telemetry=None,
     ) -> None:
         if checkpoint_interval < 1:
             raise ResilienceError(
@@ -163,6 +169,10 @@ class ResilientXgyroRunner:
         self.world = world
         if checker is not None:
             world.install_checker(checker)
+        if telemetry is not None:
+            # installed before the ensemble is built so the cmat
+            # assembly charges land inside the span tree too
+            telemetry.install(world)
         self.plan = plan if plan is not None else FaultPlan.none()
         self.checkpoint_interval = int(checkpoint_interval)
         self.policy = policy or RecoveryPolicy()
@@ -176,7 +186,12 @@ class ResilientXgyroRunner:
             m.label for m in self.ensemble.members
         )
         self.store = CheckpointStore(checkpoint_dir)
-        self.store.save(self.ensemble)  # step-0 baseline to roll back to
+        with world.span(
+            "checkpoint.s0", "checkpoint", ranks=self.ensemble.ranks
+        ):
+            self.store.save(self.ensemble)  # step-0 baseline to roll back to
+        if world.metrics is not None:
+            world.metrics.counter("resilience_checkpoints_total").inc()
         self.ledger = RecoveryLedger()
         self.guard_sdc = (
             self.injector.has_bitflips if guard_sdc is None else bool(guard_sdc)
@@ -217,14 +232,24 @@ class ResilientXgyroRunner:
             try:
                 self.ensemble.step()
             except RankFailure as failure:
-                shrink_and_recover(
-                    self.ensemble,
-                    failure,
-                    self.store,
-                    policy=self.policy,
-                    ledger=self.ledger,
-                    recoveries_so_far=len(self.ledger),
-                )
+                with self.world.span(
+                    f"recovery.s{self.ensemble.step_count}",
+                    "recovery",
+                    ranks=self.ensemble.ranks,
+                    step=self.ensemble.step_count,
+                ):
+                    shrink_and_recover(
+                        self.ensemble,
+                        failure,
+                        self.store,
+                        policy=self.policy,
+                        ledger=self.ledger,
+                        recoveries_so_far=len(self.ledger),
+                    )
+                if self.world.metrics is not None:
+                    self.world.metrics.counter(
+                        "resilience_recoveries_total"
+                    ).inc()
                 continue
             at_checkpoint = (
                 self.ensemble.step_count % self.checkpoint_interval == 0
@@ -237,7 +262,16 @@ class ResilientXgyroRunner:
             if at_checkpoint:
                 if self.straggler_detector is not None:
                     self._check_stragglers()
-                self.store.save(self.ensemble)
+                with self.world.span(
+                    f"checkpoint.s{self.ensemble.step_count}",
+                    "checkpoint",
+                    ranks=self.ensemble.ranks,
+                ):
+                    self.store.save(self.ensemble)
+                if self.world.metrics is not None:
+                    self.world.metrics.counter(
+                        "resilience_checkpoints_total"
+                    ).inc()
         return self.result()
 
     # ------------------------------------------------------------------
@@ -262,6 +296,12 @@ class ResilientXgyroRunner:
             ranks, seconds=scan_seconds, category=SDC_SCAN_CATEGORY
         )
         bad = scheme.verify_shards(ranks)
+        if self.world.metrics is not None:
+            self.world.metrics.counter("resilience_sdc_scans_total").inc()
+            if bad:
+                self.world.metrics.counter(
+                    "resilience_sdc_detections_total"
+                ).inc(len(bad))
         if not bad:
             return False
         repair_before = self.world.category_time(
@@ -326,7 +366,22 @@ class ResilientXgyroRunner:
             # exempt all its ranks from the (now vacated) slow node
             state_bytes = int(member.gather_h().nbytes)
             migrate_s = state_bytes / world.machine.inter.bandwidth_Bps
-            world.sync_charge(member.ranks, migrate_s, category=MIGRATE_CATEGORY)
+            with world.span(
+                f"migrate.m{mi}",
+                "migration",
+                ranks=member.ranks,
+                member=mi,
+                straggler_rank=int(r),
+                state_bytes=state_bytes,
+            ):
+                world.sync_charge(
+                    member.ranks, migrate_s, category=MIGRATE_CATEGORY
+                )
+            if world.metrics is not None:
+                world.metrics.counter("resilience_migrations_total").inc()
+                world.metrics.counter(
+                    "resilience_migration_seconds_total"
+                ).inc(migrate_s)
             self.injector.mark_migrated(member.ranks)
             self._migrated_ranks.update(int(x) for x in member.ranks)
             self.ledger.record_migration(

@@ -497,6 +497,7 @@ class Communicator:
         )
         idx = np.asarray(pair, dtype=np.intp)
         t_start = float(self.world.clock[idx].max())
+        last_arrival = source if self.world.clock[source] >= self.world.clock[dest] else dest
         self.world.clock[idx] = t_start + cost
         cat = self.world.current_category
         for r in pair:
@@ -519,4 +520,23 @@ class Communicator:
         self.world.trace.record(event)
         if ck is not None:
             ck.observe_event(event)
+        if self.world.tracer is not None:
+            self.world.tracer.record(
+                f"sendrecv [{self.label}]",
+                "collective",
+                t_start,
+                cost,
+                category=cat,
+                ranks=pair,
+                nbytes=int(arr.nbytes),
+                comm=self.label,
+                last_arrival=int(last_arrival),
+            )
+        if self.world.metrics is not None:
+            self.world.metrics.counter(
+                "vmpi_collective_bytes_total", kind="sendrecv", comm=self.label
+            ).inc(float(arr.nbytes))
+            self.world.metrics.counter(
+                "vmpi_collectives_total", kind="sendrecv"
+            ).inc()
         return arr.copy()

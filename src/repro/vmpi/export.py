@@ -18,10 +18,22 @@ from __future__ import annotations
 
 import csv
 import json
+import re
 from pathlib import Path
 from typing import Iterable, List, Optional, Union
 
 from repro.vmpi.tracer import CollectiveEvent, TraceLog
+
+#: Ensemble-member communicator labels: ``xgyro.m{m}.…`` (member comms)
+#: and ``baseline.m{m}.…``; the ensemble-wide coll comms
+#: (``xgyro.coll.…``) carry no member and stay on the shared lane.
+_MEMBER_LABEL = re.compile(r"^(?:xgyro|baseline)\.m(\d+)\.")
+
+
+def _member_of_label(comm_label: str) -> Optional[int]:
+    """Ensemble member index encoded in a communicator label, if any."""
+    m = _MEMBER_LABEL.match(comm_label)
+    return int(m.group(1)) if m else None
 
 
 def export_chrome_trace(
@@ -30,8 +42,16 @@ def export_chrome_trace(
     *,
     ranks: Optional[Iterable[int]] = None,
     max_events: Optional[int] = None,
+    collapse_members: bool = False,
 ) -> int:
     """Write the trace as Chrome trace-event JSON; returns event count.
+
+    ``pid`` is the owning ensemble member (parsed from the
+    ``xgyro.m{m}.…`` communicator label, +1; pid 0 is the shared lane
+    for ensemble-wide and plain-CGYRO collectives), named through
+    Perfetto process-name metadata events, so members render as
+    parallel process lanes.  ``collapse_members=True`` restores the
+    old single-process layout (everything on pid 0).
 
     ``ranks`` restricts the timeline to the given world ranks (a trace
     of 256 ranks x thousands of collectives is heavy); ``max_events``
@@ -39,14 +59,19 @@ def export_chrome_trace(
     """
     rank_filter = set(ranks) if ranks is not None else None
     events = []
+    pids = {0: "ensemble"}
     n_collectives = 0
     for ev in trace:
         if max_events is not None and n_collectives >= max_events:
             break
+        member = None if collapse_members else _member_of_label(ev.comm_label)
+        pid = 0 if member is None else member + 1
         emitted = False
         for r in ev.ranks:
             if rank_filter is not None and r not in rank_filter:
                 continue
+            if pid not in pids:
+                pids[pid] = f"member {member}"
             events.append(
                 {
                     "name": f"{ev.kind} [{ev.comm_label}]",
@@ -54,7 +79,7 @@ def export_chrome_trace(
                     "ph": "X",
                     "ts": ev.t_start * 1e6,
                     "dur": ev.cost_s * 1e6,
-                    "pid": 0,
+                    "pid": pid,
                     "tid": r,
                     "args": {
                         "bytes": ev.nbytes,
@@ -67,8 +92,12 @@ def export_chrome_trace(
             emitted = True
         if emitted:
             n_collectives += 1
+    meta = [
+        {"name": "process_name", "ph": "M", "pid": pid, "args": {"name": name}}
+        for pid, name in sorted(pids.items())
+    ]
     Path(path).write_text(
-        json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})
+        json.dumps({"traceEvents": meta + events, "displayTimeUnit": "ms"})
     )
     return n_collectives
 

@@ -102,6 +102,58 @@ class VirtualWorld:
         self._seq = 0
         self.fault_injector: "object | None" = None
         self.checker: "object | None" = None
+        self.tracer: "object | None" = None
+        self.metrics: "object | None" = None
+
+    def install_telemetry(
+        self, *, tracer: "object | None" = None, metrics: "object | None" = None
+    ) -> None:
+        """Attach a span tracer and/or metrics registry to this world.
+
+        ``tracer`` — normally a :class:`~repro.obs.span.SpanTracer` —
+        receives one leaf span per collective (with byte count and the
+        last-arriving rank), one per compute charge, and one per
+        group-wide sync, all positioned on the simulated timeline;
+        ``metrics`` — a :class:`~repro.obs.metrics.MetricsRegistry` —
+        accumulates bytes moved per communicator/kind, collective and
+        imposed waits, and compute seconds.  Telemetry only *reads*
+        the clocks: a world with it installed is bit-identical in
+        cost, physics and trace to one without.
+        """
+        self.tracer = tracer
+        self.metrics = metrics
+
+    def span(
+        self,
+        name: str,
+        kind: str = "phase",
+        *,
+        ranks: "Optional[Iterable[int]]" = None,
+        category: Optional[str] = None,
+        **attrs: object,
+    ):
+        """Context manager scoping a tracer span over this world's clock.
+
+        A no-op (null context) when no tracer is installed, so callers
+        can instrument unconditionally.  The span's times are the max
+        clock over ``ranks`` (default: all) at entry and exit.
+        """
+        if self.tracer is None:
+            return contextlib.nullcontext()
+        rks = (
+            tuple(int(r) for r in ranks)
+            if ranks is not None
+            else tuple(range(self.n_ranks))
+        )
+        cat = category if category is not None else self.current_category
+        return self.tracer.span(
+            name,
+            kind,
+            lambda: self.elapsed(rks),
+            category=cat,
+            ranks=rks,
+            **attrs,
+        )
 
     def install_fault_injector(self, injector: "object | None") -> None:
         """Attach (or, with ``None``, detach) a fault injector.
@@ -186,6 +238,7 @@ class VirtualWorld:
             raise VmpiError("provide exactly one of seconds= or flops=")
         rank_list = [ranks] if isinstance(ranks, (int, np.integer)) else list(ranks)
         cat = category if category is not None else self.current_category
+        charged: Dict[int, float] = {}
         for r in rank_list:
             if not 0 <= r < self.n_ranks:
                 raise VmpiError(f"rank {r} out of range [0, {self.n_ranks})")
@@ -202,6 +255,29 @@ class VirtualWorld:
                     dt *= mult(int(r))
             self.clock[r] += dt
             self._add_category_time(r, cat, dt)
+            charged[int(r)] = dt
+        if charged:
+            total = sum(charged.values())
+            if self.metrics is not None and total > 0.0:
+                self.metrics.counter(
+                    "vmpi_compute_rank_seconds_total",
+                    category=cat or "uncategorized",
+                ).inc(total)
+            if self.tracer is not None:
+                # the span covers the rank whose clock the charge pushed
+                # furthest — the one that can pin a later collective
+                lead = max(charged, key=lambda r: (self.clock[r], -r))
+                dt_lead = charged[lead]
+                if dt_lead > 0.0:
+                    self.tracer.record(
+                        f"compute[{cat or 'uncategorized'}]",
+                        "compute",
+                        float(self.clock[lead]) - dt_lead,
+                        dt_lead,
+                        category=cat,
+                        ranks=tuple(charged),
+                        last_arrival=lead,
+                    )
 
     def charge_collective(
         self,
@@ -227,9 +303,8 @@ class VirtualWorld:
         waits = t_start - self.clock[idx]
         self.coll_wait_s[idx] += waits
         # the total wait is imposed by whoever arrived last
-        self.imposed_wait_s[idx[int(np.argmax(self.clock[idx]))]] += float(
-            waits.sum()
-        )
+        last_arrival = int(idx[int(np.argmax(self.clock[idx]))])
+        self.imposed_wait_s[last_arrival] += float(waits.sum())
         cost = factor * self.cost_model.collective_cost(
             kind, ranks, nbytes, algorithm=algorithm
         )
@@ -253,6 +328,32 @@ class VirtualWorld:
         self.trace.record(event)
         if self.checker is not None:
             self.checker.observe_event(event)
+        if self.tracer is not None:
+            self.tracer.record(
+                f"{kind} [{comm_label}]",
+                "collective",
+                t_start,
+                cost,
+                category=cat,
+                ranks=event.ranks,
+                nbytes=int(nbytes),
+                comm=comm_label,
+                last_arrival=last_arrival,
+            )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "vmpi_collective_bytes_total", kind=kind, comm=comm_label
+            ).inc(float(nbytes))
+            self.metrics.counter("vmpi_collectives_total", kind=kind).inc()
+            self.metrics.counter(
+                "vmpi_coll_wait_seconds_total", comm=comm_label
+            ).inc(float(waits.sum()))
+            self.metrics.counter(
+                "vmpi_imposed_wait_seconds_total", rank=last_arrival
+            ).inc(float(waits.sum()))
+            self.metrics.histogram(
+                "vmpi_collective_cost_seconds", kind=kind
+            ).observe(cost)
         return cost
 
     def sync_charge(
@@ -272,10 +373,25 @@ class VirtualWorld:
         if idx.size == 0:
             return 0.0
         t_start = float(self.clock[idx].max())
+        last = int(idx[int(np.argmax(self.clock[idx]))])
         self.clock[idx] = t_start + seconds
         cat = category if category is not None else self.current_category
         for r in idx:
             self._add_category_time(int(r), cat, seconds)
+        if self.tracer is not None and seconds > 0.0:
+            self.tracer.record(
+                f"sync[{cat or 'uncategorized'}]",
+                "sync",
+                t_start,
+                float(seconds),
+                category=cat,
+                ranks=tuple(int(r) for r in idx),
+                last_arrival=last,
+            )
+        if self.metrics is not None and seconds > 0.0:
+            self.metrics.counter(
+                "vmpi_sync_seconds_total", category=cat or "uncategorized"
+            ).inc(float(seconds) * idx.size)
         return t_start
 
     # ------------------------------------------------------------------

@@ -33,6 +33,7 @@ class SequentialCgyroBaseline:
         n_ranks: Optional[int] = None,
         enforce_memory: bool = False,
         trace: bool = False,
+        telemetry=None,
     ) -> None:
         if len(inputs) == 0:
             raise EnsembleValidationError("baseline needs at least one input")
@@ -41,6 +42,15 @@ class SequentialCgyroBaseline:
         self.n_ranks = n_ranks
         self.enforce_memory = enforce_memory
         self.trace = trace
+        #: optional :class:`~repro.obs.Telemetry` bundle.  Each run is a
+        #: separate job whose world clock restarts at zero, so the
+        #: tracer's ``time_offset`` is advanced by each completed run's
+        #: wall — member spans line up end to end on one sequential
+        #: timeline, directly comparable to an ensemble's overlapped
+        #: tree.  (Only the fresh-world :meth:`run_report_interval`
+        #: path is instrumented; the persistent :meth:`simulations`
+        #: worlds interleave intervals and have no single timeline.)
+        self.telemetry = telemetry
         #: worlds of completed runs, for post-hoc trace inspection
         self.worlds: List[VirtualWorld] = []
         self._sims: Optional[List[CgyroSimulation]] = None
@@ -93,15 +103,25 @@ class SequentialCgyroBaseline:
             )
         rows: List[ReportRow] = []
         self.worlds = []
-        for inp in self.inputs:
+        for m, inp in enumerate(self.inputs):
             world = VirtualWorld(
                 self.machine,
                 n_ranks=self.n_ranks,
                 enforce_memory=self.enforce_memory,
                 trace=self.trace,
             )
-            sim = CgyroSimulation(world, range(world.n_ranks), inp)
-            rows.append(sim.run_report_interval())
+            if self.telemetry is not None:
+                self.telemetry.install(world)
+                with world.span(
+                    f"baseline.m{m}.{inp.name}", "member", member=m
+                ):
+                    sim = CgyroSimulation(world, range(world.n_ranks), inp)
+                    rows.append(sim.run_report_interval())
+                # the next run is a fresh job: stack it after this one
+                self.telemetry.tracer.time_offset += world.elapsed()
+            else:
+                sim = CgyroSimulation(world, range(world.n_ranks), inp)
+                rows.append(sim.run_report_interval())
             self.worlds.append(world)
         return rows
 

@@ -108,11 +108,36 @@ class XgyroEnsemble:
     # ------------------------------------------------------------------
     def step(self) -> None:
         """One lockstep time step of the whole ensemble."""
-        for m in self.members:
-            m.streaming_phase()
-        for m in self.members:
-            m.nonlinear_phase()
-        self.scheme.ensemble_collision_step()
+        with self.world.span(
+            f"xgyro.step{self.step_count}", "step", ranks=self.ranks
+        ):
+            for i, m in enumerate(self.members):
+                with self.world.span(
+                    f"{m.label}.str",
+                    "phase",
+                    ranks=m.ranks,
+                    category="str_compute",
+                    member=i,
+                ):
+                    m.streaming_phase()
+            for i, m in enumerate(self.members):
+                if not m.inp.nonlinear:
+                    continue
+                with self.world.span(
+                    f"{m.label}.nl",
+                    "phase",
+                    ranks=m.ranks,
+                    category="nl_compute",
+                    member=i,
+                ):
+                    m.nonlinear_phase()
+            with self.world.span(
+                "xgyro.coll",
+                "phase",
+                ranks=self.ranks,
+                category="coll_compute",
+            ):
+                self.scheme.ensemble_collision_step()
         for m in self.members:
             m.time += m.inp.delta_t
             m.step_count += 1
@@ -184,8 +209,15 @@ class XgyroEnsemble:
         for _ in range(steps):
             self.step()
         member_rows: List[ReportRow] = []
-        for m in self.members:
-            flux, phi2 = m.diagnostics()
+        for i, m in enumerate(self.members):
+            with self.world.span(
+                f"{m.label}.diag",
+                "phase",
+                ranks=m.ranks,
+                category="diag",
+                member=i,
+            ):
+                flux, phi2 = m.diagnostics()
             after = snapshot(self.world, m.ranks)
             diff = delta(after, before[m.label])
             wall = diff.pop("elapsed")

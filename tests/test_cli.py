@@ -129,6 +129,55 @@ class TestVerify:
         assert "PASSED" in out
 
 
+class TestTelemetryCommands:
+    def test_trace_prints_attribution_report(self, capsys):
+        assert main(["trace"]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "attributed to named phases" in out
+
+    def test_trace_writes_spans_and_chrome(self, tmp_path, capsys):
+        spans = tmp_path / "spans.jsonl"
+        chrome = tmp_path / "trace.json"
+        assert main(
+            [
+                "trace",
+                "--spans-out", str(spans),
+                "--chrome-out", str(chrome),
+            ]
+        ) == 0
+        assert "repro-spans-v1" in spans.read_text().splitlines()[0]
+        assert "traceEvents" in chrome.read_text()
+
+    def test_trace_accepts_ensemble_file(self, ensemble_file, capsys):
+        assert main(["trace", str(ensemble_file)]) == 0
+        assert "critical path" in capsys.readouterr().out
+
+    def test_metrics_prometheus_and_json(self, tmp_path, capsys):
+        snap = tmp_path / "metrics.json"
+        assert main(["metrics", "--json", str(snap)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE vmpi_collective_bytes_total counter" in out
+        assert snap.exists()
+
+    def test_perf_gate_pass_and_fail(self, tmp_path, capsys):
+        from repro.obs import write_bench_records
+
+        base = tmp_path / "base.json"
+        good = tmp_path / "good.json"
+        bad = tmp_path / "bad.json"
+        write_bench_records({"b": {"wall_s": 10.0}}, base)
+        write_bench_records({"b": {"wall_s": 10.2}}, good)
+        write_bench_records({"b": {"wall_s": 12.0}}, bad)
+        assert main(["perf-gate", str(good), str(base)]) == 0
+        assert main(["perf-gate", str(bad), str(base)]) == 1
+        assert "regressed" in capsys.readouterr().out
+        # a wider band lets the same numbers through
+        assert main(
+            ["perf-gate", str(bad), str(base), "--tolerance", "0.25"]
+        ) == 0
+
+
 class TestParser:
     def test_requires_command(self, capsys):
         with pytest.raises(SystemExit):

@@ -25,10 +25,11 @@ class TestTraceExportOfRealRuns:
         path = tmp_path / "step.json"
         count = export_chrome_trace(world.trace, path, ranks=[0])
         data = json.loads(path.read_text())
-        cats = [e["cat"] for e in data["traceEvents"]]
+        slices = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        cats = [e["cat"] for e in slices]
         assert "str_comm" in cats and "coll_comm" in cats
         # events are time-ordered and non-overlapping per rank
-        spans = [(e["ts"], e["ts"] + e["dur"]) for e in data["traceEvents"]]
+        spans = [(e["ts"], e["ts"] + e["dur"]) for e in slices]
         for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
             assert b0 >= a1 - 1e-6
         assert count == len(world.trace.filter(involving_rank=0))

@@ -1,0 +1,172 @@
+"""Critical-path extraction: exactness laws, hypothesis-driven.
+
+The extractor's contract is arithmetic, not statistical:
+
+- the returned segments are contiguous and partition ``[t0, makespan]``,
+  so the path duration equals the makespan *exactly* (endpoint
+  difference, no summation error);
+- spans not on the path are irrelevant — deleting any one of them
+  reproduces the identical extraction;
+- on a real instrumented run the path total equals the world's elapsed
+  clock and ≥95% of it lands in named phase categories.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cgyro import CgyroSimulation, small_test
+from repro.errors import ReproError
+from repro.obs import Span, Telemetry, extract_critical_path
+from repro.obs.critical import IDLE, render_telemetry_report
+from repro.vmpi import VirtualWorld
+from repro.xgyro import XgyroEnsemble
+
+_CATS = ("str_comm", "str_compute", "coll_comm", "nl_compute", "")
+
+
+@st.composite
+def leaf_spans(draw, min_size=1, max_size=24):
+    """Random leaf-span lists on a 4-rank toy timeline."""
+    n = draw(st.integers(min_size, max_size))
+    spans = []
+    for i in range(n):
+        ranks = tuple(
+            sorted(
+                draw(
+                    st.sets(
+                        st.integers(0, 3), min_size=1, max_size=4
+                    )
+                )
+            )
+        )
+        t0 = draw(
+            st.floats(0.0, 10.0, allow_nan=False, allow_infinity=False)
+        )
+        dur = draw(
+            st.floats(1e-6, 5.0, allow_nan=False, allow_infinity=False)
+        )
+        kind = draw(st.sampled_from(("collective", "compute", "sync")))
+        attrs = {}
+        if draw(st.booleans()):
+            attrs["last_arrival"] = draw(st.sampled_from(ranks))
+        spans.append(
+            Span(
+                span_id=i,
+                name=f"s{i}",
+                kind=kind,
+                t_start=t0,
+                duration=dur,
+                category=draw(st.sampled_from(_CATS)),
+                ranks=ranks,
+                attrs=attrs,
+            )
+        )
+    return spans
+
+
+class TestExtractionLaws:
+    @given(leaf_spans())
+    @settings(max_examples=200, deadline=None)
+    def test_path_duration_equals_makespan_exactly(self, spans):
+        path = extract_critical_path(spans)
+        makespan = max(s.t_end for s in spans)
+        # endpoint arithmetic: last segment ends at the makespan, first
+        # starts at t0 (within the extractor's epsilon)
+        assert path.segments[-1].t_end == makespan
+        assert abs(path.segments[0].t_start) <= 1e-9
+        assert abs(path.total_s - makespan) <= 1e-9
+
+    @given(leaf_spans())
+    @settings(max_examples=200, deadline=None)
+    def test_segments_are_contiguous_and_ascending(self, spans):
+        path = extract_critical_path(spans)
+        for a, b in zip(path.segments, path.segments[1:]):
+            assert a.t_end == b.t_start
+            assert a.duration >= 0
+        # per-category attribution re-sums to the path total
+        assert sum(path.by_category().values()) == pytest.approx(
+            path.total_s, abs=1e-9
+        )
+
+    @given(leaf_spans(min_size=2))
+    @settings(max_examples=100, deadline=None)
+    def test_removing_non_critical_span_changes_nothing(self, spans):
+        path = extract_critical_path(spans)
+        on_path = set(path.span_ids())
+        off_path = [s for s in spans if s.span_id not in on_path]
+        for victim in off_path[:3]:
+            pruned = [s for s in spans if s.span_id != victim.span_id]
+            again = extract_critical_path(pruned)
+            assert again.span_ids() == path.span_ids()
+            assert again.total_s == path.total_s
+            assert [
+                (s.t_start, s.t_end, s.category) for s in again.segments
+            ] == [(s.t_start, s.t_end, s.category) for s in path.segments]
+
+    def test_no_leaves_raises(self):
+        with pytest.raises(ReproError):
+            extract_critical_path(
+                [Span(0, "step", "step", 0.0, 1.0)]
+            )
+
+    def test_idle_gap_is_surfaced_not_smeared(self):
+        spans = [
+            Span(0, "a", "compute", 0.0, 1.0, ranks=(0,)),
+            Span(1, "b", "compute", 3.0, 1.0, ranks=(0,)),
+        ]
+        path = extract_critical_path(spans)
+        idles = [s for s in path.segments if s.category == IDLE]
+        assert len(idles) == 1
+        assert (idles[0].t_start, idles[0].t_end) == (1.0, 3.0)
+        assert path.idle_s == pytest.approx(2.0)
+        assert path.top_stalls()[0].duration == pytest.approx(2.0)
+
+    def test_chain_follows_last_arrival(self):
+        """The walk hops onto the rank that pinned the collective."""
+        spans = [
+            Span(0, "slow", "compute", 0.0, 2.0, ranks=(1,),
+                 attrs={"last_arrival": 1}),
+            Span(1, "fast", "compute", 0.0, 0.5, ranks=(0,),
+                 attrs={"last_arrival": 0}),
+            Span(2, "ar", "collective", 2.0, 1.0, ranks=(0, 1),
+                 attrs={"last_arrival": 1}),
+        ]
+        path = extract_critical_path(spans)
+        assert path.span_ids() == (0, 2)  # slow rank chains, fast is off-path
+        assert path.idle_s == 0.0
+
+
+class TestInstrumentedRuns:
+    def test_single_simulation_path_covers_elapsed(self, small_world):
+        tele = Telemetry()
+        tele.install(small_world)
+        sim = CgyroSimulation(
+            small_world, range(small_world.n_ranks), small_test()
+        )
+        sim.step()
+        path = extract_critical_path(tele.tracer.spans)
+        assert path.total_s == pytest.approx(
+            small_world.elapsed(), abs=1e-12
+        )
+        assert path.attributed_fraction >= 0.95
+
+    def test_ensemble_path_covers_elapsed(self, small_machine):
+        world = VirtualWorld(small_machine)
+        tele = Telemetry()
+        tele.install(world)
+        inputs = [
+            small_test(name=f"m{i}", dlntdr=(3.0 + 0.1 * i, 3.0 + 0.1 * i))
+            for i in range(4)
+        ]
+        ens = XgyroEnsemble(world, inputs)
+        ens.step()
+        path = extract_critical_path(tele.tracer.spans)
+        assert path.total_s == pytest.approx(world.elapsed(), abs=1e-12)
+        assert path.attributed_fraction >= 0.95
+        report = render_telemetry_report(
+            tele.tracer.spans, metrics=tele.metrics
+        )
+        assert "critical path" in report
+        assert "collective bytes" in report

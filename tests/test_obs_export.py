@@ -1,0 +1,121 @@
+"""Span exporters: byte-stable JSONL round-trip, member-lane Chrome."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cgyro import small_test
+from repro.machine import generic_cluster
+from repro.obs import (
+    Span,
+    Telemetry,
+    export_spans_chrome,
+    export_spans_jsonl,
+    load_spans_jsonl,
+)
+from repro.vmpi import VirtualWorld
+from repro.vmpi.export import export_chrome_trace
+from repro.xgyro import XgyroEnsemble
+
+
+def _ensemble_telemetry():
+    world = VirtualWorld(generic_cluster(n_nodes=4, ranks_per_node=4))
+    tele = Telemetry()
+    tele.install(world)
+    inputs = [
+        small_test(name=f"m{i}", dlntdr=(3.0 + 0.1 * i, 3.0 + 0.1 * i))
+        for i in range(4)
+    ]
+    XgyroEnsemble(world, inputs).step()
+    return world, tele
+
+
+class TestJsonl:
+    def test_round_trip_is_byte_stable(self, tmp_path):
+        _, tele = _ensemble_telemetry()
+        p1, p2 = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        n = export_spans_jsonl(tele.tracer.spans, p1)
+        assert n == len(tele.tracer.spans)
+        loaded = load_spans_jsonl(p1)
+        assert tuple(loaded) == tele.tracer.spans
+        export_spans_jsonl(loaded, p2)
+        assert p1.read_bytes() == p2.read_bytes()
+
+    def test_header_line_is_skipped_on_load(self, tmp_path):
+        p = tmp_path / "s.jsonl"
+        export_spans_jsonl(
+            [Span(0, "a", "compute", 0.0, 1.0)], p
+        )
+        first = p.read_text().splitlines()[0]
+        assert json.loads(first) == {"format": "repro-spans-v1"}
+        assert len(load_spans_jsonl(p)) == 1
+
+
+class TestSpanChrome:
+    def test_member_attr_maps_to_pid_lane(self, tmp_path):
+        spans = [
+            Span(0, "job", "job", 0.0, 10.0),
+            Span(1, "m0.phase", "phase", 0.0, 5.0, parent=0,
+                 attrs={"member": 0}),
+            Span(2, "ar", "collective", 0.0, 1.0, parent=1, ranks=(0,),
+                 attrs={"nbytes": 64}),
+            Span(3, "m1.phase", "phase", 5.0, 5.0, parent=0,
+                 attrs={"member": 1}),
+        ]
+        path = tmp_path / "t.json"
+        export_spans_chrome(spans, path)
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in events
+            if e["ph"] == "M"
+        }
+        assert names == {0: "ensemble", 1: "member 0", 2: "member 1"}
+        # the collective inherits member 0 through its parent chain
+        coll = [e for e in events if e.get("name") == "ar"][0]
+        assert coll["pid"] == 1
+        counters = [e for e in events if e["ph"] == "C"]
+        assert any(e["name"] == "bytes_in_flight" for e in counters)
+
+    def test_mem_high_water_counter_track(self, tmp_path):
+        spans = [
+            Span(0, "job.mem", "marker", 3.0, 0.0,
+                 attrs={"mem_high_water_bytes": 4096}),
+            Span(1, "c", "compute", 0.0, 1.0, ranks=(0,)),
+        ]
+        path = tmp_path / "t.json"
+        export_spans_chrome(spans, path)
+        events = json.loads(path.read_text())["traceEvents"]
+        hwm = [e for e in events if e.get("name") == "mem_high_water_bytes"]
+        assert hwm and hwm[0]["args"]["bytes"] == 4096
+
+
+class TestVmpiChromeMemberLanes:
+    """The satellite fix: collective traces get per-member pids."""
+
+    def test_member_comms_land_on_member_pids(self, tmp_path):
+        world, _ = _ensemble_telemetry()
+        path = tmp_path / "trace.json"
+        export_chrome_trace(world.trace, path)
+        events = json.loads(path.read_text())["traceEvents"]
+        meta = {e["pid"]: e["args"]["name"] for e in events if e["ph"] == "M"}
+        assert meta[0] == "ensemble"
+        assert {p for p in meta if p > 0}  # member lanes exist
+        member_events = [e for e in events if e["ph"] == "X" and e["pid"] > 0]
+        ensemble_events = [
+            e for e in events if e["ph"] == "X" and e["pid"] == 0
+        ]
+        # per-member str AllReduces on member lanes, ensemble-wide coll
+        # AllToAlls on the shared lane
+        assert member_events and ensemble_events
+        assert all(
+            ".m" in e["name"] for e in member_events
+        )
+
+    def test_collapse_members_restores_single_lane(self, tmp_path):
+        world, _ = _ensemble_telemetry()
+        path = tmp_path / "flat.json"
+        export_chrome_trace(world.trace, path, collapse_members=True)
+        events = json.loads(path.read_text())["traceEvents"]
+        assert {e["pid"] for e in events} == {0}

@@ -1,0 +1,107 @@
+"""Bench-record schema and the perf-regression gate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import (
+    compare_bench_records,
+    load_bench_records,
+    metric_direction,
+    run_gate,
+    write_bench_records,
+)
+
+BASE = {
+    "figure2": {"xgyro_wall_s": 250.0, "speedup": 1.5},
+    "memory": {"cmat_bytes": 1000.0},
+}
+
+
+class TestRecords:
+    def test_round_trip_is_byte_stable(self, tmp_path):
+        p1, p2 = tmp_path / "a.json", tmp_path / "b.json"
+        assert write_bench_records(BASE, p1) == 2
+        loaded = load_bench_records(p1)
+        assert loaded == BASE
+        write_bench_records(loaded, p2)
+        assert p1.read_bytes() == p2.read_bytes()
+
+    def test_load_rejects_wrong_format(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text('{"format": "something-else", "records": {}}')
+        with pytest.raises(ReproError):
+            load_bench_records(p)
+
+    def test_direction_inference(self):
+        assert metric_direction("speedup") == 1
+        assert metric_direction("throughput_member_steps_per_s") == 1
+        assert metric_direction("str_comm_reduction") == 1
+        assert metric_direction("cache_seconds_saved") == 1
+        assert metric_direction("xgyro_wall_s") == -1
+        assert metric_direction("cmat_bytes") == -1
+        assert metric_direction("detection_s") == -1
+
+
+class TestGate:
+    def test_within_tolerance_is_ok(self):
+        cur = {
+            "figure2": {"xgyro_wall_s": 252.0, "speedup": 1.49},
+            "memory": {"cmat_bytes": 1000.0},
+        }
+        result = compare_bench_records(cur, BASE, tolerance=0.05)
+        assert result.ok
+        assert all(f.verdict == "ok" for f in result.findings)
+
+    def test_worse_beyond_tolerance_regresses(self):
+        cur = {
+            "figure2": {"xgyro_wall_s": 280.0, "speedup": 1.5},
+            "memory": {"cmat_bytes": 1000.0},
+        }
+        result = compare_bench_records(cur, BASE, tolerance=0.05)
+        assert not result.ok
+        (bad,) = result.regressions
+        assert (bad.bench, bad.metric) == ("figure2", "xgyro_wall_s")
+        assert bad.rel_change == pytest.approx(0.12)
+
+    def test_direction_flips_for_higher_is_better(self):
+        """A *drop* in speedup regresses; a drop in wall improves."""
+        cur = {
+            "figure2": {"xgyro_wall_s": 200.0, "speedup": 1.2},
+            "memory": {"cmat_bytes": 1000.0},
+        }
+        result = compare_bench_records(cur, BASE, tolerance=0.05)
+        verdicts = {
+            (f.bench, f.metric): f.verdict for f in result.findings
+        }
+        assert verdicts[("figure2", "speedup")] == "regressed"
+        assert verdicts[("figure2", "xgyro_wall_s")] == "improved"
+
+    def test_missing_metric_fails_new_metric_passes(self):
+        cur = {
+            "figure2": {"speedup": 1.5, "brand_new": 7.0},
+            "memory": {"cmat_bytes": 1000.0},
+        }
+        result = compare_bench_records(cur, BASE, tolerance=0.05)
+        verdicts = {
+            (f.bench, f.metric): f.verdict for f in result.findings
+        }
+        assert verdicts[("figure2", "xgyro_wall_s")] == "missing"
+        assert verdicts[("figure2", "brand_new")] == "new"
+        assert not result.ok
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ReproError):
+            compare_bench_records({}, {}, tolerance=-0.1)
+
+    def test_run_gate_end_to_end(self, tmp_path):
+        base_p = tmp_path / "base.json"
+        cur_p = tmp_path / "cur.json"
+        write_bench_records(BASE, base_p)
+        write_bench_records(BASE, cur_p)
+        result = run_gate(cur_p, base_p, tolerance=0.05)
+        assert result.ok
+        text = result.render()
+        assert "0 regression(s)" in text
+        assert "figure2" in text

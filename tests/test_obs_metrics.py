@@ -1,0 +1,101 @@
+"""MetricsRegistry semantics and exporters."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import MetricsRegistry, Telemetry
+from repro.obs.metrics import Histogram
+from repro.vmpi import Communicator
+
+
+class TestRegistry:
+    def test_counter_identity_is_name_plus_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", kind="a").inc()
+        reg.counter("hits", kind="a").inc(2.0)
+        reg.counter("hits", kind="b").inc()
+        assert reg.counter("hits", kind="a").value == 3.0
+        assert reg.counter_total("hits") == 4.0
+        assert reg.counter_total("hits", kind="b") == 1.0
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ReproError):
+            MetricsRegistry().counter("x").inc(-1.0)
+
+    def test_gauge_set_and_max(self):
+        g = MetricsRegistry().gauge("hwm")
+        g.set(5.0)
+        g.max(3.0)
+        assert g.value == 5.0
+        g.max(9.0)
+        assert g.value == 9.0
+
+    def test_histogram_buckets_and_cumulative(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(105.0)
+        assert h.cumulative() == [
+            (1.0, 1), (2.0, 2), (4.0, 3), (float("inf"), 4)
+        ]
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ReproError):
+            Histogram(buckets=(2.0, 1.0))
+
+
+class TestExport:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.counter("bytes_total", comm="g0").inc(100)
+        reg.gauge("depth").set(2)
+        reg.histogram("cost", buckets=(0.1, 1.0)).observe(0.05)
+        return reg
+
+    def test_prometheus_text_shape(self):
+        text = self._populated().render_prometheus()
+        assert '# TYPE bytes_total counter' in text
+        assert 'bytes_total{comm="g0"} 100' in text
+        assert '# TYPE depth gauge' in text
+        assert 'cost_bucket{le="+Inf"} 1' in text
+        assert "cost_sum" in text and "cost_count" in text
+
+    def test_to_dict_is_json_safe_and_stable(self):
+        reg = self._populated()
+        d1 = json.dumps(reg.to_dict(), sort_keys=True)
+        d2 = json.dumps(reg.to_dict(), sort_keys=True)
+        assert d1 == d2
+        assert json.loads(d1)["counters"][0]["name"] == "bytes_total"
+
+
+class TestWorldMetrics:
+    def test_collective_metrics_accumulate(self, small_world):
+        tele = Telemetry()
+        tele.install(small_world)
+        comm = Communicator(small_world, range(4), label="m.g0")
+        data = {r: np.ones(16) for r in range(4)}
+        comm.allreduce(data)
+        comm.allreduce(data)
+        reg = tele.metrics
+        assert reg.counter_total("vmpi_collectives_total", kind="allreduce") == 2
+        nbytes = reg.counter_total("vmpi_collective_bytes_total")
+        assert nbytes == 2 * 16 * 8  # two calls, one 16-f64 payload each
+        hist = reg.histogram("vmpi_collective_cost_seconds", kind="allreduce")
+        assert hist.count == 2
+        assert hist.sum > 0.0
+
+    def test_compute_seconds_tracked_per_category(self, small_world):
+        tele = Telemetry()
+        tele.install(small_world)
+        with small_world.phase("str_compute"):
+            small_world.charge_compute(range(4), flops=1e9)
+        charged = tele.metrics.counter_total(
+            "vmpi_compute_rank_seconds_total", category="str_compute"
+        )
+        assert charged == pytest.approx(float(np.sum(small_world.clock[:4])))
