@@ -237,6 +237,7 @@ class CampaignPacker:
         batches: Sequence[CandidateBatch],
         *,
         job_id_offset: int = 0,
+        wave_offset: int = 0,
     ) -> List[List[PackedJob]]:
         """Pack candidate batches into waves of co-scheduled jobs.
 
@@ -245,6 +246,11 @@ class CampaignPacker:
         wave with enough free nodes, on the next contiguous node range
         of that wave.  Returns the waves in execution order; every
         wave's jobs occupy disjoint node sets of the machine.
+
+        ``job_id_offset`` and ``wave_offset`` let a caller that packs
+        mid-stream (several pack calls over one campaign, or the online
+        service slicing a moving window) keep job ids and wave indices
+        globally unique instead of restarting at zero.
         """
         waves: List[List[PackedJob]] = []
         used_nodes: List[int] = []
@@ -270,7 +276,7 @@ class CampaignPacker:
                 waves[wave_idx].append(
                     PackedJob(
                         job_id=f"job{seq:03d}",
-                        wave=wave_idx,
+                        wave=wave_idx + wave_offset,
                         requests=requests,
                         signature_key=batch.signature_key,
                         shape=shape,

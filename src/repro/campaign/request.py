@@ -78,6 +78,13 @@ class SimRequest:
     attempt:
         How many times this request has already been dispatched; bumped
         by the runner when a member is lost to a fault and requeued.
+    tenant:
+        Owning tenant for the online service's fairness accounting;
+        ``None`` (the batch-campaign default) means unattributed.
+    deadline_s:
+        SLO deadline on the campaign clock — the request should finish
+        by this time.  ``None`` means no deadline; the online service
+        derives one from the tenant's SLO when absent.
     """
 
     request_id: str
@@ -85,6 +92,8 @@ class SimRequest:
     priority: int = 0
     arrival_s: float = 0.0
     attempt: int = 0
+    tenant: Optional[str] = None
+    deadline_s: Optional[float] = None
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe representation."""
@@ -93,6 +102,8 @@ class SimRequest:
             "priority": self.priority,
             "arrival_s": self.arrival_s,
             "attempt": self.attempt,
+            "tenant": self.tenant,
+            "deadline_s": self.deadline_s,
             "input": input_to_dict(self.input),
         }
 
@@ -104,12 +115,16 @@ class SimRequest:
             raw_input = data["input"]
         except (KeyError, TypeError) as exc:
             raise CampaignError(f"request is missing field {exc}") from None
+        tenant = data.get("tenant")
+        deadline = data.get("deadline_s")
         return cls(
             request_id=request_id,
             input=input_from_dict(dict(raw_input)),
             priority=int(data.get("priority", 0)),
             arrival_s=float(data.get("arrival_s", 0.0)),
             attempt=int(data.get("attempt", 0)),
+            tenant=None if tenant is None else str(tenant),
+            deadline_s=None if deadline is None else float(deadline),
         )
 
     def requeued(self) -> "SimRequest":
@@ -125,6 +140,8 @@ class SimRequest:
             priority=self.priority,
             arrival_s=self.arrival_s,
             attempt=self.attempt + 1,
+            tenant=self.tenant,
+            deadline_s=self.deadline_s,
         )
 
 

@@ -159,6 +159,7 @@ class CampaignRunner:
         *,
         steps: Optional[int] = None,
         max_rounds: int = 100,
+        start_s: float = 0.0,
     ) -> CampaignReport:
         """Serve ``queue`` to empty and return the campaign report.
 
@@ -167,8 +168,17 @@ class CampaignRunner:
         of its members (``steps_per_report``, common within a job by
         construction).  ``max_rounds`` bounds the requeue loop against
         a pathological fault-plan mapping that keeps killing retries.
+
+        ``start_s`` places the campaign clock at an externally-advanced
+        time: waves, job records, and spans land at ``start_s``-absolute
+        times instead of restarting at zero, so a caller already living
+        on a larger timeline (the online service draining its backlog
+        mid-stream) can invoke a drain without folding time back to the
+        origin.  The report's ``makespan_s`` stays a duration.
         """
-        clock = 0.0
+        if start_s < 0:
+            raise CampaignError(f"start_s must be >= 0, got {start_s}")
+        clock = float(start_s)
         jobs: List[JobRecord] = []
         done: List[RequestRecord] = []
         abandoned: List[AbandonedRecord] = []
@@ -255,7 +265,7 @@ class CampaignRunner:
         return CampaignReport(
             machine_name=self.machine.name,
             machine_n_nodes=self.machine.n_nodes,
-            makespan_s=clock,
+            makespan_s=clock - start_s,
             jobs=jobs,
             requests=done,
             cache=self.cache.stats() if self.cache is not None else {},
@@ -289,6 +299,27 @@ class CampaignRunner:
                 }
             )
         return windows
+
+    # ------------------------------------------------------------------
+    def dispatch(
+        self,
+        job: PackedJob,
+        *,
+        start_s: float = 0.0,
+        round_idx: int = 0,
+        steps: Optional[int] = None,
+    ) -> Tuple[JobRecord, List[RequestRecord], List]:
+        """Run one packed job at campaign time ``start_s``.
+
+        The streaming entry point: a caller that places jobs itself
+        (the online service's moving window over an elastic pool) runs
+        each dispatch here instead of draining a queue through
+        :meth:`run`.  Cache probes, health charging, fault plans, and
+        telemetry behave exactly as under :meth:`run`; the caller owns
+        the clock and the requeue policy for the returned lost
+        requests.
+        """
+        return self._dispatch(job, round_idx, start_s, steps)
 
     # ------------------------------------------------------------------
     def _requeue_or_abandon(

@@ -13,6 +13,10 @@ a launcher invocation — against the virtual machine:
     python -m repro campaign   REQUESTS.json --nodes 4 [--fifo] [--no-cache]
                                [--flaky-node 0:plan.json --max-attempts 3
                                 --backoff 30 --quarantine-after 2]
+    python -m repro serve      [--traffic poisson|bursty|diurnal --rate R
+                                --horizon S --max-hold S --min-batch N
+                                --min-nodes N --idle-reclaim S --fifo
+                                --smoke --json OUT.json]
     python -m repro check-trace [TRACE.json ...] [--figure1] [--figure3]
     python -m repro oracle     FILE  --reports 2 --baseline member
     python -m repro trace      [FILE] [--nl03c] [--spans-out S.jsonl]
@@ -309,6 +313,148 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.json:
         Path(args.json).write_text(json.dumps(report.to_dict(), indent=2) + "\n")
         print(f"report written to {args.json}")
+    return 0
+
+
+def _serve_workload(name: str):
+    """A named workload pool — deliberately repetitive inputs so the
+    arrival stream carries real signature-sharing opportunity."""
+    from repro.cgyro.presets import linear_benchmark, small_test
+
+    if name == "small":
+        return [
+            small_test(),
+            small_test(nu=0.2),
+            small_test(n_energy=4),
+        ]
+    if name == "linear":
+        return [
+            linear_benchmark(),
+            linear_benchmark(nu=0.1),
+            linear_benchmark(n_energy=8),
+        ]
+    if name == "nl03c":
+        return [
+            nl03c_scaled(),
+            nl03c_scaled(nu=0.2),
+            nl03c_scaled(delta_t=0.005),
+        ]
+    raise ReproError(f"unknown workload {name!r}")
+
+
+def _serve_tenants(specs):
+    """Parse repeated ``--tenant NAME:WEIGHT:SLO_S`` flags."""
+    from repro.service import DEFAULT_TENANTS, TenantSpec
+
+    if not specs:
+        return DEFAULT_TENANTS
+    tenants = []
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) != 3:
+            raise ReproError(
+                f"--tenant wants NAME:WEIGHT:SLO_S, got {spec!r}"
+            )
+        tenants.append(
+            TenantSpec(parts[0], weight=float(parts[1]), slo_s=float(parts[2]))
+        )
+    return tuple(tenants)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import Telemetry
+    from repro.service import (
+        BurstyTraffic,
+        DiurnalTraffic,
+        OnlineService,
+        PoissonTraffic,
+        WindowPolicy,
+        render_service_report,
+    )
+
+    if args.smoke:
+        # fixed, fast configuration for the CI lane: a couple of
+        # simulated minutes of Poisson traffic on the small workload
+        args.workload = "small"
+        args.machine, args.nodes = "generic", 4
+        args.traffic, args.rate = "poisson", 0.05
+        args.horizon = 240.0
+        args.max_hold, args.min_batch = 30.0, 2
+        args.min_nodes, args.max_nodes = 1, 4
+        args.provision_delay, args.idle_reclaim = 15.0, 120.0
+    machine = _machine_from_args(args)
+    workload = _serve_workload(args.workload)
+    tenants = _serve_tenants(args.tenant)
+    if args.traffic == "poisson":
+        traffic = PoissonTraffic(
+            workload, rate_per_s=args.rate, tenants=tenants, seed=args.seed
+        )
+    elif args.traffic == "bursty":
+        traffic = BurstyTraffic(
+            workload,
+            calm_rate_per_s=args.rate,
+            burst_rate_per_s=args.burst_rate,
+            mean_calm_s=args.mean_calm,
+            mean_burst_s=args.mean_burst,
+            tenants=tenants,
+            seed=args.seed,
+        )
+    elif args.traffic == "diurnal":
+        traffic = DiurnalTraffic(
+            workload,
+            base_rate_per_s=args.rate,
+            peak_rate_per_s=args.peak_rate,
+            period_s=args.period,
+            tenants=tenants,
+            seed=args.seed,
+        )
+    else:  # pragma: no cover - argparse choices guard this
+        raise ReproError(f"unknown traffic model {args.traffic!r}")
+    if args.fifo:
+        window = WindowPolicy(max_hold_s=0.0, min_batch=1, max_batch=1)
+    else:
+        window = WindowPolicy(
+            max_hold_s=args.max_hold,
+            min_batch=args.min_batch,
+            max_batch=args.max_batch,
+        )
+    weights = {t.name: t.weight for t in tenants}
+    telemetry = Telemetry()
+    service = OnlineService(
+        machine,
+        traffic,
+        window=window,
+        max_pending=args.max_pending,
+        weights=weights,
+        default_slo_s=args.slo,
+        steps=args.steps,
+        min_nodes=args.min_nodes,
+        max_nodes=args.max_nodes,
+        provision_delay_s=args.provision_delay,
+        idle_reclaim_s=args.idle_reclaim,
+        prefer_larger_k=not args.fifo,
+        use_cache=not args.no_cache,
+        telemetry=telemetry,
+    )
+    mode = "FIFO (k=1, unbatched)" if args.fifo else "windowed signature batching"
+    print(
+        f"serve: {args.traffic} traffic on {machine.name}, {mode}, "
+        f"horizon {args.horizon:g} s, seed {args.seed}"
+    )
+    report = service.run(args.horizon)
+    print(render_service_report(report))
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"report written to {args.json}")
+    if args.smoke and (
+        report.n_served + report.n_shed + report.n_abandoned
+    ) < report.offered:
+        print("smoke: some requests were neither served nor shed", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -642,6 +788,84 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--enforce-memory", action="store_true")
     p.add_argument("--json", default=None, help="also write the report as JSON")
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "serve",
+        help="online service: arriving traffic, moving-window batching, "
+        "elastic node pool",
+    )
+    _add_machine_args(p)
+    p.add_argument(
+        "--workload",
+        choices=["small", "linear", "nl03c"],
+        default="small",
+        help="input pool arrivals draw from (default: small)",
+    )
+    p.add_argument(
+        "--traffic",
+        choices=["poisson", "bursty", "diurnal"],
+        default="poisson",
+        help="arrival process (default: poisson)",
+    )
+    p.add_argument(
+        "--rate",
+        type=float,
+        default=0.05,
+        help="arrival rate per simulated second (poisson; calm rate for "
+        "bursty; base rate for diurnal)",
+    )
+    p.add_argument("--burst-rate", type=float, default=0.5,
+                   help="bursty: burst-phase arrival rate")
+    p.add_argument("--mean-calm", type=float, default=300.0,
+                   help="bursty: mean calm-phase dwell (s)")
+    p.add_argument("--mean-burst", type=float, default=60.0,
+                   help="bursty: mean burst-phase dwell (s)")
+    p.add_argument("--peak-rate", type=float, default=0.5,
+                   help="diurnal: peak arrival rate")
+    p.add_argument("--period", type=float, default=3600.0,
+                   help="diurnal: day length (s)")
+    p.add_argument("--horizon", type=float, default=1200.0,
+                   help="arrival horizon in simulated seconds")
+    p.add_argument("--seed", type=int, default=0, help="traffic seed")
+    p.add_argument(
+        "--tenant",
+        action="append",
+        default=None,
+        metavar="NAME:WEIGHT:SLO_S",
+        help="add a tenant (repeatable; default: one 'default' tenant)",
+    )
+    p.add_argument("--max-hold", type=float, default=30.0,
+                   help="window: longest any request is held (s)")
+    p.add_argument("--min-batch", type=int, default=4,
+                   help="window: group size that flushes immediately")
+    p.add_argument("--max-batch", type=int, default=None,
+                   help="window: cap members per batch")
+    p.add_argument("--max-pending", type=int, default=None,
+                   help="admission bound; arrivals beyond it are shed")
+    p.add_argument("--slo", type=float, default=None,
+                   help="deadline stamped on requests without one (s)")
+    p.add_argument("--min-nodes", type=int, default=1,
+                   help="pool floor (provisioned at t=0)")
+    p.add_argument("--max-nodes", type=int, default=None,
+                   help="pool ceiling (default: the whole machine)")
+    p.add_argument("--provision-delay", type=float, default=0.0,
+                   help="grow latency in simulated seconds")
+    p.add_argument("--idle-reclaim", type=float, default=float("inf"),
+                   help="idle seconds before a node above the floor is "
+                   "drained and reclaimed")
+    p.add_argument(
+        "--fifo",
+        action="store_true",
+        help="baseline: flush-on-arrival, one request per job, no sharing",
+    )
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the cross-job cmat cache")
+    p.add_argument("--steps", type=int, default=None,
+                   help="override steps per job")
+    p.add_argument("--smoke", action="store_true",
+                   help="fixed fast configuration for CI")
+    p.add_argument("--json", default=None, help="also write the report as JSON")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "check-trace",

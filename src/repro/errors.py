@@ -263,6 +263,16 @@ class CampaignError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """The online campaign service was configured or driven badly.
+
+    Raised when a traffic model or service policy is constructed with
+    invalid parameters, when the elastic pool is asked to allocate
+    nodes it does not hold, or when ready work can never be placed
+    even with the pool fully grown and idle.
+    """
+
+
 class EnsembleValidationError(ReproError):
     """An XGYRO ensemble is invalid.
 

@@ -36,6 +36,8 @@ BENCH_FORMAT = "repro-bench-v1"
 HIGHER_IS_BETTER = (
     "speedup",
     "throughput",
+    "goodput",
+    "attainment",
     "saved",
     "savings",
     "hit_rate",

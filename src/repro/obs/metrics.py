@@ -105,6 +105,32 @@ class Histogram:
         out.append((float("inf"), self.count))
         return out
 
+    def quantile(self, q: float) -> float:
+        """Prometheus-style ``histogram_quantile``: the value below
+        which a fraction ``q`` of observations fell, linearly
+        interpolated within the bucket that crosses the target rank.
+
+        Matches PromQL semantics at the edges: an empty histogram
+        yields ``NaN``; a target rank landing in the +Inf overflow
+        bucket yields the highest finite bucket bound (the histogram
+        cannot resolve beyond it); the first bucket interpolates from a
+        lower bound of zero.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ReproError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0 or not self.buckets:
+            return float("nan")
+        target = q * self.count
+        lower, cum = 0.0, 0
+        for ub, c in zip(self.buckets, self.counts):
+            cum += c
+            if cum >= target and c > 0:
+                return lower + (ub - lower) * (target - (cum - c)) / c
+            lower = ub
+        # target sits in the +Inf overflow bucket (or past every
+        # finite bound): report the largest finite bound
+        return self.buckets[-1]
+
 
 class MetricsRegistry:
     """Get-or-create registry of labelled metrics."""

@@ -1,0 +1,63 @@
+"""The online campaign service: traffic, windowed batching, elastic
+pool, fair-share scheduling, and the service-level report.
+
+The batch :mod:`repro.campaign` answered "how fast can one machine
+drain a fixed queue of ensemble requests".  This package answers the
+production question behind the ROADMAP's north star — requests
+*arrive*, continuously, from many tenants, and the service must decide
+on-line how long to hold each one for signature share-mates, how many
+nodes to keep provisioned, and who gets the next free node — all on
+one deterministic simulated clock so every run is replayable.
+
+Entry point: :class:`OnlineService` (``repro serve`` on the CLI).
+"""
+
+from repro.service.admission import (
+    UNATTRIBUTED,
+    AdmissionController,
+    FairSharePolicy,
+    RejectionRecord,
+)
+from repro.service.loop import OnlineService
+from repro.service.pool import ElasticNodePool, PoolSample
+from repro.service.report import (
+    SERVICE_TTR_BUCKETS,
+    ServedRecord,
+    ServiceReport,
+    render_service_report,
+)
+from repro.service.traffic import (
+    DEFAULT_TENANTS,
+    BurstyTraffic,
+    DiurnalTraffic,
+    PoissonTraffic,
+    ReplayTraffic,
+    TenantSpec,
+    TrafficModel,
+    replay,
+)
+from repro.service.window import MovingWindow, WindowPolicy
+
+__all__ = [
+    "AdmissionController",
+    "BurstyTraffic",
+    "DEFAULT_TENANTS",
+    "DiurnalTraffic",
+    "ElasticNodePool",
+    "FairSharePolicy",
+    "MovingWindow",
+    "OnlineService",
+    "PoissonTraffic",
+    "PoolSample",
+    "RejectionRecord",
+    "ReplayTraffic",
+    "SERVICE_TTR_BUCKETS",
+    "ServedRecord",
+    "ServiceReport",
+    "TenantSpec",
+    "TrafficModel",
+    "UNATTRIBUTED",
+    "WindowPolicy",
+    "render_service_report",
+    "replay",
+]

@@ -1,0 +1,542 @@
+"""The online service loop: arrive, admit, hold, batch, place, serve.
+
+:class:`OnlineService` is the long-running counterpart of the batch
+:class:`~repro.campaign.runner.CampaignRunner`.  Where the campaign
+drains a queue that was full at t=0, the service runs a discrete-event
+simulation on one deterministic clock:
+
+- **arrivals** come from a :class:`~repro.service.traffic.TrafficModel`
+  and pass :class:`~repro.service.admission.AdmissionController` —
+  beyond ``max_pending`` in-system requests, new arrivals are shed
+  with explicit rejection records (backpressure, not unbounded queues);
+- admitted requests sit in a :class:`~repro.service.window.MovingWindow`
+  until their signature group reaches ``min_batch`` or the oldest
+  member has waited ``max_hold_s``;
+- flushed batches are ordered by
+  :meth:`~repro.service.admission.FairSharePolicy.batch_key` (weighted
+  fair share across tenants, EDF within) and placed greedily onto the
+  free nodes of an :class:`~repro.service.pool.ElasticNodePool`; a
+  blocked batch triggers a grow request, and idle nodes drain back
+  after ``idle_reclaim_s``;
+- each placement is executed through
+  :meth:`CampaignRunner.dispatch() <repro.campaign.runner.CampaignRunner.dispatch>`
+  — same cmat cache, same health/quarantine charging, same telemetry
+  span tree, same fault semantics as the batch path — and its
+  completion is a future event at ``now + elapsed``;
+- members lost to faults re-enter the window after the
+  :class:`~repro.resilience.health.RetryPolicy` backoff, or land on
+  the dead-letter list once the attempt cap is spent.
+
+Every quantity of interest lands in a :class:`ServiceReport`; every
+decision (arrival, shed, dispatch, retry, completion, SLO miss) emits
+counters/histograms through the shared
+:class:`~repro.obs.Telemetry` bundle when one is installed.
+
+The event heap orders ``(time, kind-rank, sequence)`` so same-instant
+events resolve deterministically: capacity comes up and completions
+release nodes *before* new arrivals are admitted, and window flush
+timers run last.  Same seed, same knobs — byte-identical report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ServiceError
+from repro.campaign.cache import CmatCache
+from repro.campaign.packer import CampaignPacker, PackedJob
+from repro.campaign.report import AbandonedRecord, JobRecord
+from repro.campaign.request import SimRequest
+from repro.campaign.runner import CampaignRunner
+from repro.resilience.health import NodeHealthTracker, RetryPolicy
+from repro.service.admission import (
+    UNATTRIBUTED,
+    AdmissionController,
+    FairSharePolicy,
+)
+from repro.service.pool import ElasticNodePool
+from repro.service.report import (
+    SERVICE_TTR_BUCKETS,
+    ServedRecord,
+    ServiceReport,
+)
+from repro.service.traffic import TrafficModel
+from repro.service.window import MovingWindow, WindowPolicy
+
+#: Same-instant event precedence: capacity first, then completions
+#: (free nodes), then new work, then retries, then timers.
+_EVENT_RANK = {
+    "ready": 0,
+    "complete": 1,
+    "arrival": 2,
+    "release": 3,
+    "flush": 4,
+    "reclaim": 5,
+}
+
+
+@dataclass
+class _ReadyBatch:
+    """A flushed signature group waiting for nodes."""
+
+    seq: int
+    flushed_at: float
+    signature_key: str
+    requests: List[SimRequest] = field(default_factory=list)
+
+
+class OnlineService:
+    """Serve arriving requests on an elastic pool under one sim clock.
+
+    Parameters
+    ----------
+    machine:
+        The machine whose nodes the pool manages.
+    traffic:
+        Arrival stream generator (seeded — reruns are byte-identical).
+    window:
+        Moving-window flush policy (default: ``WindowPolicy()``).
+    max_pending:
+        Admission bound on in-system (held + flushed-unplaced)
+        requests; ``None`` never sheds.
+    weights:
+        Tenant fair-share weights (unlisted tenants weigh 1.0).
+    default_slo_s:
+        Deadline stamped on admitted requests that arrive without one
+        (``None`` leaves them deadline-free).
+    steps:
+        Per-job step override; default is each job's
+        ``steps_per_report`` cadence.
+    pool:
+        An :class:`ElasticNodePool` to use as-is; otherwise one is
+        built from ``min_nodes`` / ``max_nodes`` /
+        ``provision_delay_s`` / ``idle_reclaim_s``.
+    prefer_larger_k:
+        Packer sharing mode; ``False`` is the k=1 FIFO baseline.
+    cache / use_cache / retry / health / node_faults /
+    checkpoint_interval / policy / telemetry:
+        Forwarded to the underlying :class:`CampaignRunner` — dispatch
+        semantics are identical to the batch path.
+    max_dispatches:
+        Hard cap on total dispatches, a backstop against a retry
+        configuration that never converges.
+    """
+
+    def __init__(
+        self,
+        machine,
+        traffic: TrafficModel,
+        *,
+        window: Optional[WindowPolicy] = None,
+        max_pending: Optional[int] = None,
+        weights: Optional[Mapping[str, float]] = None,
+        default_slo_s: Optional[float] = None,
+        steps: Optional[int] = None,
+        pool: Optional[ElasticNodePool] = None,
+        min_nodes: int = 1,
+        max_nodes: Optional[int] = None,
+        provision_delay_s: float = 0.0,
+        idle_reclaim_s: float = float("inf"),
+        prefer_larger_k: bool = True,
+        cache: Optional[CmatCache] = None,
+        use_cache: bool = True,
+        retry: Optional[RetryPolicy] = RetryPolicy(),
+        health: Optional[NodeHealthTracker] = None,
+        node_faults=None,
+        checkpoint_interval: int = 1,
+        policy=None,
+        telemetry=None,
+        max_dispatches: int = 100_000,
+    ) -> None:
+        self.machine = machine
+        self.traffic = traffic
+        self.window = MovingWindow(window)
+        self.admission = AdmissionController(max_pending)
+        self.fairness = FairSharePolicy(weights)
+        self.default_slo_s = default_slo_s
+        self.steps = steps
+        self.telemetry = telemetry
+        if max_dispatches < 1:
+            raise ServiceError(
+                f"max_dispatches must be >= 1, got {max_dispatches}"
+            )
+        self.max_dispatches = int(max_dispatches)
+        shared_health = health if health is not None else NodeHealthTracker()
+        self.pool = pool if pool is not None else ElasticNodePool(
+            machine,
+            min_nodes=min_nodes,
+            max_nodes=max_nodes,
+            provision_delay_s=provision_delay_s,
+            idle_reclaim_s=idle_reclaim_s,
+            health=shared_health,
+        )
+        if self.pool.machine is not machine:
+            raise ServiceError(
+                "the pool must manage the same machine the service runs on"
+            )
+        self.packer = CampaignPacker(
+            machine, prefer_larger_k=prefer_larger_k, health=shared_health
+        )
+        self.runner = CampaignRunner(
+            machine,
+            packer=self.packer,
+            cache=cache,
+            use_cache=use_cache,
+            retry=retry,
+            health=shared_health,
+            node_faults=node_faults,
+            checkpoint_interval=checkpoint_interval,
+            policy=policy,
+            telemetry=telemetry,
+        )
+        # mutable run state (reset by run())
+        self._heap: List[Tuple[float, int, int, str, object]] = []
+        self._seq = 0
+        self._now = 0.0
+        self._ready: List[_ReadyBatch] = []
+        self._running = 0
+        self._job_seq = 0
+        self._batch_seq = 0
+        self._by_id: Dict[str, SimRequest] = {}
+        self._served: List[ServedRecord] = []
+        self._abandoned: List[AbandonedRecord] = []
+        self._jobs: List[JobRecord] = []
+        self._flush_timers: set = set()
+        self._reclaim_timers: set = set()
+
+    # ------------------------------------------------------------------
+    # event plumbing
+    # ------------------------------------------------------------------
+    def _push(self, t: float, kind: str, payload: object = None) -> None:
+        self._seq += 1
+        heapq.heappush(
+            self._heap, (float(t), _EVENT_RANK[kind], self._seq, kind, payload)
+        )
+
+    def _in_system(self) -> int:
+        """Requests admitted but not yet dispatched (the admission
+        bound's denominator): window holds plus flushed-unplaced."""
+        return len(self.window) + sum(len(b.requests) for b in self._ready)
+
+    # ------------------------------------------------------------------
+    # the loop
+    # ------------------------------------------------------------------
+    def run(self, horizon_s: float) -> ServiceReport:
+        """Generate ``horizon_s`` of traffic, serve it to empty, and
+        return the service report."""
+        requests = self.traffic.generate(horizon_s)
+        tele = self.telemetry
+        if tele is not None:
+            tele.tracer.time_offset = 0.0
+            tele.tracer.begin("service", "service", 0.0)
+        for req in requests:
+            self._push(req.arrival_s, "arrival", req)
+        while self._heap or self.window or self._ready:
+            if not self._heap:
+                # nothing scheduled but requests still held: only
+                # possible with an infinite hold bound and a group
+                # below min_batch — drain it at the current clock
+                if self.window:
+                    self._force_drain()
+                    continue
+                raise ServiceError(
+                    "service stalled: batches are blocked and no event "
+                    "is pending"
+                )  # pragma: no cover - _maybe_grow raises first
+            t, _, _, kind, payload = heapq.heappop(self._heap)
+            self._now = max(self._now, t)
+            self.pool.on_ready(self._now)
+            if kind == "arrival":
+                self._on_arrival(payload)
+            elif kind == "complete":
+                self._on_complete(payload)
+            elif kind == "release":
+                self._on_release(payload)
+            elif kind == "flush":
+                self._flush_timers.discard(t)
+            elif kind == "reclaim":
+                self._reclaim_timers.discard(t)
+            # "ready" has no payload: on_ready above did the work
+            self._schedule()
+        self.pool.finish(self._now)
+        if tele is not None:
+            tele.tracer.time_offset = 0.0
+            tele.tracer.end(self._now)
+            tele.metrics.gauge("service_pool_peak_nodes").max(
+                max((s.provisioned for s in self.pool.timeline), default=0)
+            )
+            if self.runner.cache is not None:
+                for key, val in self.runner.cache.stats().items():
+                    tele.metrics.gauge(f"service_cache_{key}").set(val)
+        return ServiceReport(
+            machine_name=self.machine.name,
+            machine_n_nodes=self.machine.n_nodes,
+            horizon_s=float(horizon_s),
+            duration_s=self._now,
+            offered=self.admission.offered,
+            served=self._served,
+            rejections=list(self.admission.rejections),
+            abandoned=self._abandoned,
+            jobs=self._jobs,
+            cache=(
+                self.runner.cache.stats()
+                if self.runner.cache is not None
+                else {}
+            ),
+            pool_node_seconds=self.pool.node_seconds,
+            pool_timeline=self.pool.timeline_dicts(),
+            tenant_node_seconds=self.fairness.served(),
+        )
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+    def _on_arrival(self, req: SimRequest) -> None:
+        tenant = req.tenant or UNATTRIBUTED
+        tele = self.telemetry
+        if tele is not None:
+            tele.metrics.counter(
+                "service_arrivals_total", tenant=tenant
+            ).inc()
+        rejection = self.admission.try_admit(req, self._in_system())
+        if rejection is not None:
+            if tele is not None:
+                tele.metrics.counter(
+                    "service_shed_total", tenant=tenant
+                ).inc()
+            return
+        if req.deadline_s is None and self.default_slo_s is not None:
+            req = dataclasses.replace(
+                req, deadline_s=req.arrival_s + self.default_slo_s
+            )
+        self._by_id[req.request_id] = req
+        self.window.add(req, self._now)
+
+    def _on_release(self, req: SimRequest) -> None:
+        """A retry's backoff elapsed: back into the window (admission
+        was already paid on first arrival)."""
+        self._by_id[req.request_id] = req
+        self.window.add(req, self._now)
+
+    def _on_complete(self, payload) -> None:
+        job, record, completed, lost = payload
+        self._running -= 1
+        self.pool.release(job.nodes, self._now)
+        tele = self.telemetry
+        for rec in completed:
+            req = self._by_id.pop(rec.request_id)
+            served = ServedRecord(
+                request_id=rec.request_id,
+                tenant=req.tenant or UNATTRIBUTED,
+                arrival_s=req.arrival_s,
+                start_s=rec.start_s,
+                finish_s=rec.finish_s,
+                deadline_s=req.deadline_s,
+                steps=rec.steps,
+                attempts=rec.attempts,
+                job_id=rec.job_id,
+            )
+            self._served.append(served)
+            if tele is not None:
+                tele.metrics.counter(
+                    "service_completions_total", tenant=served.tenant
+                ).inc()
+                tele.metrics.histogram(
+                    "service_ttr_seconds", buckets=SERVICE_TTR_BUCKETS
+                ).observe(served.ttr_s)
+                tele.metrics.histogram("service_wait_seconds").observe(
+                    served.wait_s
+                )
+                if not served.slo_met:
+                    tele.metrics.counter(
+                        "service_slo_miss_total", tenant=served.tenant
+                    ).inc()
+        retry = self.runner.retry
+        for req in lost:
+            attempts_done = req.attempt + 1
+            if retry is not None and not retry.allows(attempts_done + 1):
+                if tele is not None:
+                    tele.metrics.counter("service_dead_letters_total").inc()
+                self._by_id.pop(req.request_id, None)
+                self._abandoned.append(
+                    AbandonedRecord(
+                        request_id=req.request_id,
+                        attempts=attempts_done,
+                        last_job_id=record.job_id,
+                        reason=(
+                            f"lost to faults on all {attempts_done} "
+                            "dispatch(es); retry policy "
+                            f"max_attempts={retry.max_attempts}"
+                        ),
+                    )
+                )
+                continue
+            backoff = (
+                retry.backoff_s(attempts_done, key=req.request_id)
+                if retry is not None
+                else 0.0
+            )
+            if tele is not None:
+                tele.metrics.counter("service_retries_total").inc()
+            self._push(self._now + backoff, "release", req.requeued())
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def _force_drain(self) -> None:
+        """Flush every held group regardless of size/age (end of
+        traffic with an infinite hold bound)."""
+        for batch in self.window.flush(self._now, force=True):
+            self._admit_batch(batch)
+        self._schedule()
+
+    def _admit_batch(self, batch) -> None:
+        self._batch_seq += 1
+        self._ready.append(
+            _ReadyBatch(
+                seq=self._batch_seq,
+                flushed_at=self._now,
+                signature_key=batch.signature_key,
+                requests=list(batch.requests),
+            )
+        )
+
+    def _schedule(self) -> None:
+        """Flush ready groups, place them fair-share order, grow the
+        pool for whatever stays blocked, and (re)arm timers."""
+        for batch in self.window.flush(self._now):
+            self._admit_batch(batch)
+        progress = True
+        while progress and self._ready:
+            progress = False
+            self._ready.sort(
+                key=lambda b: self.fairness.batch_key(b.requests, b.seq)
+            )
+            for rb in self._ready:
+                if self._try_place(rb):
+                    # placement charged fair-share service: re-sort
+                    # before picking the next batch
+                    progress = True
+                    break
+        if self._ready:
+            self._maybe_grow()
+        else:
+            # no blocked work wants the idle capacity: drain whatever
+            # is overdue (reclaim deferred while batches were blocked)
+            due = self.pool.next_reclaim()
+            if due is not None and due <= self._now:
+                self.pool.reclaim_idle(self._now)
+        self._arm_timers()
+
+    def _try_place(self, rb: _ReadyBatch) -> bool:
+        """Dispatch the largest feasible prefix of ``rb`` onto free
+        nodes; returns True when anything was placed."""
+        free = self.pool.free_nodes(self._now)
+        if not free:
+            return False
+        top_k = len(rb.requests) if self.packer.prefer_larger_k else 1
+        shape = None
+        for k in range(top_k, 0, -1):
+            shape = self.packer.shape_for(
+                rb.requests[0].input, k, max_nodes=len(free)
+            )
+            if shape is not None:
+                break
+        if shape is None:
+            return False
+        if self._job_seq >= self.max_dispatches:
+            raise ServiceError(
+                f"service exceeded max_dispatches={self.max_dispatches} "
+                "(retry storm or misconfigured window?)"
+            )
+        members = rb.requests[: shape.k]
+        nodes = tuple(free[: shape.n_nodes])
+        self.pool.allocate(nodes, self._now)
+        job = PackedJob(
+            job_id=f"svc{self._job_seq:05d}",
+            wave=self._job_seq,
+            requests=tuple(members),
+            signature_key=rb.signature_key,
+            shape=shape,
+            nodes=nodes,
+        )
+        self._job_seq += 1
+        record, completed, lost = self.runner.dispatch(
+            job, start_s=self._now, steps=self.steps
+        )
+        self._jobs.append(record)
+        self._running += 1
+        self.fairness.charge(members, shape.n_nodes * record.elapsed_s)
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter("service_dispatch_total").inc()
+            self.telemetry.metrics.gauge("service_pool_busy_nodes").max(
+                float(self.pool.busy)
+            )
+        self._push(self._now + record.elapsed_s, "complete",
+                   (job, record, completed, lost))
+        del rb.requests[: shape.k]
+        if not rb.requests:
+            self._ready.remove(rb)
+        return True
+
+    def _maybe_grow(self) -> None:
+        """Ask the pool for the most underserved blocked batch's
+        deficit, or prove the service is stuck and raise."""
+        rb = min(
+            self._ready,
+            key=lambda b: self.fairness.batch_key(b.requests, b.seq),
+        )
+        top_k = len(rb.requests) if self.packer.prefer_larger_k else 1
+        target = None
+        for k in range(top_k, 0, -1):
+            target = self.packer.shape_for(
+                rb.requests[0].input, k, max_nodes=self.pool.max_nodes
+            )
+            if target is not None:
+                break
+        if target is None:
+            raise ServiceError(
+                f"request {rb.requests[0].request_id!r} cannot fit on "
+                f"{self.pool.max_nodes} node(s) of {self.machine.name} "
+                "at any ensemble size — it would block the service forever"
+            )
+        free = len(self.pool.free_nodes(self._now))
+        provisioning = self.pool.committed - self.pool.provisioned
+        deficit = target.n_nodes - free - provisioning
+        if deficit > 0:
+            ready_at = self.pool.request_grow(deficit, self._now)
+            if ready_at is not None:
+                self._push(ready_at, "ready")
+                return
+        if self._running == 0 and provisioning == 0 and deficit > 0:
+            raise ServiceError(
+                f"service deadlocked: batch of {len(rb.requests)} "
+                f"(signature {rb.signature_key}) needs {target.n_nodes} "
+                f"node(s), only {free} allocatable, and the pool is at "
+                f"its ceiling ({self.pool.max_nodes}) with nothing "
+                "running — quarantined nodes?"
+            )
+
+    def _arm_timers(self) -> None:
+        expiry = self.window.next_expiry()
+        if (
+            expiry is not None
+            and math.isfinite(expiry)
+            and expiry > self._now
+            and expiry not in self._flush_timers
+        ):
+            self._flush_timers.add(expiry)
+            self._push(expiry, "flush")
+        reclaim = self.pool.next_reclaim()
+        if (
+            reclaim is not None
+            and math.isfinite(reclaim)
+            and reclaim > self._now
+            and reclaim not in self._reclaim_timers
+        ):
+            self._reclaim_timers.add(reclaim)
+            self._push(reclaim, "reclaim")

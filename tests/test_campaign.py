@@ -521,3 +521,67 @@ class TestCampaignCli:
 
         assert main(["campaign", str(tmp_path / "ghost.json")]) == 2
         assert "error:" in capsys.readouterr().err
+
+# ---------------------------------------------------------------------------
+# service-facing extensions: tenant/deadline fields, clock offsets
+# ---------------------------------------------------------------------------
+class TestServiceFacingExtensions:
+    def test_tenant_and_deadline_round_trip(self, base):
+        req = SimRequest(
+            request_id="a", input=base, tenant="alice", deadline_s=120.0
+        )
+        clone = SimRequest.from_dict(json.loads(json.dumps(req.to_dict())))
+        assert clone == req
+        assert (clone.tenant, clone.deadline_s) == ("alice", 120.0)
+
+    def test_old_json_without_service_fields_loads(self, base):
+        # request files written before tenant/deadline_s existed must
+        # keep loading, with both fields defaulting to None
+        data = SimRequest(request_id="a", input=base).to_dict()
+        del data["tenant"]
+        del data["deadline_s"]
+        req = SimRequest.from_dict(data)
+        assert req.tenant is None and req.deadline_s is None
+
+    def test_requeued_preserves_tenant_and_deadline(self, base):
+        req = SimRequest(
+            request_id="a", input=base, tenant="t", deadline_s=9.0
+        )
+        retry = req.requeued()
+        assert retry.attempt == 1
+        assert (retry.tenant, retry.deadline_s) == ("t", 9.0)
+
+    def test_pack_wave_offset(self, base, machine):
+        packer = CampaignPacker(machine, prefer_larger_k=False)
+        batches = [
+            CandidateBatch(base.cmat_signature(), tuple(_requests(base, 6)))
+        ]
+        plain = [j.wave for w in packer.pack(batches) for j in w]
+        shifted = [
+            j.wave for w in packer.pack(batches, wave_offset=3) for j in w
+        ]
+        assert shifted == [w + 3 for w in plain]
+
+    def test_run_with_start_offset_shifts_the_clock(self, base, machine):
+        kwargs = dict(steps=2)
+        r0 = CampaignRunner(machine).run(
+            RequestQueue(_requests(base, 4)), **kwargs
+        )
+        r1 = CampaignRunner(machine).run(
+            RequestQueue(_requests(base, 4)), start_s=100.0, **kwargs
+        )
+        # makespan is an elapsed time: unchanged by where the clock starts
+        assert r1.makespan_s == pytest.approx(r0.makespan_s)
+        # but every record lands at start_s-absolute times
+        assert all(j.start_s >= 100.0 for j in r1.jobs)
+        assert all(r.finish_s >= 100.0 for r in r1.requests)
+        shifted = {
+            (j.job_id, j.start_s - 100.0) for j in r1.jobs
+        }
+        assert shifted == {(j.job_id, j.start_s) for j in r0.jobs}
+
+    def test_negative_start_offset_raises(self, base, machine):
+        with pytest.raises(CampaignError, match="start_s"):
+            CampaignRunner(machine).run(
+                RequestQueue(_requests(base, 1)), steps=1, start_s=-1.0
+            )

@@ -186,3 +186,30 @@ class TestParser:
     def test_unknown_machine_choice_rejected(self, sim_dir):
         with pytest.raises(SystemExit):
             main(["run-cgyro", str(sim_dir), "--machine", "cray"])
+
+
+class TestServe:
+    def test_smoke_run(self, capsys):
+        assert main(["serve", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "SLO attainment" in out
+        assert "pool" in out
+
+    def test_smoke_json_report(self, tmp_path, capsys):
+        path = tmp_path / "serve.json"
+        assert main(["serve", "--smoke", "--json", str(path)]) == 0
+        import json as _json
+
+        data = _json.loads(path.read_text())
+        assert data["offered"] == (
+            len(data["served"])
+            + len(data["rejections"])
+            + len(data["abandoned"])
+        )
+
+    def test_fifo_flag(self, capsys):
+        assert main([
+            "serve", "--workload", "small", "--rate", "0.05",
+            "--horizon", "120", "--fifo", "--seed", "3",
+        ]) == 0
+        assert "mean k" in capsys.readouterr().out

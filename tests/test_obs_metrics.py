@@ -99,3 +99,53 @@ class TestWorldMetrics:
             "vmpi_compute_rank_seconds_total", category="str_compute"
         )
         assert charged == pytest.approx(float(np.sum(small_world.clock[:4])))
+
+
+class TestHistogramQuantile:
+    """Prometheus ``histogram_quantile`` semantics."""
+
+    def test_empty_histogram_is_nan(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        assert np.isnan(h.quantile(0.5))
+        assert np.isnan(Histogram(buckets=()).quantile(0.5))
+
+    def test_linear_interpolation_within_crossing_bucket(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 2.5, 3.5):
+            h.observe(v)
+        # q=0.5 -> rank 2 crosses in bucket (1, 2]: 1 + 1 * (2-1)/1
+        assert h.quantile(0.5) == pytest.approx(2.0)
+        # q=0.75 -> rank 3 crosses in bucket (2, 4]: 2 + 2 * (3-2)/2
+        assert h.quantile(0.75) == pytest.approx(3.0)
+
+    def test_first_bucket_interpolates_from_zero(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        for _ in range(4):
+            h.observe(0.9)
+        assert h.quantile(0.5) == pytest.approx(0.5)
+
+    def test_inf_bucket_returns_highest_finite_bound(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(50.0)  # lands in the +Inf overflow bucket
+        assert h.quantile(0.99) == 2.0
+        assert h.quantile(1.0) == 2.0
+        # all mass in overflow: still clamped to the last finite bound
+        h2 = Histogram(buckets=(1.0, 2.0))
+        h2.observe(100.0)
+        assert h2.quantile(0.5) == 2.0
+
+    def test_quantile_zero_and_one(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        h.observe(2.5)
+        h.observe(3.0)
+        # q=0 anchors at the lower bound of the first occupied bucket
+        assert h.quantile(0.0) == pytest.approx(2.0)
+        assert h.quantile(1.0) == pytest.approx(4.0)
+
+    def test_out_of_range_rejected(self):
+        h = Histogram(buckets=(1.0,))
+        with pytest.raises(ReproError):
+            h.quantile(-0.1)
+        with pytest.raises(ReproError):
+            h.quantile(1.1)

@@ -1,0 +1,210 @@
+"""Elastic pool lifecycle, admission control, and fair-share policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.campaign.request import SimRequest
+from repro.cgyro.presets import small_test
+from repro.machine import generic_cluster
+from repro.resilience import NodeHealthTracker
+from repro.service.admission import AdmissionController, FairSharePolicy
+from repro.service.pool import (
+    BUSY,
+    IDLE,
+    OFFLINE,
+    PROVISIONING,
+    ElasticNodePool,
+)
+
+
+@pytest.fixture
+def machine():
+    return generic_cluster(n_nodes=8)
+
+
+def _req(i, tenant=None, deadline=None):
+    return SimRequest(
+        request_id=f"r{i}",
+        input=small_test(),
+        arrival_s=float(i),
+        tenant=tenant,
+        deadline_s=deadline,
+    )
+
+
+class TestPoolLifecycle:
+    def test_floor_is_idle_at_t0(self, machine):
+        pool = ElasticNodePool(machine, min_nodes=3)
+        assert pool.provisioned == 3
+        assert pool.free_nodes(0.0) == [0, 1, 2]
+        assert pool.state_of(3) == OFFLINE
+
+    def test_grow_respects_provision_delay(self, machine):
+        pool = ElasticNodePool(machine, min_nodes=1, provision_delay_s=30.0)
+        ready_at = pool.request_grow(2, 10.0)
+        assert ready_at == 40.0
+        assert pool.state_of(1) == PROVISIONING
+        assert pool.provisioned == 1 and pool.committed == 3
+        assert pool.on_ready(39.0) == []
+        assert pool.on_ready(40.0) == [1, 2]
+        assert pool.free_nodes(40.0) == [0, 1, 2]
+
+    def test_grow_clamps_at_ceiling(self, machine):
+        pool = ElasticNodePool(machine, min_nodes=1, max_nodes=3)
+        assert pool.request_grow(10, 0.0) == 0.0  # takes only 2
+        pool.on_ready(0.0)
+        assert pool.provisioned == 3
+        assert pool.request_grow(1, 1.0) is None
+
+    def test_allocate_release_cycle(self, machine):
+        pool = ElasticNodePool(machine, min_nodes=4)
+        pool.allocate([0, 2], 5.0)
+        assert pool.state_of(0) == BUSY
+        assert pool.free_nodes(5.0) == [1, 3]
+        with pytest.raises(ServiceError):
+            pool.allocate([0], 6.0)  # already busy
+        pool.release([0, 2], 7.0)
+        assert pool.state_of(0) == IDLE
+        with pytest.raises(ServiceError):
+            pool.release([1], 8.0)  # was never busy
+
+    def test_reclaim_drains_idle_but_keeps_floor_and_busy(self, machine):
+        pool = ElasticNodePool(
+            machine, min_nodes=1, max_nodes=4, idle_reclaim_s=100.0
+        )
+        pool.request_grow(3, 0.0)
+        pool.on_ready(0.0)
+        pool.allocate([3], 0.0)  # busy forever
+        assert pool.reclaim_idle(99.0) == []
+        reclaimed = pool.reclaim_idle(100.0)
+        # newest-first, floor of one online node kept; node 3 is busy
+        # (and busy counts toward online capacity)
+        assert reclaimed == [2, 1, 0]
+        assert pool.provisioned == 1 and pool.state_of(3) == BUSY
+
+    def test_release_resets_the_idle_clock(self, machine):
+        pool = ElasticNodePool(machine, min_nodes=1, idle_reclaim_s=50.0)
+        pool.request_grow(1, 0.0)
+        pool.on_ready(0.0)  # nodes 0 and 1 idle since t=0
+        pool.allocate([1], 10.0)
+        pool.release([1], 40.0)  # node 1's idle clock restarts at 40
+        assert pool.next_reclaim() == 50.0
+        assert pool.reclaim_idle(50.0) == [0]  # node 1 is not yet due
+        # node 1 is now the floor: nothing left to reclaim
+        assert pool.next_reclaim() is None
+
+    def test_quarantined_nodes_are_not_free(self, machine):
+        health = NodeHealthTracker(quarantine_threshold=1)
+        pool = ElasticNodePool(machine, min_nodes=3, health=health)
+        health.record(1, "crash", at_s=0.0)
+        assert pool.free_nodes(0.0) == [0, 2]
+
+    def test_cost_integral_counts_provisioned_seconds(self, machine):
+        pool = ElasticNodePool(machine, min_nodes=2, idle_reclaim_s=10.0)
+        pool.allocate([0], 5.0)
+        pool.release([0], 15.0)
+        pool.finish(20.0)
+        assert pool.node_seconds == pytest.approx(2 * 20.0)
+
+    def test_clock_must_not_go_backwards(self, machine):
+        pool = ElasticNodePool(machine, min_nodes=1)
+        pool.allocate([0], 10.0)
+        with pytest.raises(ServiceError):
+            pool.release([0], 5.0)
+
+    def test_timeline_records_transitions(self, machine):
+        pool = ElasticNodePool(machine, min_nodes=1, provision_delay_s=5.0)
+        pool.request_grow(1, 0.0)
+        pool.on_ready(5.0)
+        pool.allocate([0, 1], 6.0)
+        pool.finish(7.0)
+        samples = pool.timeline_dicts()
+        assert samples[0] == {
+            "t_s": 0.0, "provisioned": 1, "busy": 0, "provisioning": 0
+        }
+        assert samples[-1] == {
+            "t_s": 7.0, "provisioned": 2, "busy": 2, "provisioning": 0
+        }
+
+    def test_validation(self, machine):
+        with pytest.raises(ServiceError):
+            ElasticNodePool(machine, min_nodes=0)
+        with pytest.raises(ServiceError):
+            ElasticNodePool(machine, min_nodes=5, max_nodes=4)
+        with pytest.raises(ServiceError):
+            ElasticNodePool(machine, max_nodes=99)
+        with pytest.raises(ServiceError):
+            ElasticNodePool(machine, provision_delay_s=-1.0)
+        with pytest.raises(ServiceError):
+            ElasticNodePool(machine, idle_reclaim_s=0.0)
+        with pytest.raises(ServiceError):
+            ElasticNodePool(machine).state_of(99)
+
+
+class TestAdmission:
+    def test_unbounded_never_sheds(self):
+        ctl = AdmissionController()
+        for i in range(100):
+            assert ctl.try_admit(_req(i), pending=i) is None
+        assert ctl.shed == 0 and ctl.shed_rate == 0.0
+
+    def test_bounded_sheds_with_record(self):
+        ctl = AdmissionController(max_pending=2)
+        assert ctl.try_admit(_req(0), pending=0) is None
+        assert ctl.try_admit(_req(1), pending=1) is None
+        rec = ctl.try_admit(_req(2, tenant="t"), pending=2)
+        assert rec is not None
+        assert rec.request_id == "r2" and rec.tenant == "t"
+        assert rec.pending == 2 and "max_pending" in rec.reason
+        assert ctl.offered == 3 and ctl.admitted == 2
+        assert ctl.shed_rate == pytest.approx(1 / 3)
+        assert rec.to_dict()["reason"] == rec.reason
+
+    def test_validation(self):
+        with pytest.raises(ServiceError):
+            AdmissionController(max_pending=0)
+
+
+class TestFairShare:
+    def test_charge_splits_evenly_and_normalises_by_weight(self):
+        policy = FairSharePolicy({"a": 2.0})
+        policy.charge([_req(0, "a"), _req(1, "b")], 100.0)
+        assert policy.served() == {"a": 50.0, "b": 50.0}
+        assert policy.normalised_service("a") == pytest.approx(25.0)
+        assert policy.normalised_service("b") == pytest.approx(50.0)
+
+    def test_unattributed_requests_share_the_default_bucket(self):
+        policy = FairSharePolicy()
+        policy.charge([_req(0)], 10.0)
+        assert policy.normalised_service(None) == pytest.approx(10.0)
+        assert policy.served() == {"default": 10.0}
+
+    def test_batch_key_prefers_underserved_then_edf(self):
+        policy = FairSharePolicy()
+        policy.charge([_req(0, "rich")], 100.0)
+        poor_late = [_req(1, "poor", deadline=500.0)]
+        poor_soon = [_req(2, "poor", deadline=50.0)]
+        rich = [_req(3, "rich", deadline=1.0)]
+        order = sorted(
+            [(rich, 0), (poor_late, 1), (poor_soon, 2)],
+            key=lambda item: policy.batch_key(item[0], item[1]),
+        )
+        # both "poor" batches beat "rich" despite rich's earlier
+        # deadline; EDF breaks the tie within "poor"
+        assert [seq for _, seq in order] == [2, 1, 0]
+
+    def test_batch_key_uses_flush_seq_as_final_tiebreak(self):
+        policy = FairSharePolicy()
+        a = policy.batch_key([_req(0, "t", deadline=10.0)], 1)
+        b = policy.batch_key([_req(1, "t", deadline=10.0)], 2)
+        assert a < b
+
+    def test_validation(self):
+        with pytest.raises(ServiceError):
+            FairSharePolicy({"a": 0.0})
+        with pytest.raises(ServiceError):
+            FairSharePolicy().charge([], -1.0)
+        with pytest.raises(ServiceError):
+            FairSharePolicy().batch_key([], 0)
