@@ -1,0 +1,131 @@
+"""Autotuned vs default decomposition/placement on heterogeneous machines.
+
+Every other benchmark runs the *default* job geometry — greedy maximal
+k, leading nodes, ring/pairwise collectives, balanced ``CollShard``
+split.  This bench asks what the ``repro.plan`` autotuner buys over
+that default on machines where nodes are *not* interchangeable: a
+mixed-generation cluster (slow accelerators + weak NICs on the old
+half), a degraded-fabric cluster (healthy compute behind sick
+switches), and a tiered-GPU cluster (three accelerator generations).
+
+For each shape the planner searches (k, node subset, collective
+algorithms, nc split) against the calibrated cost model, and both the
+tuned and default choices are then **really run** — the reported
+makespans are executed-simulator numbers, not model predictions; the
+prediction error of the model is itself one of the recorded metrics.
+
+``--smoke`` shrinks to the small-test grid (CI rot check); numbers at
+that scale are not representative but the tuned-never-slower and
+byte-stability contracts still hold.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_autotune.py -s
+    PYTHONPATH=src python -m pytest benchmarks/bench_autotune.py -s --smoke
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cgyro.presets import linear_benchmark, small_test
+from repro.machine import (
+    degraded_fabric_cluster,
+    mixed_generation_cluster,
+    tiered_gpu_cluster,
+)
+from repro.plan import Planner, run_choice
+
+
+@pytest.fixture(scope="module")
+def scenario(smoke):
+    """(input, members, [(tag, machine), ...])."""
+    if smoke:
+        inp = small_test()
+        shapes = [
+            ("mixed_generation", mixed_generation_cluster(4, ranks_per_node=4)),
+            ("degraded_fabric", degraded_fabric_cluster(4, ranks_per_node=4)),
+            ("tiered_gpu", tiered_gpu_cluster(6, ranks_per_node=4)),
+        ]
+        members = 8
+    else:
+        inp = linear_benchmark()
+        shapes = [
+            ("mixed_generation", mixed_generation_cluster(8, ranks_per_node=4)),
+            ("degraded_fabric", degraded_fabric_cluster(8, ranks_per_node=4)),
+            ("tiered_gpu", tiered_gpu_cluster(12, ranks_per_node=4)),
+        ]
+        members = 8
+    return inp, members, shapes
+
+
+@pytest.fixture(scope="module")
+def results(scenario):
+    """Per shape: the plan, and the really-run tuned/default makespans
+    (interval makespan x sequential rounds to serve all members)."""
+    inp, members, shapes = scenario
+    out = {}
+    for tag, machine in shapes:
+        planner = Planner(machine, inp, members)
+        plan = planner.plan(seed=0)
+        default = planner.default_choice()
+        default_rounds = -(-members // default.k)
+        tuned_s = plan.rounds * run_choice(inp, machine, plan.choice)
+        default_s = default_rounds * run_choice(inp, machine, default)
+        out[tag] = {
+            "plan": plan,
+            "tuned_s": tuned_s,
+            "default_s": default_s,
+            "interval_s": tuned_s / plan.rounds,
+        }
+    return out
+
+
+def test_tuned_never_slower_really_run(results, bench_json):
+    """The planner's contract: on every shape the tuned choice, really
+    executed, finishes no later than the hand-chosen default."""
+    metrics = {}
+    print()
+    for tag, r in results.items():
+        speedup = r["default_s"] / r["tuned_s"]
+        c = r["plan"].choice
+        print(
+            f"{tag:<18s} default {r['default_s']:.4f} s -> tuned "
+            f"{r['tuned_s']:.4f} s  ({speedup:.3f}x)  "
+            f"k={c.k} nodes={list(c.nodes)} {c.allreduce}/{c.alltoall} "
+            f"{'unbalanced' if c.is_unbalanced else 'balanced'} split"
+        )
+        assert r["tuned_s"] <= r["default_s"] * (1 + 1e-9), tag
+        metrics[f"{tag}_speedup"] = speedup
+        metrics[f"{tag}_tuned_makespan_s"] = r["tuned_s"]
+        metrics[f"{tag}_default_makespan_s"] = r["default_s"]
+    metrics["min_speedup"] = min(
+        metrics[f"{t}_speedup"] for t in results
+    )
+    bench_json.record("autotune", **metrics)
+    # heterogeneity is the point: at least one shape must show a real
+    # (executed, not predicted) win
+    assert max(r["default_s"] / r["tuned_s"] for r in results.values()) > 1.01
+
+
+def test_prediction_error_bounded(results, bench_json):
+    """The cost model the search trusts must track the executed
+    simulator: per-interval predicted-vs-actual within 30%."""
+    worst = 0.0
+    print()
+    for tag, r in results.items():
+        err = (r["plan"].predicted_s - r["interval_s"]) / r["interval_s"]
+        print(f"{tag:<18s} predicted {r['plan'].predicted_s:.4f} s vs "
+              f"actual {r['interval_s']:.4f} s  ({err:+.1%})")
+        worst = max(worst, abs(err))
+        assert abs(err) < 0.30, tag
+    bench_json.record("autotune", max_abs_prediction_error_frac=worst)
+
+
+def test_plan_byte_stable_per_shape(scenario, results):
+    """Re-planning any shape with the same seed reproduces the plan
+    file byte for byte."""
+    inp, members, shapes = scenario
+    for tag, machine in shapes:
+        again = Planner(machine, inp, members).plan(seed=0)
+        assert again.to_json() == results[tag]["plan"].to_json(), tag

@@ -76,7 +76,13 @@ class JobShape:
 
 @dataclass(frozen=True)
 class PackedJob:
-    """One dispatchable XGYRO job: members, geometry, and node range."""
+    """One dispatchable XGYRO job: members, geometry, and node range.
+
+    ``tuning`` carries the autotuner's :class:`~repro.plan.artifact.PlanChoice`
+    when this job was shaped by a plan — the runner then pins the
+    plan's collective algorithms and (possibly unbalanced) nc split on
+    the job world.  ``None`` means the untuned defaults.
+    """
 
     job_id: str
     wave: int
@@ -84,6 +90,7 @@ class PackedJob:
     signature_key: str
     shape: JobShape
     nodes: Tuple[int, ...]
+    tuning: "object | None" = None
 
     @property
     def k(self) -> int:
@@ -117,6 +124,14 @@ class CampaignPacker:
         Optional :class:`~repro.resilience.health.NodeHealthTracker`;
         nodes it quarantines are excluded from placement (and from
         wave capacity) on every subsequent :meth:`pack`.
+    plan:
+        Optional autotuner :class:`~repro.plan.artifact.Plan`.  Batches
+        whose ``signature_key`` matches the plan's are shaped by the
+        plan directly — its k, its node subset, its algorithms, its nc
+        split — instead of the greedy default; everything else (and any
+        sub-k tail) falls back to the untuned path.  The plan is also
+        re-probed against this machine's ledgers, so a stale artifact
+        degrades to the default rather than OOMing.
     """
 
     def __init__(
@@ -125,10 +140,12 @@ class CampaignPacker:
         *,
         prefer_larger_k: bool = True,
         health: "object | None" = None,
+        plan: "object | None" = None,
     ) -> None:
         self.machine = machine
         self.prefer_larger_k = prefer_larger_k
         self.health = health
+        self.plan = plan
         self._placement = BlockPlacement(machine, machine.n_ranks)
 
     def available_nodes(self) -> List[int]:
@@ -230,6 +247,88 @@ class CampaignPacker:
         return jobs
 
     # ------------------------------------------------------------------
+    # plan consumption
+    # ------------------------------------------------------------------
+    def plan_shape(self, inp: CgyroInput) -> Optional[JobShape]:
+        """Ledger-probed :class:`JobShape` for the attached plan's
+        choice, or ``None`` when no plan is attached or the artifact
+        does not survive re-validation against *this* machine (wrong
+        rank geometry, quarantined plan nodes, a shard that no longer
+        fits) — the caller then falls back to the greedy default."""
+        if self.plan is None:
+            return None
+        choice = self.plan.choice
+        rpn = self.machine.ranks_per_node
+        if choice.n_ranks != choice.n_nodes * rpn:
+            return None
+        avail = set(self.available_nodes())
+        if not all(n in avail for n in choice.nodes):
+            return None
+        dims = inp.grid_dims()
+        decomp = self._decomp(dims, choice.ranks_per_member)
+        if decomp is None:
+            return None
+        if choice.k * decomp.n_proc_1 > dims.nc:
+            return None
+        counts = (
+            choice.nc_counts
+            if choice.nc_counts is not None
+            else ensemble_nc_counts(decomp, choice.k)
+        )
+        if len(counts) != choice.k * decomp.n_proc_1 or sum(counts) != dims.nc:
+            return None
+        cmat_b = cmat_block_bytes(dims, max(counts), decomp.nt_loc)
+        state_b = state_bytes_per_rank(inp, decomp)
+        ledger = MemoryLedger(self.machine.mem_per_rank_bytes)
+        if not ledger.would_fit("state", state_b):
+            return None
+        ledger.alloc("state", state_b)
+        if not ledger.would_fit("cmat", cmat_b):
+            return None
+        return JobShape(
+            k=choice.k,
+            n_nodes=choice.n_nodes,
+            n_ranks=choice.n_ranks,
+            ranks_per_member=choice.ranks_per_member,
+            per_rank_cmat_bytes=cmat_b,
+            per_rank_state_bytes=state_b,
+        )
+
+    def _split_with_tuning(
+        self, batch: CandidateBatch
+    ) -> List[Tuple[Tuple[SimRequest, ...], JobShape, "object | None"]]:
+        """:meth:`split`, with the plan applied to its matching batch.
+
+        Full-k groups of a batch whose signature matches the plan's are
+        emitted plan-shaped with the choice attached as tuning; the
+        sub-k tail (and every other batch) takes the greedy default
+        path with ``tuning=None``.
+        """
+        plan = self.plan
+        if (
+            plan is not None
+            and batch.signature_key == plan.signature_key
+        ):
+            shape = self.plan_shape(batch.requests[0].input)
+            if shape is not None:
+                jobs: List[
+                    Tuple[Tuple[SimRequest, ...], JobShape, "object | None"]
+                ] = []
+                remaining = list(batch.requests)
+                while len(remaining) >= shape.k:
+                    jobs.append(
+                        (tuple(remaining[: shape.k]), shape, plan.choice)
+                    )
+                    remaining = remaining[shape.k :]
+                if remaining:
+                    tail = CandidateBatch(batch.signature, tuple(remaining))
+                    jobs.extend(
+                        (reqs, sh, None) for reqs, sh in self.split(tail)
+                    )
+                return jobs
+        return [(reqs, sh, None) for reqs, sh in self.split(batch)]
+
+    # ------------------------------------------------------------------
     # wave packing
     # ------------------------------------------------------------------
     def pack(
@@ -243,9 +342,16 @@ class CampaignPacker:
 
         Jobs are created batch by batch (priority order is the
         batcher's) and first-fit placed: each job lands in the earliest
-        wave with enough free nodes, on the next contiguous node range
-        of that wave.  Returns the waves in execution order; every
-        wave's jobs occupy disjoint node sets of the machine.
+        wave with enough free nodes, on the next free run of that
+        wave's allocatable nodes.  Returns the waves in execution
+        order; every wave's jobs occupy disjoint node sets of the
+        machine.
+
+        Plan-tuned jobs are pinned to the plan's exact node ids — on a
+        heterogeneous machine *which* nodes a job owns is part of the
+        optimisation — landing in the earliest wave where all of them
+        are free (a new wave if none).  Without a plan the packing is
+        bit-identical to the plan-free packer.
 
         ``job_id_offset`` and ``wave_offset`` let a caller that packs
         mid-stream (several pack calls over one campaign, or the online
@@ -253,26 +359,42 @@ class CampaignPacker:
         globally unique instead of restarting at zero.
         """
         waves: List[List[PackedJob]] = []
-        used_nodes: List[int] = []
+        free_nodes: List[set] = []
         seq = job_id_offset
         available = self.available_nodes()
         for batch in batches:
-            for requests, shape in self.split(batch):
-                wave_idx = None
-                for w, used in enumerate(used_nodes):
-                    if used + shape.n_nodes <= len(available):
-                        wave_idx = w
-                        break
-                if wave_idx is None:
-                    waves.append([])
-                    used_nodes.append(0)
-                    wave_idx = len(waves) - 1
-                start = used_nodes[wave_idx]
-                # next run of allocatable nodes (contiguous ids when
-                # nothing is quarantined — identical to the healthy
-                # packer — and the healthy nodes around a struck one
-                # otherwise)
-                nodes = tuple(available[start : start + shape.n_nodes])
+            for requests, shape, tuning in self._split_with_tuning(batch):
+                wave_idx: Optional[int] = None
+                nodes: Optional[Tuple[int, ...]] = None
+                if tuning is not None:
+                    # pinned placement: the plan chose these node ids
+                    want = tuple(tuning.nodes)
+                    for w, free in enumerate(free_nodes):
+                        if all(n in free for n in want):
+                            wave_idx, nodes = w, want
+                            break
+                    if wave_idx is None:
+                        waves.append([])
+                        free_nodes.append(set(available))
+                        wave_idx, nodes = len(waves) - 1, want
+                else:
+                    for w, free in enumerate(free_nodes):
+                        if len(free) >= shape.n_nodes:
+                            wave_idx = w
+                            break
+                    if wave_idx is None:
+                        waves.append([])
+                        free_nodes.append(set(available))
+                        wave_idx = len(waves) - 1
+                    # first free allocatable nodes, in machine order
+                    # (contiguous ids when nothing is quarantined and
+                    # no plan job fragments the wave — identical to
+                    # the offset-counter packer)
+                    free = free_nodes[wave_idx]
+                    nodes = tuple(
+                        n for n in available if n in free
+                    )[: shape.n_nodes]
+                free_nodes[wave_idx].difference_update(nodes)
                 waves[wave_idx].append(
                     PackedJob(
                         job_id=f"job{seq:03d}",
@@ -281,8 +403,8 @@ class CampaignPacker:
                         signature_key=batch.signature_key,
                         shape=shape,
                         nodes=nodes,
+                        tuning=tuning,
                     )
                 )
-                used_nodes[wave_idx] = start + shape.n_nodes
                 seq += 1
         return waves

@@ -504,10 +504,23 @@ class CampaignRunner:
             self.cache.lookup(signature) if self.cache is not None else None
         )
 
+        # the job world sees exactly the physical nodes the packer
+        # assigned — on a heterogeneous machine their speed/bandwidth
+        # multipliers ride along (identical to with_nodes(n) when the
+        # machine is homogeneous and the nodes are the leading run)
         world = VirtualWorld(
-            self.machine.with_nodes(job.n_nodes),
+            self.machine.submachine(job.nodes),
             enforce_memory=self.enforce_memory,
         )
+        nc_counts = None
+        if job.tuning is not None:
+            # pin the autotuner's collective algorithms and nc split
+            from repro.plan.predict import algorithms_of
+
+            tuned_ar, tuned_a2a = algorithms_of(job.tuning)
+            world.cost_model.default_allreduce = tuned_ar
+            world.cost_model.default_alltoall = tuned_a2a
+            nc_counts = job.tuning.nc_counts
         tele = self.telemetry
         if tele is not None:
             # the job's world clock starts at zero: shift its spans to
@@ -536,6 +549,7 @@ class CampaignRunner:
             policy=self.policy,
             charge_cmat_build=hit is None,
             telemetry=tele,
+            nc_counts=nc_counts,
         )
         try:
             result = runner.run_steps(steps)

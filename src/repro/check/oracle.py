@@ -299,6 +299,7 @@ def differential_oracle(
     n_ranks: Optional[int] = None,
     enforce_memory: bool = False,
     install_checker: bool = True,
+    nc_counts: Optional[Sequence[int]] = None,
 ) -> EquivalenceReport:
     """Run ensemble and baselines on identical inputs; compare state.
 
@@ -317,7 +318,7 @@ def differential_oracle(
     checker = CollectiveChecker() if install_checker else None
     if checker is not None:
         world.install_checker(checker)
-    ensemble = XgyroEnsemble(world, inputs)
+    ensemble = XgyroEnsemble(world, inputs, nc_counts=nc_counts)
     member_ranks = len(ensemble.members[0].ranks)
     baseline_ranks = member_ranks if baseline == "member" else world.n_ranks
     base = SequentialCgyroBaseline(

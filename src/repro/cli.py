@@ -40,7 +40,15 @@ from repro.cgyro import CgyroSimulation, render_report
 from repro.cgyro.io import parse_input_file, write_timing_csv
 from repro.cgyro.linear import LinearSolver
 from repro.cgyro.presets import NL03C_SCALED_MEM_PER_RANK, nl03c_scaled
-from repro.machine import frontier_like, generic_cluster, single_node
+from repro.machine import (
+    degraded_fabric_cluster,
+    frontier_like,
+    generic_cluster,
+    mixed_generation_cluster,
+    single_node,
+    throttled_frontier,
+    tiered_gpu_cluster,
+)
 from repro.machine.model import MachineModel
 from repro.perf import (
     cmat_dominance_ratio,
@@ -63,15 +71,42 @@ def _machine_from_args(args: argparse.Namespace) -> MachineModel:
         return generic_cluster(n_nodes=args.nodes, ranks_per_node=args.ranks_per_node)
     if args.machine == "single":
         return single_node(ranks=args.ranks_per_node)
+    if args.machine == "throttled-frontier":
+        return throttled_frontier(
+            n_nodes=args.nodes,
+            n_throttled=max(1, args.nodes // 2),
+            mem_per_rank_bytes=NL03C_SCALED_MEM_PER_RANK,
+        )
+    if args.machine == "mixed-generation":
+        return mixed_generation_cluster(
+            args.nodes, ranks_per_node=args.ranks_per_node
+        )
+    if args.machine == "degraded-fabric":
+        return degraded_fabric_cluster(
+            args.nodes,
+            ranks_per_node=args.ranks_per_node,
+            n_degraded=max(1, args.nodes // 4),
+        )
+    if args.machine == "tiered-gpu":
+        return tiered_gpu_cluster(args.nodes, ranks_per_node=args.ranks_per_node)
     raise ReproError(f"unknown machine {args.machine!r}")
 
 
 def _add_machine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--machine",
-        choices=["frontier", "generic", "single"],
+        choices=[
+            "frontier",
+            "generic",
+            "single",
+            "throttled-frontier",
+            "mixed-generation",
+            "degraded-fabric",
+            "tiered-gpu",
+        ],
         default="generic",
-        help="machine preset (default: generic)",
+        help="machine preset (default: generic; the last four are "
+        "heterogeneous)",
     )
     parser.add_argument("--nodes", type=int, default=2, help="node count")
     parser.add_argument(
@@ -188,6 +223,10 @@ def cmd_study(args: argparse.Namespace) -> int:
 
 
 def cmd_plan(args: argparse.Namespace) -> int:
+    if args.autotune or args.smoke:
+        return _cmd_plan_autotune(args)
+    if args.directory is None:
+        raise ReproError("plan needs a simulation directory (or --smoke)")
     inp, _ = _input_from_dir(args.directory)
     machine = _machine_from_args(args)
     print(f"{inp.name}: grid {inp.grid_dims().describe()}")
@@ -198,6 +237,46 @@ def cmd_plan(args: argparse.Namespace) -> int:
             print(f"  {k} member(s) sharing cmat: {nodes} node(s) of {machine.name}")
         except ReproError as exc:
             print(f"  {k} member(s): does not fit ({exc})")
+    return 0
+
+
+def _cmd_plan_autotune(args: argparse.Namespace) -> int:
+    """The autotuner: search, report, optionally validate and save."""
+    from repro.plan import (
+        Planner,
+        render_plan_report,
+        run_choice,
+        validate_plan,
+    )
+
+    if args.smoke:
+        # self-contained CI rot check: a tiny heterogeneous machine and
+        # the built-in small input; numbers are not representative
+        from repro.cgyro.presets import small_test
+
+        machine = mixed_generation_cluster(4, ranks_per_node=4)
+        if args.directory is not None:
+            inp, _ = _input_from_dir(args.directory)
+        else:
+            inp = small_test()
+    else:
+        if args.directory is None:
+            raise ReproError(
+                "plan --autotune needs a simulation directory (or --smoke)"
+            )
+        inp, _ = _input_from_dir(args.directory)
+        machine = _machine_from_args(args)
+    planner = Planner(machine, inp, n_members=args.members)
+    plan = planner.plan(seed=args.seed)
+    validation = None
+    default_actual = None
+    if args.validate:
+        validation = validate_plan(plan, inp, machine)
+        default_actual = run_choice(inp, machine, planner.default_choice())
+    print(render_plan_report(plan, validation, default_actual_s=default_actual))
+    if args.json:
+        plan.save(args.json)
+        print(f"plan written to {args.json}")
     return 0
 
 
@@ -272,13 +351,18 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
     fault_plans = _keyed_plans(args.faults, "--faults", "JOB_INDEX")
     node_faults = _keyed_plans(args.flaky_node, "--flaky-node", "NODE")
+    tuned_plan = None
+    if getattr(args, "plan", None):
+        from repro.plan import load_plan
+
+        tuned_plan = load_plan(args.plan)
     if args.fifo:
         # FIFO baseline: one request per job, no sharing
         batcher = SignatureBatcher(max_batch=1)
         packer = CampaignPacker(machine, prefer_larger_k=False)
     else:
         batcher = SignatureBatcher(max_batch=args.max_batch)
-        packer = CampaignPacker(machine)
+        packer = CampaignPacker(machine, plan=tuned_plan)
     retry = (
         None
         if args.max_attempts == 0
@@ -712,10 +796,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-checkpoints", action="store_true")
     p.set_defaults(func=cmd_study)
 
-    p = sub.add_parser("plan", help="memory/node capacity planning")
-    p.add_argument("directory")
+    p = sub.add_parser(
+        "plan",
+        help="memory/node capacity planning, and the decomposition/"
+        "placement autotuner (--autotune)",
+    )
+    p.add_argument("directory", nargs="?", default=None)
     _add_machine_args(p)
     p.add_argument("--members", type=int, default=8)
+    p.add_argument(
+        "--autotune",
+        action="store_true",
+        help="search (k, nodes, collective algorithms, nc split) against "
+        "the cost model and print the tuned plan",
+    )
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="annealer seed; the emitted plan JSON is byte-identical "
+        "for the same seed (default 0)",
+    )
+    p.add_argument(
+        "--validate",
+        action="store_true",
+        help="really run the tuned and default choices and report the "
+        "predicted-vs-actual error and the real speedup",
+    )
+    p.add_argument(
+        "--json",
+        default=None,
+        metavar="PLAN.json",
+        help="write the byte-stable plan artifact (repro-plan-v1) here",
+    )
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny built-in autotune scenario (CI rot check; implies "
+        "--autotune, directory optional)",
+    )
     p.set_defaults(func=cmd_plan)
 
     p = sub.add_parser("linear", help="linear growth-rate spectrum")
@@ -749,6 +868,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="cap members per candidate batch (default: uncapped)",
+    )
+    p.add_argument(
+        "--plan",
+        default=None,
+        metavar="PLAN.json",
+        help="autotuner plan artifact (repro plan --autotune --json); "
+        "matching batches are shaped and placed by the plan",
     )
     p.add_argument(
         "--faults",

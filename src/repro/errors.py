@@ -263,6 +263,16 @@ class CampaignError(ReproError):
     """
 
 
+class PlanError(ReproError):
+    """The decomposition/placement autotuner failed.
+
+    Raised when the search space is empty (no feasible geometry for the
+    requested ensemble on the machine), when a plan artifact is
+    malformed or inconsistent with the machine/input it is applied to,
+    or when a planner is driven with invalid arguments.
+    """
+
+
 class ServiceError(ReproError):
     """The online campaign service was configured or driven badly.
 

@@ -22,7 +22,15 @@ from repro.machine.placement import (
     Placement,
     RoundRobinPlacement,
 )
-from repro.machine.presets import frontier_like, generic_cluster, single_node
+from repro.machine.presets import (
+    degraded_fabric_cluster,
+    frontier_like,
+    generic_cluster,
+    mixed_generation_cluster,
+    single_node,
+    throttled_frontier,
+    tiered_gpu_cluster,
+)
 from repro.machine.topology import DragonflyTopology
 
 __all__ = [
@@ -36,5 +44,9 @@ __all__ = [
     "frontier_like",
     "generic_cluster",
     "single_node",
+    "throttled_frontier",
+    "mixed_generation_cluster",
+    "degraded_fabric_cluster",
+    "tiered_gpu_cluster",
     "DragonflyTopology",
 ]

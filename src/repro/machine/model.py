@@ -18,6 +18,7 @@ p-independent offset that keeps observed AllReduce scaling sub-linear
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Tuple
 
 from repro.errors import MachineError
 
@@ -78,6 +79,16 @@ class MachineModel:
         Optional :class:`~repro.machine.topology.DragonflyTopology`
         refining inter-node costs with group-locality factors; ``None``
         models a flat network.
+    node_speed:
+        Optional per-node compute-speed multipliers (length ``n_nodes``,
+        all > 0).  A rank on node ``i`` sustains
+        ``flops_per_rank * node_speed[i]`` flop/s.  ``None`` means every
+        node runs at the nominal rate (exactly the homogeneous model).
+    node_bandwidth:
+        Optional per-node NIC-bandwidth multipliers (length ``n_nodes``,
+        all > 0).  Node ``i``'s inter-node NIC sustains
+        ``inter.bandwidth_Bps * node_bandwidth[i]`` bytes/s.  ``None``
+        means the nominal NIC everywhere.
     """
 
     name: str
@@ -89,6 +100,8 @@ class MachineModel:
     inter: LinkParams
     per_call_overhead_s: float = 0.0
     topology: "object | None" = None
+    node_speed: Optional[Tuple[float, ...]] = None
+    node_bandwidth: Optional[Tuple[float, ...]] = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -101,6 +114,21 @@ class MachineModel:
             raise MachineError("flops_per_rank must be > 0")
         if self.per_call_overhead_s < 0:
             raise MachineError("per_call_overhead_s must be >= 0")
+        for attr in ("node_speed", "node_bandwidth"):
+            value = getattr(self, attr)
+            if value is None:
+                continue
+            # normalise lists to tuples so the dataclass stays hashable
+            if not isinstance(value, tuple):
+                value = tuple(value)
+                object.__setattr__(self, attr, value)
+            if len(value) != self.n_nodes:
+                raise MachineError(
+                    f"{attr} must have one entry per node "
+                    f"({self.n_nodes}), got {len(value)}"
+                )
+            if any(m <= 0 for m in value):
+                raise MachineError(f"{attr} multipliers must be > 0")
 
     @property
     def n_ranks(self) -> int:
@@ -117,20 +145,109 @@ class MachineModel:
         """Aggregate memory budget of the whole machine."""
         return self.mem_per_node_bytes * self.n_nodes
 
-    def with_nodes(self, n_nodes: int) -> "MachineModel":
-        """Return a copy of this machine resized to ``n_nodes`` nodes."""
-        return replace(self, n_nodes=n_nodes)
+    @property
+    def is_heterogeneous(self) -> bool:
+        """True when any per-node multiplier deviates from 1.0."""
+        return (
+            self.node_speed is not None and any(m != 1.0 for m in self.node_speed)
+        ) or (
+            self.node_bandwidth is not None
+            and any(m != 1.0 for m in self.node_bandwidth)
+        )
 
-    def compute_seconds(self, flops: float) -> float:
-        """Seconds one rank needs to execute ``flops`` floating ops."""
+    def speed_of(self, node: int) -> float:
+        """Compute-speed multiplier of ``node`` (1.0 when homogeneous)."""
+        if node < 0 or node >= self.n_nodes:
+            raise MachineError(f"node {node} out of range [0, {self.n_nodes})")
+        return 1.0 if self.node_speed is None else self.node_speed[node]
+
+    def bandwidth_factor_of(self, node: int) -> float:
+        """NIC-bandwidth multiplier of ``node`` (1.0 when homogeneous)."""
+        if node < 0 or node >= self.n_nodes:
+            raise MachineError(f"node {node} out of range [0, {self.n_nodes})")
+        return 1.0 if self.node_bandwidth is None else self.node_bandwidth[node]
+
+    def with_nodes(self, n_nodes: int) -> "MachineModel":
+        """Return a copy of this machine resized to ``n_nodes`` nodes.
+
+        For a machine with per-node multipliers the first ``n_nodes``
+        entries are kept when shrinking; growing pads with 1.0 (nominal
+        nodes).  Use :meth:`submachine` to select *specific* physical
+        nodes instead.
+        """
+
+        def resize(mult: Optional[Tuple[float, ...]]):
+            if mult is None:
+                return None
+            if n_nodes <= len(mult):
+                return mult[:n_nodes]
+            return mult + (1.0,) * (n_nodes - len(mult))
+
+        return replace(
+            self,
+            n_nodes=n_nodes,
+            node_speed=resize(self.node_speed),
+            node_bandwidth=resize(self.node_bandwidth),
+        )
+
+    def submachine(self, nodes: Sequence[int]) -> "MachineModel":
+        """The machine restricted to the given physical ``nodes``.
+
+        Job worlds index nodes locally (0..len(nodes)-1); this carries
+        the *physical* per-node multipliers over into that local space,
+        in the order given.  For a homogeneous machine this is exactly
+        ``with_nodes(len(nodes))``.
+        """
+        nodes = list(nodes)
+        if not nodes:
+            raise MachineError("submachine needs at least one node")
+        for n in nodes:
+            if n < 0 or n >= self.n_nodes:
+                raise MachineError(f"node {n} out of range [0, {self.n_nodes})")
+        if len(set(nodes)) != len(nodes):
+            raise MachineError(f"submachine nodes must be distinct, got {nodes}")
+
+        def pick(mult: Optional[Tuple[float, ...]]):
+            return None if mult is None else tuple(mult[n] for n in nodes)
+
+        return replace(
+            self,
+            n_nodes=len(nodes),
+            node_speed=pick(self.node_speed),
+            node_bandwidth=pick(self.node_bandwidth),
+        )
+
+    def compute_seconds(self, flops: float, *, node: Optional[int] = None) -> float:
+        """Seconds one rank needs to execute ``flops`` floating ops.
+
+        ``node`` selects the per-node speed multiplier; omitted (or on a
+        homogeneous machine) the nominal rate applies.
+        """
         if flops < 0:
             raise MachineError(f"flops must be >= 0, got {flops}")
-        return flops / self.flops_per_rank
+        if node is None or self.node_speed is None:
+            return flops / self.flops_per_rank
+        return flops / (self.flops_per_rank * self.speed_of(node))
 
     def describe(self) -> str:
         """One-paragraph human-readable description."""
+        hetero = ""
+        if self.is_heterogeneous:
+            speeds = sorted(
+                {self.speed_of(n) for n in range(self.n_nodes)}
+            )
+            bws = sorted(
+                {self.bandwidth_factor_of(n) for n in range(self.n_nodes)}
+            )
+            hetero = (
+                ", heterogeneous (speed x"
+                + "/".join(f"{m:g}" for m in speeds)
+                + ", nic x"
+                + "/".join(f"{m:g}" for m in bws)
+                + ")"
+            )
         return (
-            f"{self.name}: {self.n_nodes} nodes x {self.ranks_per_node} ranks "
+            f"{self.name}{hetero}: {self.n_nodes} nodes x {self.ranks_per_node} ranks "
             f"({self.n_ranks} ranks), {self.mem_per_rank_bytes / MiB:.2f} MiB/rank, "
             f"{self.flops_per_rank / 1e9:.2f} GF/s/rank, "
             f"intra {self.intra.latency_s * 1e6:.2f} us / "

@@ -1,0 +1,216 @@
+"""The ``Plan`` artifact: a tuned job geometry, serialisable byte-stably.
+
+A plan is the autotuner's output contract: everything the campaign
+layer needs to launch the tuned job —
+
+- the ensemble size ``k`` and node geometry (count *and* the specific
+  physical node ids, because on a heterogeneous machine *which* nodes
+  matters as much as how many);
+- the collective algorithms to pin on the job world;
+- the (possibly unbalanced) ``CollShard`` nc split of the shared
+  tensor, or ``None`` for the balanced default.
+
+Serialisation is byte-stable: ``to_json`` sorts keys, uses a fixed
+indent, and contains no timestamps or environment-dependent values, so
+re-running the planner with the same seed reproduces the file exactly
+(asserted by a hypothesis test).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from repro.errors import PlanError
+
+#: Format tag stamped into every plan file.
+PLAN_FORMAT = "repro-plan-v1"
+
+
+@dataclass(frozen=True)
+class PlanChoice:
+    """One point of the autotuner's design space — a launchable geometry.
+
+    ``nodes`` are *physical* node ids on the planning machine, in the
+    order member rank blocks are laid onto them (block placement).
+    ``nc_counts`` is the per-coll-comm-rank shard-size vector (length
+    ``k * P1``) or ``None`` for the balanced split.
+    """
+
+    k: int
+    n_nodes: int
+    nodes: Tuple[int, ...]
+    ranks_per_member: int
+    allreduce: str = "ring"
+    alltoall: str = "pairwise"
+    nc_counts: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise PlanError(f"k must be >= 1, got {self.k}")
+        if self.n_nodes < 1:
+            raise PlanError(f"n_nodes must be >= 1, got {self.n_nodes}")
+        if len(self.nodes) != self.n_nodes:
+            raise PlanError(
+                f"nodes list has {len(self.nodes)} entries, expected "
+                f"n_nodes={self.n_nodes}"
+            )
+        if len(set(self.nodes)) != len(self.nodes):
+            raise PlanError(f"plan nodes must be distinct, got {self.nodes}")
+        if self.ranks_per_member < 1:
+            raise PlanError(
+                f"ranks_per_member must be >= 1, got {self.ranks_per_member}"
+            )
+        if self.nc_counts is not None:
+            object.__setattr__(
+                self, "nc_counts", tuple(int(c) for c in self.nc_counts)
+            )
+        object.__setattr__(self, "nodes", tuple(int(n) for n in self.nodes))
+
+    @property
+    def n_ranks(self) -> int:
+        """Total ranks of the planned job."""
+        return self.k * self.ranks_per_member
+
+    @property
+    def is_unbalanced(self) -> bool:
+        """True when the nc split deviates from the balanced one."""
+        if self.nc_counts is None:
+            return False
+        return max(self.nc_counts) - min(self.nc_counts) > 1
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON form."""
+        return {
+            "k": self.k,
+            "n_nodes": self.n_nodes,
+            "nodes": list(self.nodes),
+            "ranks_per_member": self.ranks_per_member,
+            "allreduce": self.allreduce,
+            "alltoall": self.alltoall,
+            "nc_counts": None if self.nc_counts is None else list(self.nc_counts),
+        }
+
+    @staticmethod
+    def from_dict(d: Dict[str, object]) -> "PlanChoice":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            counts = d.get("nc_counts")
+            return PlanChoice(
+                k=int(d["k"]),
+                n_nodes=int(d["n_nodes"]),
+                nodes=tuple(int(n) for n in d["nodes"]),
+                ranks_per_member=int(d["ranks_per_member"]),
+                allreduce=str(d.get("allreduce", "ring")),
+                alltoall=str(d.get("alltoall", "pairwise")),
+                nc_counts=None if counts is None else tuple(int(c) for c in counts),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PlanError(f"malformed plan choice: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class Plan:
+    """The full autotuner artifact: choice + provenance + predictions.
+
+    ``signature_key`` is the content hash of the shared tensor the plan
+    was tuned for (``CmatSignature.content_hash()``); the packer only
+    applies the plan to batches with a matching key.  ``rounds`` is how
+    many sequential jobs of ``choice.k`` members serve the
+    ``n_members`` originally requested.
+    """
+
+    machine_name: str
+    input_name: str
+    signature_key: str
+    n_members: int
+    steps_per_report: int
+    choice: PlanChoice
+    predicted_s: float
+    default_predicted_s: float
+    predicted_breakdown: Dict[str, float] = field(default_factory=dict)
+    seed: int = 0
+    method: str = "exhaustive"
+    n_evaluated: int = 0
+
+    @property
+    def rounds(self) -> int:
+        """Sequential jobs needed to serve all requested members."""
+        return -(-self.n_members // self.choice.k)
+
+    @property
+    def predicted_speedup(self) -> float:
+        """Tuned-over-default predicted makespan ratio (>1 = faster)."""
+        if self.predicted_s <= 0:
+            return float("inf")
+        return self.default_predicted_s / self.predicted_s
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON form (sorted breakdown, format-tagged)."""
+        return {
+            "format": PLAN_FORMAT,
+            "machine_name": self.machine_name,
+            "input_name": self.input_name,
+            "signature_key": self.signature_key,
+            "n_members": self.n_members,
+            "steps_per_report": self.steps_per_report,
+            "choice": self.choice.to_dict(),
+            "predicted_s": float(self.predicted_s),
+            "default_predicted_s": float(self.default_predicted_s),
+            "predicted_breakdown": {
+                k: float(v) for k, v in sorted(self.predicted_breakdown.items())
+            },
+            "seed": self.seed,
+            "method": self.method,
+            "n_evaluated": self.n_evaluated,
+        }
+
+    @staticmethod
+    def from_dict(d: Dict[str, object]) -> "Plan":
+        """Inverse of :meth:`to_dict`, validating the format tag."""
+        if d.get("format") != PLAN_FORMAT:
+            raise PlanError(
+                f"not a {PLAN_FORMAT} document (format={d.get('format')!r})"
+            )
+        try:
+            return Plan(
+                machine_name=str(d["machine_name"]),
+                input_name=str(d["input_name"]),
+                signature_key=str(d["signature_key"]),
+                n_members=int(d["n_members"]),
+                steps_per_report=int(d["steps_per_report"]),
+                choice=PlanChoice.from_dict(d["choice"]),
+                predicted_s=float(d["predicted_s"]),
+                default_predicted_s=float(d["default_predicted_s"]),
+                predicted_breakdown={
+                    str(k): float(v)
+                    for k, v in d.get("predicted_breakdown", {}).items()
+                },
+                seed=int(d.get("seed", 0)),
+                method=str(d.get("method", "exhaustive")),
+                n_evaluated=int(d.get("n_evaluated", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PlanError(f"malformed plan document: {exc}") from exc
+
+    def to_json(self) -> str:
+        """Byte-stable JSON (sorted keys, fixed indent, no timestamps)."""
+        return json.dumps(self.to_dict(), indent=1, sort_keys=True) + "\n"
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the plan file."""
+        Path(path).write_text(self.to_json())
+
+
+def load_plan(path: Union[str, Path]) -> Plan:
+    """Load a plan file, validating format and structure."""
+    p = Path(path)
+    if not p.is_file():
+        raise PlanError(f"plan file not found: {p}")
+    try:
+        doc = json.loads(p.read_text())
+    except json.JSONDecodeError as exc:
+        raise PlanError(f"{p}: not valid JSON ({exc})") from exc
+    return Plan.from_dict(doc)

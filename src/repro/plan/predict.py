@@ -1,0 +1,244 @@
+"""Heterogeneity- and unbalance-aware makespan prediction for a plan.
+
+The closed-form predictor :mod:`repro.perf.analytic` assumes identical
+members and a balanced shard map, which is exact on a homogeneous
+machine.  The planner needs the generalisation: members sit on node
+sets with different compute speeds, the shared tensor's shards may be
+deliberately unequal, and the collective algorithms are themselves
+knobs.  This module mirrors the executed solver's charging structure
+(same collective counts, message sizes, and flop formulas) but
+evaluates it per member / per toroidal group / per shard on the
+:meth:`~repro.machine.model.MachineModel.submachine` of the plan's
+nodes:
+
+    interval ≈ steps x [ max_m (str_m + nl_m)           (member phases)
+                         + max_g coll_comm_g            (ensemble sync)
+                         + max_j coll_compute_j ]       (shard apply)
+               + max_m diag_m                           (once/interval)
+
+On a homogeneous machine with balanced counts every max degenerates to
+the common value and the prediction coincides with
+:func:`repro.perf.analytic.predict_xgyro_interval` (tested).  On a
+heterogeneous machine the maxima express the straggler effects the
+tuner exploits: a slow node gates ``str``, and a balanced shard map
+makes its shard gate ``coll_compute`` — unless the plan shrinks it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.cgyro import costs
+from repro.cgyro.nonlinear import padded_length
+from repro.cgyro.params import CgyroInput
+from repro.collision.cmat import apply_flops
+from repro.errors import PlanError
+from repro.grid.decomp import Decomposition
+from repro.machine.model import MachineModel
+from repro.machine.placement import BlockPlacement
+from repro.plan.artifact import PlanChoice
+from repro.vmpi.algorithms import AllreduceAlgorithm, AlltoallAlgorithm
+from repro.vmpi.cost import CommCostModel
+from repro.xgyro.partition import ensemble_nc_counts
+
+
+@dataclass
+class PlanPrediction:
+    """Predicted per-interval wall time and its category breakdown.
+
+    Categories carry the *gating* (max) value per phase, so their sum
+    equals :attr:`makespan` — the serial phase chain the lockstep
+    ensemble executes.
+    """
+
+    categories: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        """Predicted wall seconds of one reporting interval."""
+        return sum(self.categories.values())
+
+
+def algorithms_of(choice: PlanChoice):
+    """Resolve the plan's algorithm names to the vmpi enums."""
+    try:
+        ar = AllreduceAlgorithm(choice.allreduce)
+    except ValueError as exc:
+        raise PlanError(
+            f"unknown allreduce algorithm {choice.allreduce!r} "
+            f"(choose from {[a.value for a in AllreduceAlgorithm]})"
+        ) from exc
+    try:
+        a2a = AlltoallAlgorithm(choice.alltoall)
+    except ValueError as exc:
+        raise PlanError(
+            f"unknown alltoall algorithm {choice.alltoall!r} "
+            f"(choose from {[a.value for a in AlltoallAlgorithm]})"
+        ) from exc
+    return ar, a2a
+
+
+def predict_plan_interval(
+    inp: CgyroInput,
+    machine: MachineModel,
+    choice: PlanChoice,
+    *,
+    include_diag: bool = True,
+) -> PlanPrediction:
+    """Predicted wall time of one reporting interval under ``choice``.
+
+    ``machine`` is the *whole* planning machine; the job is modeled on
+    ``machine.submachine(choice.nodes)`` with block placement, exactly
+    how :class:`~repro.campaign.runner.CampaignRunner` dispatches it.
+    """
+    sub = machine.submachine(choice.nodes)
+    n_ranks = choice.n_ranks
+    if n_ranks > sub.n_ranks:
+        raise PlanError(
+            f"plan needs {n_ranks} ranks but its {choice.n_nodes} node(s) "
+            f"host only {sub.n_ranks}"
+        )
+    dims = inp.grid_dims()
+    decomp = Decomposition.choose(dims, choice.ranks_per_member)
+    k = choice.k
+    group = k * decomp.n_proc_1
+    if choice.nc_counts is not None:
+        counts = choice.nc_counts
+        if len(counts) != group or sum(counts) != dims.nc or min(counts) < 1:
+            raise PlanError(
+                f"nc_counts must be {group} positive entries summing to "
+                f"nc={dims.nc}, got {counts}"
+            )
+    else:
+        counts = ensemble_nc_counts(decomp, k)
+    ar_algo, a2a_algo = algorithms_of(choice)
+    placement = BlockPlacement(sub, n_ranks)
+    cm = CommCostModel(
+        sub, placement, default_allreduce=ar_algo, default_alltoall=a2a_algo
+    )
+
+    def speed(rank: int) -> float:
+        return sub.speed_of(placement.node_of(rank))
+
+    steps = inp.steps_per_report
+    per_member = choice.ranks_per_member
+    n_chunks = -(-decomp.nv_loc // min(decomp.nv_loc, inp.n_xi))
+    n_moments = 3 if inp.beta_e > 0 else 2
+    ar_bytes = dims.nc * decomp.nt_loc * 16
+    elements = dims.nc * decomp.nv_loc * decomp.nt_loc
+    block_bytes = elements * 16
+
+    # ---- str phase: per (member, toroidal group), worst group gates --
+    str_flops = (
+        4 * costs.RHS_FLOPS_PER_ELEMENT * elements
+        + 4 * costs.MOMENT_FLOPS_PER_ELEMENT * elements
+        + 4 * costs.FIELD_SOLVE_FLOPS_PER_ELEMENT * dims.nc * decomp.nt_loc
+        + 4 * costs.RK_COMBINE_FLOPS_PER_ELEMENT * elements
+    )
+    if inp.nonlinear:  # nl's extra field solve is charged to str
+        str_flops += (
+            costs.MOMENT_FLOPS_PER_ELEMENT * elements
+            + costs.FIELD_SOLVE_FLOPS_PER_ELEMENT * dims.nc * decomp.nt_loc
+        )
+    member_str_comm: List[float] = []
+    member_str_compute: List[float] = []
+    member_ar_worst: List[float] = []
+    for m in range(k):
+        offset = m * per_member
+        worst_comm = 0.0
+        worst_total = 0.0
+        worst_ar = 0.0
+        for i2 in range(decomp.n_proc_2):
+            g_ranks = [
+                offset + decomp.local_rank_of(i1, i2)
+                for i1 in range(decomp.n_proc_1)
+            ]
+            ar_cost = cm.collective_cost("allreduce", g_ranks, ar_bytes)
+            calls = 4 * n_chunks * n_moments
+            if inp.nonlinear:
+                calls += n_chunks * n_moments
+            comm = calls * ar_cost
+            compute = str_flops / (sub.flops_per_rank * min(map(speed, g_ranks)))
+            if comm + compute > worst_total:
+                worst_total = comm + compute
+                worst_comm = comm
+            worst_ar = max(worst_ar, ar_cost)
+        member_str_comm.append(worst_comm)
+        member_str_compute.append(worst_total - worst_comm)
+        member_ar_worst.append(worst_ar)
+
+    # ---- nl phase: per member, worst comm_2 group gates --------------
+    member_nl: List[float] = [0.0] * k
+    if inp.nonlinear:
+        nl_flops = costs.bracket_flops(
+            dims.nc // decomp.n_proc_2,
+            decomp.nv_loc,
+            dims.nt,
+            padded_length(dims.nt),
+        )
+        phi_bytes = dims.nc * decomp.nt_loc * 16
+        for m in range(k):
+            offset = m * per_member
+            worst = 0.0
+            for i1 in range(decomp.n_proc_1):
+                g_ranks = [
+                    offset + decomp.local_rank_of(i1, i2)
+                    for i2 in range(decomp.n_proc_2)
+                ]
+                a2a = cm.collective_cost("alltoall", g_ranks, block_bytes)
+                phi = cm.collective_cost("alltoall", g_ranks, phi_bytes)
+                comm = 2 * a2a + phi
+                compute = nl_flops / (
+                    sub.flops_per_rank * min(map(speed, g_ranks))
+                )
+                worst = max(worst, comm + compute)
+            member_nl[m] = worst
+
+    # ---- coll phase: ensemble-wide, every group syncs every step -----
+    coll_comm = 0.0
+    coll_compute = 0.0
+    for i2 in range(decomp.n_proc_2):
+        e_ranks = [
+            m * per_member + decomp.local_rank_of(i1, i2)
+            for m in range(k)
+            for i1 in range(decomp.n_proc_1)
+        ]
+        coll_comm = max(
+            coll_comm, 2 * cm.collective_cost("alltoall", e_ranks, block_bytes)
+        )
+        for j, r in enumerate(e_ranks):
+            t = k * apply_flops(counts[j], decomp.nt_loc, dims.nv) / (
+                sub.flops_per_rank * speed(r)
+            )
+            coll_compute = max(coll_compute, t)
+
+    out = {
+        "str_comm": steps * max(member_str_comm),
+        "str_compute": steps * max(member_str_compute),
+        "nl": steps * max(member_nl),
+        "coll_comm": steps * coll_comm,
+        "coll_compute": steps * coll_compute,
+        "diag": 0.0,
+    }
+
+    # ---- diagnostics: once per interval, concurrent across members ---
+    if include_diag:
+        diag_flops = (
+            costs.DIAG_FLOPS_PER_ELEMENT * elements
+            + costs.MOMENT_FLOPS_PER_ELEMENT * elements
+            + costs.FIELD_SOLVE_FLOPS_PER_ELEMENT * dims.nc * decomp.nt_loc
+        )
+        worst = 0.0
+        for m in range(k):
+            offset = m * per_member
+            sim_ranks = list(range(offset, offset + per_member))
+            t = (
+                n_chunks * n_moments * member_ar_worst[m]
+                + cm.collective_cost("allreduce", sim_ranks, 2 * dims.nt * 8)
+                + diag_flops
+                / (sub.flops_per_rank * min(map(speed, sim_ranks)))
+            )
+            worst = max(worst, t)
+        out["diag"] = worst
+    return PlanPrediction(out)

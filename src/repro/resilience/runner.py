@@ -161,6 +161,7 @@ class ResilientXgyroRunner:
         straggler_detector: "StragglerDetector | bool | None" = None,
         migrate_stragglers: bool = True,
         telemetry=None,
+        nc_counts: "Sequence[int] | None" = None,
     ) -> None:
         if checkpoint_interval < 1:
             raise ResilienceError(
@@ -179,7 +180,11 @@ class ResilientXgyroRunner:
         self.injector = FaultInjector(world, self.plan)
         world.install_fault_injector(self.injector)
         self.ensemble = XgyroEnsemble(
-            world, inputs, ranks=ranks, charge_cmat_build=charge_cmat_build
+            world,
+            inputs,
+            ranks=ranks,
+            charge_cmat_build=charge_cmat_build,
+            nc_counts=nc_counts,
         )
         self.n_members_initial = self.ensemble.n_members
         self.member_labels_initial = tuple(

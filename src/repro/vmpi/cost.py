@@ -93,9 +93,19 @@ class CommCostModel:
                 overhead_s=self.machine.per_call_overhead_s,
             )
         link = self.machine.inter
-        sharing = max(per_node.values())
         latency = link.latency_s
-        bandwidth = link.bandwidth_Bps / sharing
+        if self.machine.node_bandwidth is None:
+            sharing = max(per_node.values())
+            bandwidth = link.bandwidth_Bps / sharing
+        else:
+            # the group drains at the pace of its most contended /
+            # weakest NIC: per-node bandwidth multiplier divided by the
+            # members sharing that NIC (identical to the homogeneous
+            # formula when every multiplier is 1.0)
+            bandwidth = min(
+                link.bandwidth_Bps * self.machine.bandwidth_factor_of(node) / count
+                for node, count in per_node.items()
+            )
         topology = self.machine.topology
         if topology is not None:
             nodes = per_node.keys()

@@ -246,7 +246,12 @@ class VirtualWorld:
                 dt = seconds[r] if isinstance(seconds, Mapping) else float(seconds)
             else:
                 fl = flops[r] if isinstance(flops, Mapping) else float(flops)
-                dt = self.machine.compute_seconds(fl)
+                if self.machine.node_speed is not None:
+                    dt = self.machine.compute_seconds(
+                        fl, node=self.placement.node_of(r)
+                    )
+                else:
+                    dt = self.machine.compute_seconds(fl)
             if dt < 0:
                 raise VmpiError(f"negative time charge {dt} for rank {r}")
             if self.fault_injector is not None:

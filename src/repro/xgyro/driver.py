@@ -58,6 +58,11 @@ class XgyroEnsemble:
         already holds this signature's tensor from a previous job, so
         only the memory is re-registered (see
         :class:`~repro.campaign.cache.CmatCache`).
+    nc_counts:
+        Optional explicit (possibly unbalanced) shard sizes for the
+        shared tensor, passed through to
+        :class:`~repro.xgyro.shared_cmat.SharedCmatScheme`; ``None``
+        keeps the balanced split.  Physics-neutral either way.
     """
 
     def __init__(
@@ -67,6 +72,7 @@ class XgyroEnsemble:
         *,
         ranks: Optional[Sequence[int]] = None,
         charge_cmat_build: bool = True,
+        nc_counts: Optional[Sequence[int]] = None,
     ) -> None:
         if len(inputs) == 0:
             raise EnsembleValidationError("an ensemble needs at least one member")
@@ -74,7 +80,9 @@ class XgyroEnsemble:
         self.inputs = tuple(inputs)
         job_ranks = tuple(ranks) if ranks is not None else tuple(range(world.n_ranks))
         blocks = partition_ranks(job_ranks, len(inputs))
-        self.scheme = SharedCmatScheme(charge_build=charge_cmat_build)
+        self.scheme = SharedCmatScheme(
+            charge_build=charge_cmat_build, nc_counts=nc_counts
+        )
         self.members: List[CgyroSimulation] = []
         for m, (inp, block) in enumerate(zip(inputs, blocks)):
             label = f"xgyro.m{m}.{inp.name}"

@@ -92,6 +92,48 @@ def ensemble_nc_counts(decomp: Decomposition, n_members: int) -> Tuple[int, ...]
     return tuple(base + (1 if j < extra else 0) for j in range(group))
 
 
+def proportional_nc_counts(
+    decomp: Decomposition, n_members: int, weights: Sequence[float]
+) -> Tuple[int, ...]:
+    """Per-rank nc ownership proportional to per-rank ``weights``.
+
+    The deliberately *unbalanced* counterpart of
+    :func:`ensemble_nc_counts`: comm rank ``j`` receives a share of nc
+    proportional to ``weights[j]`` (e.g. its node's compute-speed
+    multiplier), apportioned by largest remainder with an every-rank-
+    owns-at-least-one-point floor.  On a heterogeneous machine this is
+    what equalises per-shard ``coll_compute`` time — the lever the
+    :mod:`repro.plan` autotuner searches over.  Deterministic: ties in
+    the remainders break by comm-rank order.
+    """
+    group = n_members * decomp.n_proc_1
+    nc = decomp.dims.nc
+    if group > nc:
+        raise DecompositionError(
+            f"ensemble coll group of {group} ranks exceeds nc={nc}: "
+            "some ranks would own no cmat shard"
+        )
+    if len(weights) != group:
+        raise DecompositionError(
+            f"need one weight per coll-comm rank ({group}), got {len(weights)}"
+        )
+    if any(w <= 0 for w in weights):
+        raise DecompositionError(f"weights must be > 0, got {list(weights)}")
+    total = float(sum(weights))
+    # floor of 1 point per rank; apportion the rest by largest remainder
+    spare = nc - group
+    quotas = [spare * w / total for w in weights]
+    counts = [1 + int(q) for q in quotas]
+    remainders = sorted(
+        range(group), key=lambda j: (-(quotas[j] - int(quotas[j])), j)
+    )
+    left = nc - sum(counts)
+    for j in remainders[:left]:
+        counts[j] += 1
+    assert sum(counts) == nc
+    return tuple(counts)
+
+
 def ensemble_nc_slice(decomp: Decomposition, n_members: int, j: int) -> slice:
     """Global nc range owned by ensemble-coll-comm rank ``j``.
 

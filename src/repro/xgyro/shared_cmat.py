@@ -103,11 +103,26 @@ class SharedCmatScheme(CollisionScheme):
         machine keeps them resident and re-assembly costs nothing.
         Memory is still allocated in the ledgers either way — a cache
         hit saves time, not space.
+    nc_counts:
+        Optional explicit per-comm-rank configuration-point counts for
+        the initial shard map, in comm-rank order (length ``k * P1``,
+        every entry >= 1, summing to nc).  ``None`` keeps the balanced
+        :func:`~repro.xgyro.partition.ensemble_nc_counts` assignment.
+        The coll phase only needs the map to be a disjoint cover of nc,
+        so *unbalanced* counts (e.g. speed-proportional ones chosen by
+        the :mod:`repro.plan` autotuner on a heterogeneous machine) are
+        physics-neutral: results stay bit-identical.
     """
 
-    def __init__(self, *, charge_build: bool = True) -> None:
+    def __init__(
+        self,
+        *,
+        charge_build: bool = True,
+        nc_counts: "Sequence[int] | None" = None,
+    ) -> None:
         self.members: List["CgyroSimulation"] = []
         self.charge_build = charge_build
+        self.nc_counts = None if nc_counts is None else tuple(int(c) for c in nc_counts)
         self._finalized = False
         self._cmat: Dict[int, np.ndarray] = {}
         self._checksums: Dict[int, str] = {}
@@ -135,7 +150,10 @@ class SharedCmatScheme(CollisionScheme):
 
     def cmat_bytes_per_rank(self, sim: "CgyroSimulation") -> int:
         """Worst-case per-rank cmat bytes (the planning ceiling)."""
-        counts = ensemble_nc_counts(sim.decomp, len(self.members))
+        if self.nc_counts is not None:
+            counts: Sequence[int] = self.nc_counts
+        else:
+            counts = ensemble_nc_counts(sim.decomp, len(self.members))
         return cmat_block_bytes(sim.dims, max(counts), sim.decomp.nt_loc)
 
     # ------------------------------------------------------------------
@@ -166,7 +184,25 @@ class SharedCmatScheme(CollisionScheme):
         world = first.world
         decomp = first.decomp
         k = len(self.members)
-        counts = ensemble_nc_counts(decomp, k)
+        if self.nc_counts is not None:
+            counts = self.nc_counts
+            group = k * decomp.n_proc_1
+            if len(counts) != group:
+                raise EnsembleValidationError(
+                    f"nc_counts must have one entry per coll-comm rank "
+                    f"({group}), got {len(counts)}"
+                )
+            if any(c < 1 for c in counts):
+                raise EnsembleValidationError(
+                    f"nc_counts entries must be >= 1, got {counts}"
+                )
+            if sum(counts) != first.dims.nc:
+                raise EnsembleValidationError(
+                    f"nc_counts must sum to nc={first.dims.nc}, "
+                    f"got sum {sum(counts)}"
+                )
+        else:
+            counts = ensemble_nc_counts(decomp, k)
         member_ranks = [m.ranks for m in self.members]
         self._prop = CmatPropagator(first.collision_operator, dt=first.inp.delta_t)
         dims = first.dims
