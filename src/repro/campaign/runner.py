@@ -513,14 +513,17 @@ class CampaignRunner:
             enforce_memory=self.enforce_memory,
         )
         nc_counts = None
+        overlap = "off"
         if job.tuning is not None:
-            # pin the autotuner's collective algorithms and nc split
+            # pin the autotuner's collective algorithms, nc split, and
+            # step schedule
             from repro.plan.predict import algorithms_of
 
             tuned_ar, tuned_a2a = algorithms_of(job.tuning)
             world.cost_model.default_allreduce = tuned_ar
             world.cost_model.default_alltoall = tuned_a2a
             nc_counts = job.tuning.nc_counts
+            overlap = job.tuning.overlap
         tele = self.telemetry
         if tele is not None:
             # the job's world clock starts at zero: shift its spans to
@@ -550,6 +553,7 @@ class CampaignRunner:
             charge_cmat_build=hit is None,
             telemetry=tele,
             nc_counts=nc_counts,
+            overlap=overlap,
         )
         try:
             result = runner.run_steps(steps)

@@ -16,7 +16,21 @@ This package is the verification layer for both:
   :class:`~repro.vmpi.world.VirtualWorld` it validates every executed
   collective; driven with explicit per-rank programs it simulates
   blocking SPMD execution and turns would-be deadlocks into diagnosed
-  :class:`~repro.errors.ProtocolError`\\ s.
+  :class:`~repro.errors.ProtocolError`\\ s.  Nonblocking requests
+  (``iallreduce``/``ialltoall``) follow MPI's ordered-issue rules:
+
+  * further nonblocking collectives may pipeline FIFO on the *same*
+    communicator while a request is outstanding — that is legal;
+  * a blocking collective, or any collective on a *different*
+    communicator sharing a rank, issued mid-request is an
+    ``inflight-overlap`` error naming both posts;
+  * every post owes exactly one wait — a second wait is
+    ``double-wait`` (carrying the original post seqs), a wait with
+    nothing outstanding is ``stray-wait``, and requests still open
+    when the run finalizes are ``never-waited``;
+  * in schedule mode (``run_programs``) posts and waits are separate
+    program events, so a wait whose group never fully posts is a
+    diagnosed ``deadlock`` instead of a hang.
 - :mod:`repro.check.oracle` — the differential physics oracle:
   run an XGYRO shared-cmat ensemble and the sequential CGYRO baseline
   on identical inputs and assert per-member state equivalence,

@@ -107,6 +107,39 @@ class _InFlight:
         return tuple(r for r in self.comm_ranks if r not in self.posts)
 
 
+class _PendingGroup:
+    """A nonblocking collective between post and wait.
+
+    Created when the first rank posts; ``complete`` flips once every
+    member has posted (and the cross-rank validation passed).  Each
+    rank then retires its side individually via a wait.  Retired
+    groups are retained so a second wait can be diagnosed with the
+    original seqs.
+    """
+
+    __slots__ = ("req_id", "comm_label", "comm_ranks", "kind", "posts", "waited", "complete")
+
+    def __init__(self, req_id: int, comm_label: str, comm_ranks: Tuple[int, ...], kind: str):
+        self.req_id = req_id
+        self.comm_label = comm_label
+        self.comm_ranks = comm_ranks
+        self.kind = kind
+        self.posts: Dict[int, CollectivePost] = {}
+        self.waited: set = set()
+        self.complete = False
+
+    @property
+    def missing(self) -> Tuple[int, ...]:
+        return tuple(r for r in self.comm_ranks if r not in self.posts)
+
+    @property
+    def unwaited(self) -> Tuple[int, ...]:
+        return tuple(r for r in self.comm_ranks if r not in self.waited)
+
+    def seqs(self) -> Tuple[int, ...]:
+        return tuple(p.seq for p in self.posts.values())
+
+
 class _MovedBlock:
     """Ownership record of a block transferred by ``alltoall``."""
 
@@ -137,6 +170,16 @@ class CollectiveChecker:
         # legitimately share one communicator label
         self._open: Dict[Tuple[str, Tuple[int, ...]], _InFlight] = {}
         self._inflight_of: Dict[int, _InFlight] = {}
+        # nonblocking request state: per communicator, the FIFO of
+        # groups not yet fully posted (MPI orders nonblocking
+        # collectives on one communicator by call sequence); all groups
+        # ever created (for double-wait diagnosis); per rank, the FIFO
+        # of outstanding requests and the most recently retired one
+        self._nb_open: Dict[Tuple[str, Tuple[int, ...]], List[_PendingGroup]] = {}
+        self._requests: Dict[int, _PendingGroup] = {}
+        self._req_counter = 0
+        self._request_of: Dict[int, List[_PendingGroup]] = {}
+        self._last_request_of: Dict[int, _PendingGroup] = {}
         self._membership: Dict[str, Tuple[int, ...]] = {}
         self._moved: Dict[int, _MovedBlock] = {}
         #: world trace seqs observed via ``observe_event`` (lockstep)
@@ -234,6 +277,7 @@ class CollectiveChecker:
                 seqs=(prior.seq, post.seq),
                 code="mid-flight",
             )
+        self._check_no_outstanding_request(post)
         entry = self._open.get((comm_label, comm_ranks))
         if entry is None:
             entry = _InFlight(comm_label, comm_ranks, kind)
@@ -267,18 +311,62 @@ class CollectiveChecker:
         if not entry.missing:
             self._complete(entry)
 
-    def _complete(self, entry: _InFlight) -> None:
-        """All members arrived: cross-validate, then retire the entry."""
-        posts = [entry.posts[r] for r in entry.comm_ranks]
+    def _check_no_outstanding_request(
+        self, post: CollectivePost, *, nonblocking: bool = False
+    ) -> None:
+        """Enforce the in-flight exclusion rule.
+
+        A rank holding an unwaited nonblocking request may pipeline
+        *further nonblocking collectives on the same communicator*
+        (MPI's ordered-issue rule; the cost windows queue FIFO), but it
+        may not enter a blocking collective, nor any collective on a
+        *different* communicator that shares the rank — either would
+        reorder its simulated time against the open cost window."""
+        queue = self._request_of.get(post.rank)
+        if not queue:
+            return
+        if nonblocking:
+            offending = [
+                req
+                for req in queue
+                if (req.comm_label, req.comm_ranks)
+                != (post.comm_label, post.comm_ranks)
+            ]
+            if not offending:
+                return
+            req = offending[0]
+        else:
+            req = queue[0]
+        prior = req.posts[post.rank]
+        raise ProtocolError(
+            f"rank {post.rank} posted {post.kind} on "
+            f"{post.comm_label!r} while its nonblocking {req.kind} on "
+            f"{req.comm_label!r} is still in flight (posted, not "
+            f"waited) — wait on the request before the next collective "
+            f"({prior.describe()}; then {post.describe()})",
+            ranks=(post.rank,),
+            comm_labels=(req.comm_label, post.comm_label),
+            seqs=(prior.seq, post.seq),
+            code="inflight-overlap",
+        )
+
+    def _cross_validate(
+        self,
+        kind: str,
+        comm_label: str,
+        comm_ranks: Tuple[int, ...],
+        posts: Sequence[CollectivePost],
+    ) -> None:
+        """Group-wide conformance once every member has posted."""
         ref = posts[0]
 
         def _fail(attr: str, offender: CollectivePost, detail: str) -> None:
             raise ProtocolError(
-                f"mismatched {attr} in {entry.kind} on "
-                f"{entry.comm_label!r}: {detail} ({ref.describe()}; vs "
+                f"mismatched {attr} in {kind} on "
+                f"{comm_label!r}: {detail} ({ref.describe()}; vs "
                 f"{offender.describe()})",
                 ranks=(ref.rank, offender.rank),
-                comm_labels=(entry.comm_label,),
+                comm_labels=(comm_label,),
                 seqs=(ref.seq, offender.seq),
                 code="mismatch",
             )
@@ -288,28 +376,222 @@ class CollectiveChecker:
                 _fail("reduce op", p, f"{ref.op!r} vs {p.op!r}")
             if p.dtype != ref.dtype:
                 _fail("dtype", p, f"{ref.dtype!r} vs {p.dtype!r}")
-            if entry.kind in ROOTED_KINDS and p.root != ref.root:
+            if kind in ROOTED_KINDS and p.root != ref.root:
                 _fail("root", p, f"{ref.root} vs {p.root}")
-            if entry.kind in UNIFORM_NBYTES_KINDS and p.nbytes != ref.nbytes:
+            if kind in UNIFORM_NBYTES_KINDS and p.nbytes != ref.nbytes:
                 _fail(
                     "byte count",
                     p,
-                    f"{entry.kind} requires a uniform contribution, got "
+                    f"{kind} requires a uniform contribution, got "
                     f"{ref.nbytes} vs {p.nbytes}",
                 )
-        if entry.kind in ROOTED_KINDS and ref.root not in entry.comm_ranks:
+        if kind in ROOTED_KINDS and ref.root not in comm_ranks:
             raise ProtocolError(
-                f"root {ref.root} of {entry.kind} on {entry.comm_label!r} is "
-                f"not a member (members: {list(entry.comm_ranks)})",
-                ranks=entry.comm_ranks,
-                comm_labels=(entry.comm_label,),
+                f"root {ref.root} of {kind} on {comm_label!r} is "
+                f"not a member (members: {list(comm_ranks)})",
+                ranks=comm_ranks,
+                comm_labels=(comm_label,),
                 seqs=tuple(p.seq for p in posts),
                 code="membership",
             )
+
+    def _complete(self, entry: _InFlight) -> None:
+        """All members arrived: cross-validate, then retire the entry."""
+        posts = [entry.posts[r] for r in entry.comm_ranks]
+        self._cross_validate(entry.kind, entry.comm_label, entry.comm_ranks, posts)
         for r in entry.comm_ranks:
             del self._inflight_of[r]
         del self._open[(entry.comm_label, entry.comm_ranks)]
         self.completed.append(tuple(posts))
+
+    # ------------------------------------------------------------------
+    # nonblocking requests (post / wait)
+    # ------------------------------------------------------------------
+    def nb_post(
+        self,
+        rank: int,
+        *,
+        comm_label: str,
+        comm_ranks: Sequence[int],
+        kind: str,
+        nbytes: int = 0,
+        op: str = "",
+        dtype: str = "",
+        root: int = -1,
+        site: int = -1,
+    ) -> _PendingGroup:
+        """One rank posts a nonblocking collective; never blocks.
+
+        The first poster opens the group; the last poster completes the
+        matching (cross-rank validation runs, the group is appended to
+        :attr:`completed`).  Every poster then owes exactly one
+        :meth:`nb_wait` per request.  Further nonblocking posts on the
+        *same* communicator may pipeline behind it (FIFO, MPI's
+        ordered-issue rule); any collective on a different communicator
+        sharing the rank — or any blocking collective — while a request
+        is outstanding is a diagnosed ``inflight-overlap``.
+        """
+        self._seq += 1
+        comm_ranks = tuple(int(r) for r in comm_ranks)
+        post = CollectivePost(
+            seq=self._seq,
+            rank=int(rank),
+            comm_label=comm_label,
+            comm_ranks=comm_ranks,
+            kind=kind,
+            nbytes=int(nbytes),
+            op=op,
+            dtype=dtype,
+            root=int(root),
+            site=int(site),
+        )
+        if kind not in KNOWN_KINDS:
+            raise ProtocolError(
+                f"unknown collective kind {kind!r} ({post.describe()})",
+                ranks=(post.rank,),
+                comm_labels=(comm_label,),
+                seqs=(post.seq,),
+                code="unknown-kind",
+            )
+        if post.rank not in comm_ranks:
+            raise ProtocolError(
+                f"rank {post.rank} posted nonblocking {kind} on "
+                f"{comm_label!r} but is not a member (members: "
+                f"{list(comm_ranks)}) ({post.describe()})",
+                ranks=(post.rank,),
+                comm_labels=(comm_label,),
+                seqs=(post.seq,),
+                code="membership",
+            )
+        known = self._membership.get(comm_label)
+        if known is None:
+            self._membership[comm_label] = comm_ranks
+        elif known != comm_ranks:
+            raise ProtocolError(
+                f"communicator label {comm_label!r} changed membership: "
+                f"first seen as {list(known)}, now {list(comm_ranks)} "
+                f"({post.describe()})",
+                ranks=(post.rank,),
+                comm_labels=(comm_label,),
+                seqs=(post.seq,),
+                code="membership",
+            )
+        blocked_in = self._inflight_of.get(post.rank)
+        if blocked_in is not None:
+            prior = blocked_in.posts[post.rank]
+            raise ProtocolError(
+                f"rank {post.rank} posted nonblocking {kind} on "
+                f"{comm_label!r} while still mid-flight in "
+                f"{blocked_in.kind} on {blocked_in.comm_label!r} "
+                f"({prior.describe()}; then {post.describe()})",
+                ranks=(post.rank,),
+                comm_labels=(blocked_in.comm_label, comm_label),
+                seqs=(prior.seq, post.seq),
+                code="mid-flight",
+            )
+        self._check_no_outstanding_request(post, nonblocking=True)
+        # MPI orders nonblocking collectives per communicator: a rank's
+        # i-th post on this communicator joins the i-th open group
+        open_groups = self._nb_open.setdefault((comm_label, comm_ranks), [])
+        entry = next(
+            (g for g in open_groups if post.rank not in g.posts), None
+        )
+        if entry is None:
+            self._req_counter += 1
+            entry = _PendingGroup(self._req_counter, comm_label, comm_ranks, kind)
+            open_groups.append(entry)
+            self._requests[entry.req_id] = entry
+        elif entry.kind != kind:
+            first = next(iter(entry.posts.values()))
+            raise ProtocolError(
+                f"mismatched nonblocking collective on {comm_label!r}: "
+                f"rank {post.rank} posted {kind} but the in-flight "
+                f"request is {entry.kind} ({first.describe()}; then "
+                f"{post.describe()})",
+                ranks=(first.rank, post.rank),
+                comm_labels=(comm_label,),
+                seqs=(first.seq, post.seq),
+                code="mismatch",
+            )
+        entry.posts[post.rank] = post
+        self._request_of.setdefault(post.rank, []).append(entry)
+        self._last_request_of[post.rank] = entry
+        if not entry.missing:
+            self._cross_validate(
+                entry.kind,
+                entry.comm_label,
+                entry.comm_ranks,
+                [entry.posts[r] for r in entry.comm_ranks],
+            )
+            entry.complete = True
+            open_groups.remove(entry)
+            if not open_groups:
+                del self._nb_open[(comm_label, comm_ranks)]
+            self.completed.append(
+                tuple(entry.posts[r] for r in entry.comm_ranks)
+            )
+        return entry
+
+    def nb_wait_ready(self, rank: int) -> bool:
+        """Whether ``rank``'s *oldest* outstanding request can complete."""
+        queue = self._request_of.get(rank)
+        return bool(queue) and queue[0].complete
+
+    def nb_wait(
+        self, rank: int, entry: "Optional[_PendingGroup]" = None
+    ) -> None:
+        """Retire ``rank``'s side of one outstanding request.
+
+        With ``entry=None`` the *oldest* outstanding request is
+        retired (program-style FIFO wait); passing a specific group
+        retires that one (requests may be waited in any order, as with
+        ``MPI_Wait`` on explicit handles).  A wait that matches no
+        outstanding request is diagnosed: ``double-wait`` (with the
+        original post seqs) when the request was already waited,
+        ``stray-wait`` when the rank never posted one.
+        """
+        queue = self._request_of.get(rank)
+        if not queue or (entry is not None and entry not in queue):
+            prior = entry if entry is not None else self._last_request_of.get(rank)
+            if prior is not None and rank in prior.posts:
+                p = prior.posts[rank]
+                raise ProtocolError(
+                    f"rank {rank} waited twice on nonblocking "
+                    f"{prior.kind} on {prior.comm_label!r} "
+                    f"({p.describe()})",
+                    ranks=(rank,),
+                    comm_labels=(prior.comm_label,),
+                    seqs=(p.seq,),
+                    code="double-wait",
+                )
+            raise ProtocolError(
+                f"rank {rank} waited with no nonblocking request "
+                f"outstanding",
+                ranks=(rank,),
+                code="stray-wait",
+            )
+        if entry is None:
+            entry = queue[0]
+        queue.remove(entry)
+        if not queue:
+            del self._request_of[rank]
+        entry.waited.add(rank)
+
+    def abandon_inflight(self) -> None:
+        """Drop all in-flight nonblocking protocol state.
+
+        Fault-recovery hook: when a rank failure aborts a step, any
+        posted-but-unwaited requests can never legally complete — the
+        failed communicator is revoked, MPI-style.  Recovery rolls the
+        ensemble back and replays from a checkpoint, so the stranded
+        state is discarded here rather than later misdiagnosed as
+        ``never-waited`` or ``inflight-overlap`` during the replay.
+        Blocking (schedule-mode) state is untouched.
+        """
+        self._nb_open.clear()
+        self._requests.clear()
+        self._request_of.clear()
+        self._last_request_of.clear()
 
     # ------------------------------------------------------------------
     # quiescence / deadlock diagnosis
@@ -322,8 +604,44 @@ class CollectiveChecker:
         missing rank is blocked instead — the hang a real job would
         experience, named instead of suffered.
         """
-        if not self._open:
-            return
+        if self._open or self._nb_open:
+            self._raise_deadlock()
+        if self._request_of:
+            # every group fully posted, but some rank never waited
+            lines = ["nonblocking request(s) never waited:"]
+            ranks: List[int] = []
+            labels: List[str] = []
+            seqs: List[int] = []
+            for entry in sorted(
+                {
+                    id(e): e
+                    for queue in self._request_of.values()
+                    for e in queue
+                }.values(),
+                key=lambda e: e.req_id,
+            ):
+                outstanding = [
+                    r
+                    for r in entry.comm_ranks
+                    if entry in self._request_of.get(r, [])
+                ]
+                lines.append(
+                    f"  nonblocking {entry.kind} on {entry.comm_label!r} "
+                    f"(post seqs {sorted(entry.seqs())}) was posted but "
+                    f"never waited by ranks {outstanding}"
+                )
+                labels.append(entry.comm_label)
+                ranks.extend(outstanding)
+                seqs.extend(entry.posts[r].seq for r in outstanding)
+            raise ProtocolError(
+                "\n".join(lines),
+                ranks=tuple(ranks),
+                comm_labels=tuple(labels),
+                seqs=tuple(seqs),
+                code="never-waited",
+            )
+
+    def _raise_deadlock(self) -> None:
         lines: List[str] = ["collective protocol deadlock:"]
         ranks: List[int] = []
         labels: List[str] = []
@@ -353,6 +671,19 @@ class CollectiveChecker:
                     ranks.append(r)
                 else:
                     lines.append(f"    rank {r} never posted")
+        for key in sorted(self._nb_open):
+            for entry in self._nb_open[key]:
+                arrived = ", ".join(
+                    f"{r} (seq {entry.posts[r].seq})" for r in entry.posts
+                )
+                lines.append(
+                    f"  nonblocking {entry.kind} on {entry.comm_label!r} is "
+                    f"stuck: posted by [{arrived}], missing ranks "
+                    f"{list(entry.missing)}"
+                )
+                labels.append(entry.comm_label)
+                ranks.extend(entry.posts)
+                seqs.extend(entry.seqs())
         raise ProtocolError(
             "\n".join(lines),
             ranks=tuple(ranks),
@@ -366,13 +697,18 @@ class CollectiveChecker:
     ) -> int:
         """Simulate blocking SPMD execution of per-rank programs.
 
-        ``programs`` maps world rank -> ordered list of post keyword
-        dicts (``comm_label``, ``comm_ranks``, ``kind``, optionally
-        ``nbytes``/``op``/``dtype``/``root``).  Each rank executes its
-        program in order, blocking at every collective until the whole
-        group arrives.  Returns the number of collectives completed;
-        raises :class:`~repro.errors.ProtocolError` on any mismatch or
-        on deadlock (no progress with work remaining).
+        ``programs`` maps world rank -> ordered list of op dicts.  A
+        plain dict (``comm_label``, ``comm_ranks``, ``kind``,
+        optionally ``nbytes``/``op``/``dtype``/``root``) is a blocking
+        collective; with ``"mode": "post"`` it is a *nonblocking post*
+        (the rank continues immediately), and ``{"mode": "wait"}`` waits
+        on the rank's outstanding request — blocking until every group
+        member has posted.  Each rank executes its program in order.
+        Returns the number of collectives completed; raises
+        :class:`~repro.errors.ProtocolError` on any mismatch, on
+        deadlock (no progress with work remaining — including a wait
+        whose group never fully posts), and on requests left unwaited
+        at the end.
         """
         pc = {int(r): 0 for r in programs}
         progs = {int(r): list(p) for r, p in programs.items()}
@@ -384,8 +720,27 @@ class CollectiveChecker:
                 if self.rank_is_blocked(r) or pc[r] >= len(progs[r]):
                     continue
                 spec = dict(progs[r][pc[r]])
+                mode = spec.pop("mode", "blocking")
+                if mode == "wait":
+                    if not self._request_of.get(r):
+                        self.nb_wait(r)  # raises double-/stray-wait
+                    if not self.nb_wait_ready(r):
+                        continue  # group not fully posted yet: block
+                    self.nb_wait(r)
+                    pc[r] += 1
+                    progress = True
+                    continue
                 spec.setdefault("site", pc[r])
-                self.post(r, **spec)  # type: ignore[arg-type]
+                if mode == "post":
+                    self.nb_post(r, **spec)  # type: ignore[arg-type]
+                elif mode == "blocking":
+                    self.post(r, **spec)  # type: ignore[arg-type]
+                else:
+                    raise ProtocolError(
+                        f"rank {r}: unknown program op mode {mode!r}",
+                        ranks=(r,),
+                        code="unknown-kind",
+                    )
                 pc[r] += 1
                 progress = True
         self.assert_quiescent()
@@ -427,6 +782,64 @@ class CollectiveChecker:
                 site=self.observed_events,
                 track_membership=track_membership,
             )
+
+    def lockstep_post(
+        self,
+        comm: "Communicator",
+        kind: str,
+        nbytes_by_rank: Mapping[int, int],
+        *,
+        op: str = "",
+        dtypes: Optional[Mapping[int, str]] = None,
+        root: int = -1,
+    ) -> int:
+        """Validate one lockstep-posted *nonblocking* collective.
+
+        Called by :meth:`Communicator.iallreduce` /
+        :meth:`Communicator.ialltoall` at post time; every member
+        posts at once, so the group matches immediately, but each
+        member's request stays outstanding until :meth:`lockstep_wait`.
+        Returns the request id to pass back at the wait.
+        """
+        entry: Optional[_PendingGroup] = None
+        for r in comm.ranks:
+            entry = self.nb_post(
+                r,
+                comm_label=comm.label,
+                comm_ranks=comm.ranks,
+                kind=kind,
+                nbytes=int(nbytes_by_rank.get(r, 0)),
+                op=op,
+                dtype="" if dtypes is None else str(dtypes.get(r, "")),
+                root=root,
+                site=self.observed_events,
+            )
+        assert entry is not None and entry.complete
+        return entry.req_id
+
+    def lockstep_wait(self, req_id: int) -> None:
+        """Retire every rank of a lockstep-posted request.
+
+        A second wait on the same request id is a diagnosed
+        ``double-wait`` carrying the original post seqs.
+        """
+        entry = self._requests.get(req_id)
+        if entry is None:
+            raise ProtocolError(
+                f"wait on unknown nonblocking request id {req_id}",
+                code="stray-wait",
+            )
+        if entry.waited:
+            raise ProtocolError(
+                f"nonblocking {entry.kind} on {entry.comm_label!r} waited "
+                f"twice (post seqs {sorted(entry.seqs())})",
+                ranks=entry.comm_ranks,
+                comm_labels=(entry.comm_label,),
+                seqs=entry.seqs(),
+                code="double-wait",
+            )
+        for r in entry.comm_ranks:
+            self.nb_wait(r, entry)
 
     def check_alltoall_blocks(
         self, comm: "Communicator", rows: Sequence[Sequence[np.ndarray]]
@@ -498,14 +911,22 @@ class CollectiveChecker:
         """Post-execution bookkeeping for a world trace event.
 
         Validates the physical-time invariant the cost model must
-        preserve — a rank's collectives never run backwards in
-        simulated time — and counts events so diagnoses can reference
-        world trace seq numbers.
+        preserve — a rank's *blocking* collectives never run backwards
+        in simulated time — and counts events so diagnoses can
+        reference world trace seq numbers.  Nonblocking events are
+        exempt from the backwards check: pipelined same-communicator
+        requests may legally be waited (and hence emitted) out of
+        window order, and the world serializes their cost windows at
+        post time, so emission order carries no overlap information.
         """
         self.observed_events += 1
         for r in event.ranks:
             last = self._last_t.get(r)
-            if last is not None and event.t_start < last - 1e-12:
+            if (
+                last is not None
+                and not event.nonblocking
+                and event.t_start < last - 1e-12
+            ):
                 raise ProtocolError(
                     f"trace seq {event.seq}: {event.kind} on "
                     f"{event.comm_label!r} starts at t={event.t_start:.9f} "
@@ -516,7 +937,8 @@ class CollectiveChecker:
                     seqs=(event.seq,),
                     code="overlap",
                 )
-            self._last_t[r] = event.t_start + event.cost_s
+            end = event.t_start + event.cost_s
+            self._last_t[r] = end if last is None else max(last, end)
 
     # ------------------------------------------------------------------
     # reporting

@@ -148,6 +148,7 @@ class EquivalenceReport:
     rtol: float
     atol: float
     checks: Tuple[MemberCheck, ...]
+    overlap: str = "off"
 
     @property
     def ok(self) -> bool:
@@ -174,6 +175,7 @@ class EquivalenceReport:
             "baseline_ranks": self.baseline_ranks,
             "rtol": self.rtol,
             "atol": self.atol,
+            "overlap": self.overlap,
             "ok": self.ok,
             "max_abs": self.max_abs,
             "max_rel": self.max_rel,
@@ -198,6 +200,7 @@ class EquivalenceReport:
             checks=tuple(
                 MemberCheck.from_dict(c) for c in d["checks"]  # type: ignore[union-attr]
             ),
+            overlap=str(d.get("overlap", "off")),
         )
 
     @staticmethod
@@ -209,8 +212,9 @@ class EquivalenceReport:
         verdict = "EQUIVALENT" if self.ok else "DIVERGED"
         lines = [
             f"differential oracle [{self.mode}]: shared-cmat ensemble "
-            f"(k={self.k}, {self.ensemble_ranks} ranks) vs independent "
-            f"baselines ({self.baseline_ranks} ranks each) on {self.machine}",
+            f"(k={self.k}, {self.ensemble_ranks} ranks, "
+            f"overlap={self.overlap}) vs independent baselines "
+            f"({self.baseline_ranks} ranks each) on {self.machine}",
             f"tolerance: rtol={self.rtol:g}, atol={self.atol:g}"
             + ("  (exact)" if self.rtol == 0.0 and self.atol == 0.0 else ""),
             f"{'interval':>8s} {'member':<24s} {'field':<8s} "
@@ -300,6 +304,7 @@ def differential_oracle(
     enforce_memory: bool = False,
     install_checker: bool = True,
     nc_counts: Optional[Sequence[int]] = None,
+    overlap: str = "off",
 ) -> EquivalenceReport:
     """Run ensemble and baselines on identical inputs; compare state.
 
@@ -310,6 +315,11 @@ def differential_oracle(
     ensemble world also runs under a
     :class:`~repro.check.checker.CollectiveChecker`, so the run is
     simultaneously protocol-checked and physics-checked.
+
+    ``overlap`` (one of :data:`~repro.cgyro.solver.OVERLAP_MODES`)
+    applies to the *ensemble side only* — the baselines always run the
+    blocking schedule — so the oracle directly certifies that the
+    pipelined schedules are bit-identical to blocking arithmetic.
     """
     if n_reports < 1:
         raise InputError(f"n_reports must be >= 1, got {n_reports}")
@@ -318,7 +328,7 @@ def differential_oracle(
     checker = CollectiveChecker() if install_checker else None
     if checker is not None:
         world.install_checker(checker)
-    ensemble = XgyroEnsemble(world, inputs, nc_counts=nc_counts)
+    ensemble = XgyroEnsemble(world, inputs, nc_counts=nc_counts, overlap=overlap)
     member_ranks = len(ensemble.members[0].ranks)
     baseline_ranks = member_ranks if baseline == "member" else world.n_ranks
     base = SequentialCgyroBaseline(
@@ -359,6 +369,7 @@ def differential_oracle(
         rtol=rtol,
         atol=atol,
         checks=tuple(checks),
+        overlap=overlap,
     )
 
 
@@ -374,6 +385,7 @@ def resilient_differential_oracle(
     n_ranks: Optional[int] = None,
     enforce_memory: bool = False,
     install_checker: bool = True,
+    overlap: str = "off",
 ) -> EquivalenceReport:
     """Shrink-and-recover run vs undisturbed baselines of the survivors.
 
@@ -396,6 +408,7 @@ def resilient_differential_oracle(
         plan=plan,
         checkpoint_interval=checkpoint_interval,
         checker=checker,
+        overlap=overlap,
     )
     runner.run_steps(n_steps)
     checks: List[MemberCheck] = []
@@ -435,4 +448,5 @@ def resilient_differential_oracle(
         rtol=rtol,
         atol=atol,
         checks=tuple(checks),
+        overlap=overlap,
     )

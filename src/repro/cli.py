@@ -37,6 +37,7 @@ from typing import List, Optional, Sequence
 
 from repro.errors import ReproError
 from repro.cgyro import CgyroSimulation, render_report
+from repro.cgyro.solver import OVERLAP_MODES
 from repro.cgyro.io import parse_input_file, write_timing_csv
 from repro.cgyro.linear import LinearSolver
 from repro.cgyro.presets import NL03C_SCALED_MEM_PER_RANK, nl03c_scaled
@@ -160,6 +161,7 @@ def _run_xgyro_faulted(args: argparse.Namespace, inputs, machine) -> int:
         plan=plan,
         checkpoint_interval=args.checkpoint_interval,
         checkpoint_dir=args.checkpoint_dir,
+        overlap=args.overlap,
     )
     ensemble = runner.ensemble
     member = ensemble.members[0]
@@ -185,12 +187,13 @@ def cmd_run_xgyro(args: argparse.Namespace) -> int:
     if args.faults:
         return _run_xgyro_faulted(args, inputs, machine)
     world = VirtualWorld(machine, enforce_memory=args.enforce_memory)
-    ensemble = XgyroEnsemble(world, inputs)
+    ensemble = XgyroEnsemble(world, inputs, overlap=args.overlap)
     member = ensemble.members[0]
     print(
         f"xgyro ensemble: k={ensemble.n_members} members x "
         f"{len(member.ranks)} ranks on {machine.name}; "
-        f"shared cmat {world.ledgers[0].size_of('cmat')} B/rank"
+        f"shared cmat {world.ledgers[0].size_of('cmat')} B/rank; "
+        f"overlap={args.overlap}"
     )
     for _ in range(args.reports):
         report = ensemble.run_report_interval()
@@ -542,12 +545,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _checked_demo_trace(figure: str):
+def _checked_demo_trace(figure: str, overlap: str = "off"):
     """Run a tiny checker-installed demo; return its recorded events.
 
     ``figure1`` is one traced CGYRO step (nonlinear), ``figure3`` one
     traced step of a k=4 shared-cmat ensemble — the smallest runs that
-    exhibit each figure's full communicator structure.
+    exhibit each figure's full communicator structure.  ``overlap``
+    switches the demo to the nonblocking pipelined schedules, proving
+    them protocol-clean under the same checker.
     """
     from repro.cgyro.presets import small_test
     from repro.check import CollectiveChecker
@@ -558,7 +563,12 @@ def _checked_demo_trace(figure: str):
         machine = generic_cluster(n_nodes=2, ranks_per_node=4)
         world = VirtualWorld(machine)
         world.install_checker(checker)
-        sim = CgyroSimulation(world, range(world.n_ranks), small_test(nonlinear=True))
+        sim = CgyroSimulation(
+            world,
+            range(world.n_ranks),
+            small_test(nonlinear=True),
+            overlap=overlap,
+        )
         sim.step()
     else:
         machine = generic_cluster(n_nodes=4, ranks_per_node=4)
@@ -568,7 +578,7 @@ def _checked_demo_trace(figure: str):
             small_test(name=f"m{i}", dlntdr=(3.0 + 0.1 * i, 3.0 + 0.1 * i))
             for i in range(4)
         ]
-        XgyroEnsemble(world, inputs).step()
+        XgyroEnsemble(world, inputs, overlap=overlap).step()
     checker.assert_quiescent()
     return world.trace
 
@@ -580,7 +590,7 @@ def cmd_check_trace(args: argparse.Namespace) -> int:
     jobs = []  # (source name, events, figure check or None)
     for figure in ("figure1", "figure3"):
         if getattr(args, figure):
-            trace = _checked_demo_trace(figure)
+            trace = _checked_demo_trace(figure, overlap=args.overlap)
             if args.save:
                 out = Path(args.save) / f"{figure}.trace.json"
                 out.parent.mkdir(parents=True, exist_ok=True)
@@ -630,6 +640,7 @@ def cmd_oracle(args: argparse.Namespace) -> int:
         rtol=args.rtol,
         atol=args.atol,
         enforce_memory=args.enforce_memory,
+        overlap=args.overlap,
     )
     print(render_equivalence_report(report))
     if args.json:
@@ -672,7 +683,7 @@ def _traced_run(args: argparse.Namespace):
         ]
     world = VirtualWorld(machine, enforce_memory=args.enforce_memory)
     tele.install(world)
-    ensemble = XgyroEnsemble(world, inputs)
+    ensemble = XgyroEnsemble(world, inputs, overlap=args.overlap)
     for _ in range(args.reports):
         ensemble.run_report_interval()
     print(
@@ -766,6 +777,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--reports", type=int, default=1)
     p.add_argument("--enforce-memory", action="store_true")
     p.add_argument("--timing-out", default=None)
+    p.add_argument(
+        "--overlap",
+        choices=list(OVERLAP_MODES),
+        default="off",
+        help="step schedule: blocking ('off', default) or pipelined "
+        "nonblocking collectives ('str', 'coll', 'full') — bit-identical "
+        "physics, overlapped communication cost",
+    )
     p.add_argument(
         "--faults",
         default=None,
@@ -1020,6 +1039,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the deterministic blocking-semantics replay",
     )
     p.add_argument(
+        "--overlap",
+        choices=list(OVERLAP_MODES),
+        default="off",
+        help="run the built-in figure demos under this step schedule "
+        "(nonblocking pipelines checked like any other run)",
+    )
+    p.add_argument(
         "--save",
         default=None,
         metavar="DIR",
@@ -1045,6 +1071,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rtol", type=float, default=None)
     p.add_argument("--atol", type=float, default=None)
     p.add_argument("--enforce-memory", action="store_true")
+    p.add_argument(
+        "--overlap",
+        choices=list(OVERLAP_MODES),
+        default="off",
+        help="run the ensemble side under this overlap schedule (the "
+        "baselines stay blocking; 'member' mode still demands bit-exact)",
+    )
     p.add_argument("--json", default=None, help="also write the report as JSON")
     p.set_defaults(func=cmd_oracle)
 
@@ -1064,6 +1097,12 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--reports", type=int, default=1)
         p.add_argument("--enforce-memory", action="store_true")
+        p.add_argument(
+            "--overlap",
+            choices=list(OVERLAP_MODES),
+            default="off",
+            help="step schedule for the traced run (default blocking)",
+        )
 
     p = sub.add_parser(
         "trace",

@@ -18,11 +18,21 @@ outside any span).  Idle is surfaced, never smeared: the extracted
 segments partition ``[t0, makespan]`` exactly, so the per-category
 attribution sums to the makespan by construction — the invariant the
 property tests pin down.
+
+Nonblocking collectives (spans with ``nonblocking=True``) coexist in
+time with compute spans on the same ranks.  Where a path segment's
+interval is covered by *both* a compute span and a nonblocking
+collective's cost window on the chain rank, that intersection is
+re-labeled :data:`OVERLAPPED` (``"coll_overlapped"``): the time was
+simultaneously computation and hidden communication, and smearing it
+into either plain category would misstate the other.  The re-labeling
+splits segments in place — each instant of ``[t0, makespan]`` still
+belongs to exactly one segment, so nothing is double-counted.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
@@ -30,6 +40,10 @@ from repro.obs.span import LEAF_KINDS, Span
 
 #: Category label for unattributed chain time.
 IDLE = "idle"
+
+#: Category label for path time that is simultaneously compute and
+#: hidden (nonblocking) communication on the chain rank.
+OVERLAPPED = "coll_overlapped"
 
 _EPS = 1e-12
 
@@ -103,6 +117,58 @@ class CriticalPath:
         return tuple(s.span_id for s in self.segments if s.span_id is not None)
 
 
+def _windows_by_rank(
+    leaves: Sequence[Span], want_nonblocking: bool
+) -> Dict[int, List[Tuple[float, float]]]:
+    """Per rank: intervals of nonblocking-collective cost windows
+    (``want_nonblocking``) or of compute spans (otherwise)."""
+    wins: Dict[int, List[Tuple[float, float]]] = {}
+    for s in leaves:
+        if want_nonblocking:
+            if s.kind != "collective" or not s.attrs.get("nonblocking"):
+                continue
+        elif s.kind != "compute":
+            continue
+        for r in s.ranks:
+            wins.setdefault(r, []).append((s.t_start, s.t_end))
+    return wins
+
+
+def _split_overlapped(
+    seg: CriticalSegment, windows: Sequence[Tuple[float, float]]
+) -> List[CriticalSegment]:
+    """Split ``seg`` where ``windows`` cover it; intersections become
+    :data:`OVERLAPPED`.  The pieces tile ``[seg.t_start, seg.t_end]``
+    exactly — endpoints are carried through, never re-derived."""
+    clipped = []
+    for lo, hi in windows:
+        lo, hi = max(lo, seg.t_start), min(hi, seg.t_end)
+        if hi > lo + _EPS:
+            clipped.append((lo, hi))
+    if not clipped:
+        return [seg]
+    clipped.sort()
+    merged = [clipped[0]]
+    for lo, hi in clipped[1:]:
+        if lo <= merged[-1][1] + _EPS:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+        else:
+            merged.append((lo, hi))
+    out: List[CriticalSegment] = []
+    t = seg.t_start
+    for lo, hi in merged:
+        if lo > t + _EPS:
+            out.append(replace(seg, t_start=t, t_end=lo))
+            t = lo
+        out.append(replace(seg, t_start=t, t_end=hi, category=OVERLAPPED))
+        t = hi
+    if seg.t_end > t + _EPS:
+        out.append(replace(seg, t_start=t, t_end=seg.t_end))
+    else:
+        out[-1] = replace(out[-1], t_end=seg.t_end)
+    return out
+
+
 def _chain_rank(span: Span) -> Optional[int]:
     """The rank whose clock pinned this span's placement."""
     last = span.attrs.get("last_arrival")
@@ -126,6 +192,11 @@ def extract_critical_path(
     and partition ``[t0, makespan]``, so their durations sum to the
     makespan exactly (up to float telescoping) — and removing any span
     *not* on the path leaves the extraction unchanged.
+
+    Path intervals covered by both a compute span and a nonblocking
+    collective's cost window on the chain rank are re-labeled
+    :data:`OVERLAPPED` (see module docstring); the partition invariant
+    is preserved through the split.
     """
     leaves = [s for s in spans if s.kind in leaf_kinds and s.duration > 0.0]
     if not leaves:
@@ -219,6 +290,29 @@ def extract_critical_path(
             break
         current = nxt
     segments.reverse()
+    nb_ids = {
+        s.span_id
+        for s in leaves
+        if s.kind == "collective" and s.attrs.get("nonblocking")
+    }
+    if nb_ids:
+        coll_wins = _windows_by_rank(leaves, want_nonblocking=True)
+        comp_wins = _windows_by_rank(leaves, want_nonblocking=False)
+        split: List[CriticalSegment] = []
+        for seg in segments:
+            if seg.span_id is None or seg.rank is None:
+                split.append(seg)
+            elif seg.kind == "compute":
+                split.extend(
+                    _split_overlapped(seg, coll_wins.get(seg.rank, ()))
+                )
+            elif seg.span_id in nb_ids:
+                split.extend(
+                    _split_overlapped(seg, comp_wins.get(seg.rank, ()))
+                )
+            else:
+                split.append(seg)
+        segments = split
     return CriticalPath(segments=segments, t0=t0, makespan=makespan)
 
 

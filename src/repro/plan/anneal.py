@@ -80,8 +80,15 @@ def neighbor(
     if move < 0.9:
         algos = [a.value for a in AllreduceAlgorithm if a.value != choice.allreduce]
         return replace(choice, allreduce=algos[rng.randrange(len(algos))])
-    algos = [a.value for a in AlltoallAlgorithm if a.value != choice.alltoall]
-    return replace(choice, alltoall=algos[rng.randrange(len(algos))])
+    if move < 0.95:
+        algos = [a.value for a in AlltoallAlgorithm if a.value != choice.alltoall]
+        return replace(choice, alltoall=algos[rng.randrange(len(algos))])
+    # step the overlap schedule (any mode, including the single-phase
+    # ones the base enumeration skips)
+    from repro.cgyro.solver import OVERLAP_MODES
+
+    modes = [m for m in OVERLAP_MODES if m != choice.overlap]
+    return replace(choice, overlap=modes[rng.randrange(len(modes))])
 
 
 def _balanced(group: int, nc: int) -> List[int]:

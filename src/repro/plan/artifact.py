@@ -36,7 +36,11 @@ class PlanChoice:
     ``nodes`` are *physical* node ids on the planning machine, in the
     order member rank blocks are laid onto them (block placement).
     ``nc_counts`` is the per-coll-comm-rank shard-size vector (length
-    ``k * P1``) or ``None`` for the balanced split.
+    ``k * P1``) or ``None`` for the balanced split.  ``overlap`` is the
+    step schedule (one of :data:`~repro.cgyro.solver.OVERLAP_MODES`):
+    ``"off"`` is the blocking schedule, the pipelined modes hide
+    collective cost under compute — physics-neutral either way, so the
+    autotuner is free to search over it.
     """
 
     k: int
@@ -46,6 +50,7 @@ class PlanChoice:
     allreduce: str = "ring"
     alltoall: str = "pairwise"
     nc_counts: Optional[Tuple[int, ...]] = None
+    overlap: str = "off"
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -62,6 +67,12 @@ class PlanChoice:
         if self.ranks_per_member < 1:
             raise PlanError(
                 f"ranks_per_member must be >= 1, got {self.ranks_per_member}"
+            )
+        from repro.cgyro.solver import OVERLAP_MODES
+
+        if self.overlap not in OVERLAP_MODES:
+            raise PlanError(
+                f"overlap must be one of {OVERLAP_MODES}, got {self.overlap!r}"
             )
         if self.nc_counts is not None:
             object.__setattr__(
@@ -91,6 +102,7 @@ class PlanChoice:
             "allreduce": self.allreduce,
             "alltoall": self.alltoall,
             "nc_counts": None if self.nc_counts is None else list(self.nc_counts),
+            "overlap": self.overlap,
         }
 
     @staticmethod
@@ -106,6 +118,7 @@ class PlanChoice:
                 allreduce=str(d.get("allreduce", "ring")),
                 alltoall=str(d.get("alltoall", "pairwise")),
                 nc_counts=None if counts is None else tuple(int(c) for c in counts),
+                overlap=str(d.get("overlap", "off")),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise PlanError(f"malformed plan choice: {exc}") from exc

@@ -326,7 +326,10 @@ def run_choice(
     if telemetry is not None:
         telemetry.install(world)
     ensemble = XgyroEnsemble(
-        world, member_inputs(inp, choice.k), nc_counts=choice.nc_counts
+        world,
+        member_inputs(inp, choice.k),
+        nc_counts=choice.nc_counts,
+        overlap=choice.overlap,
     )
     ensemble.run_report_interval()
     return world.elapsed()
@@ -373,6 +376,7 @@ def oracle_plan(
         baseline="member",
         n_ranks=choice.n_ranks,
         nc_counts=choice.nc_counts,
+        overlap=choice.overlap,
     )
 
 
@@ -390,7 +394,8 @@ def render_plan_report(
         f"{plan.n_evaluated} candidate(s) evaluated)",
         f"  choice: k={c.k} on {c.n_nodes} node(s) "
         f"{list(c.nodes)} x {c.ranks_per_member} ranks/member, "
-        f"allreduce={c.allreduce}, alltoall={c.alltoall}",
+        f"allreduce={c.allreduce}, alltoall={c.alltoall}, "
+        f"overlap={c.overlap}",
     ]
     if c.nc_counts is None:
         lines.append("  nc split: balanced")

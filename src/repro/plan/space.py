@@ -10,7 +10,10 @@ spans
 - the collective algorithm pair (allreduce x alltoall);
 - the nc split of the shared tensor: balanced, or speed-proportional
   (the deliberately *unbalanced* split of Jackson/Hein/Roach applied to
-  per-node speed asymmetry).
+  per-node speed asymmetry);
+- the step schedule: blocking (``overlap="off"``) vs the pipelined
+  nonblocking schedules (:data:`~repro.plan.space.OVERLAP_OPTIONS`)
+  that hide collective cost under compute.
 
 Feasibility mirrors :meth:`repro.campaign.packer.CampaignPacker.shape_for`
 exactly — the same decomposition choice, the same per-rank memory
@@ -39,6 +42,13 @@ ALGORITHM_PAIRS: Tuple[Tuple[str, str], ...] = tuple(
     for ar in AllreduceAlgorithm
     for a2a in AlltoallAlgorithm
 )
+
+#: Overlap schedules enumerated per candidate: blocking first (the
+#: stable tie-break — a schedule only wins by being strictly faster),
+#: then the everything-pipelined mode.  The single-phase modes
+#: ("str"/"coll") are dominated by "full" in modeled cost, so the base
+#: enumeration skips them; the annealer may still step through them.
+OVERLAP_OPTIONS: Tuple[str, ...] = ("off", "full")
 
 
 def choose_decomp(dims, n_ranks: int) -> Optional[Decomposition]:
@@ -204,11 +214,14 @@ def enumerate_candidates(
     *,
     available_nodes: Optional[Sequence[int]] = None,
     algorithms: Sequence[Tuple[str, str]] = ALGORITHM_PAIRS,
+    overlaps: Sequence[str] = OVERLAP_OPTIONS,
 ) -> Iterator[PlanChoice]:
     """Yield every base candidate, in deterministic order.
 
     Larger k first (the paper's maximal-sharing preference makes the
-    expected winner an early, stable tie-break).
+    expected winner an early, stable tie-break); blocking schedule
+    before overlapped, so an overlapped plan only wins by being
+    strictly faster.
     """
     for k in range(n_members, 0, -1):
         for n_nodes, decomp in feasible_geometries(
@@ -219,12 +232,14 @@ def enumerate_candidates(
             ):
                 for counts in nc_count_options(machine, nodes, decomp, k):
                     for ar, a2a in algorithms:
-                        yield PlanChoice(
-                            k=k,
-                            n_nodes=n_nodes,
-                            nodes=nodes,
-                            ranks_per_member=decomp.n_proc,
-                            allreduce=ar,
-                            alltoall=a2a,
-                            nc_counts=counts,
-                        )
+                        for overlap in overlaps:
+                            yield PlanChoice(
+                                k=k,
+                                n_nodes=n_nodes,
+                                nodes=nodes,
+                                ranks_per_member=decomp.n_proc,
+                                allreduce=ar,
+                                alltoall=a2a,
+                                nc_counts=counts,
+                                overlap=overlap,
+                            )

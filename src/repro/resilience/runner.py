@@ -143,6 +143,13 @@ class ResilientXgyroRunner:
         world before the ensemble is built; checkpoints, recoveries and
         migrations then appear as spans in the same tree as the
         collectives they interleave with.
+    overlap:
+        Forwarded to :class:`XgyroEnsemble` — one of
+        :data:`~repro.cgyro.solver.OVERLAP_MODES`.  A rank that dies
+        while a nonblocking collective is in flight is detected at the
+        matching ``wait()``, which raises the same
+        :class:`~repro.errors.RankFailure` a blocking collective would
+        — never a stuck wait — so recovery composes with overlap.
     """
 
     def __init__(
@@ -162,6 +169,7 @@ class ResilientXgyroRunner:
         migrate_stragglers: bool = True,
         telemetry=None,
         nc_counts: "Sequence[int] | None" = None,
+        overlap: str = "off",
     ) -> None:
         if checkpoint_interval < 1:
             raise ResilienceError(
@@ -185,6 +193,7 @@ class ResilientXgyroRunner:
             ranks=ranks,
             charge_cmat_build=charge_cmat_build,
             nc_counts=nc_counts,
+            overlap=overlap,
         )
         self.n_members_initial = self.ensemble.n_members
         self.member_labels_initial = tuple(
@@ -237,6 +246,11 @@ class ResilientXgyroRunner:
             try:
                 self.ensemble.step()
             except RankFailure as failure:
+                checker = self.world.checker
+                if checker is not None and hasattr(checker, "abandon_inflight"):
+                    # requests stranded by the failure can never complete;
+                    # the replay must start from clean protocol state
+                    checker.abandon_inflight()
                 with self.world.span(
                     f"recovery.s{self.ensemble.step_count}",
                     "recovery",

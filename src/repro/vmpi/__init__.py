@@ -22,6 +22,10 @@ Public surface:
 - :class:`VirtualWorld` — ranks, clocks, memory ledgers, trace log.
 - :class:`Communicator` — ordered rank group with collective methods
   and MPI-style ``split``.
+- :class:`Request` / :func:`waitall` — handles for nonblocking
+  collectives (``iallreduce`` / ``ialltoall``); a posted collective's
+  cost accrues concurrently with subsequent compute charges on the
+  same ranks, and ``wait()`` pays only the uncovered remainder.
 - :class:`ReduceOp`, algorithm enums, and the cost model.
 """
 
@@ -38,15 +42,18 @@ from repro.vmpi.algorithms import (
     reduce_cost,
     scatter_cost,
 )
-from repro.vmpi.communicator import Communicator
+from repro.vmpi.communicator import Communicator, Request, waitall
 from repro.vmpi.cost import CommCostModel
 from repro.vmpi.datatypes import ReduceOp
 from repro.vmpi.tracer import CollectiveEvent, TraceLog
-from repro.vmpi.world import VirtualWorld
+from repro.vmpi.world import PendingCollective, VirtualWorld
 
 __all__ = [
     "VirtualWorld",
     "Communicator",
+    "Request",
+    "PendingCollective",
+    "waitall",
     "ReduceOp",
     "AllreduceAlgorithm",
     "AlltoallAlgorithm",

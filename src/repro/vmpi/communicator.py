@@ -27,10 +27,83 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Uni
 
 import numpy as np
 
-from repro.errors import CollectiveError, CommunicatorError
+from repro.errors import CollectiveError, CommunicatorError, ProtocolError
 from repro.vmpi.datatypes import ReduceOp
 
 ArrayLike = Union[np.ndarray, float, int, complex]
+
+
+class Request:
+    """Handle for a posted nonblocking collective.
+
+    Returned by :meth:`Communicator.iallreduce` /
+    :meth:`Communicator.ialltoall`.  Exactly one completion is allowed:
+    :meth:`wait` (or a :meth:`test` that returns True) charges the
+    uncovered remainder of the modeled cost and delivers the payload;
+    a second :meth:`wait` raises :class:`~repro.errors.ProtocolError`
+    (code ``double-wait``) even without a checker installed.
+    """
+
+    __slots__ = ("comm", "kind", "_pending", "_payload", "_ck_req", "result", "_done")
+
+    def __init__(self, comm: "Communicator", kind: str, pending, payload, ck_req) -> None:
+        self.comm = comm
+        self.kind = kind
+        self._pending = pending
+        self._payload = payload  # zero-arg callable producing the result
+        self._ck_req = ck_req
+        self.result = None
+        self._done = False
+
+    @property
+    def done(self) -> bool:
+        """Whether the request has been completed (waited or tested True)."""
+        return self._done
+
+    def _complete(self):
+        ck = self.comm.world.checker
+        if ck is not None and self._ck_req is not None:
+            ck.lockstep_wait(self._ck_req)
+        self.comm.world.complete_collective(self._pending)
+        self._done = True
+        self.result = self._payload()
+        return self.result
+
+    def wait(self):
+        """Complete the collective; returns the payload.
+
+        Charges each participant the part of the cost window not
+        already covered by compute charged since the post.
+        """
+        if self._done:
+            raise ProtocolError(
+                f"wait() called twice on nonblocking {self.kind} "
+                f"on {self.comm.label!r}",
+                ranks=self._pending.ranks,
+                comm_labels=(self.comm.label,),
+                code="double-wait",
+            )
+        return self._complete()
+
+    def test(self) -> bool:
+        """Nonblocking completion probe.
+
+        Returns True — completing the request and storing the payload
+        in :attr:`result` — when the cost window has already fully
+        elapsed on every participant's clock; returns False (charging
+        nothing, moving no clock) otherwise.  Idempotent once True.
+        """
+        if self._done:
+            return True
+        if not self.comm.world.collective_done(self._pending):
+            return False
+        self._complete()
+        return True
+
+
+def waitall(requests: Sequence["Request"]) -> List[object]:
+    """Wait on every request, in order; returns their payloads."""
+    return [req.wait() for req in requests]
 
 
 class Communicator:
@@ -201,6 +274,58 @@ class Communicator:
         )
         return {r: result.copy() for r in self._ranks}
 
+    def iallreduce(
+        self,
+        values: Mapping[int, ArrayLike],
+        op: ReduceOp = ReduceOp.SUM,
+        *,
+        algorithm: Optional[object] = None,
+    ) -> Request:
+        """Nonblocking :meth:`allreduce`; returns a :class:`Request`.
+
+        The reduction is combined at post time (send buffers must not
+        be mutated between post and wait, as in MPI); the modeled cost
+        accrues concurrently with compute charged on the same ranks,
+        and ``wait()`` returns the per-rank result dict.
+        """
+        self._check_participants(values, "iallreduce")
+        arrays = [np.asarray(values[r]) for r in self._ranks]
+        shape = arrays[0].shape
+        for a, r in zip(arrays, self._ranks):
+            if a.shape != shape:
+                raise CollectiveError(
+                    f"iallreduce on {self.label!r}: rank {r} has shape "
+                    f"{a.shape}, expected {shape}"
+                )
+        ck = self.world.checker
+        ck_req = None
+        if ck is not None:
+            ck_req = ck.lockstep_post(
+                self,
+                "allreduce",
+                {r: a.nbytes for r, a in zip(self._ranks, arrays)},
+                op=getattr(op, "name", str(op)),
+                dtypes={r: str(a.dtype) for r, a in zip(self._ranks, arrays)},
+            )
+        result = op.combine(arrays)
+        nbytes = max(a.nbytes for a in arrays)
+        pending = self.world.post_collective(
+            "allreduce",
+            self._ranks,
+            nbytes,
+            comm_label=self.label,
+            algorithm=algorithm
+            if algorithm is not None
+            else self.world.cost_model.select_algorithm("allreduce", nbytes),
+        )
+        return Request(
+            self,
+            "allreduce",
+            pending,
+            lambda: {r: result.copy() for r in self._ranks},
+            ck_req,
+        )
+
     def alltoall(
         self,
         send: Mapping[int, Sequence[np.ndarray]],
@@ -251,6 +376,56 @@ class Communicator:
             else self.world.cost_model.select_algorithm("alltoall", nbytes),
         )
         return recv
+
+    def ialltoall(
+        self,
+        send: Mapping[int, Sequence[np.ndarray]],
+        *,
+        algorithm: Optional[object] = None,
+    ) -> Request:
+        """Nonblocking :meth:`alltoall`; returns a :class:`Request`.
+
+        Blocks move by reference exactly as in the blocking form —
+        they are *moved at post* (resubmitting one is a checker
+        violation); ``wait()`` delivers the recv rows.
+        """
+        self._check_participants(send, "ialltoall")
+        rows: List[Sequence[np.ndarray]] = []
+        for r in self._ranks:
+            row = send[r]
+            if len(row) != self.size:
+                raise CollectiveError(
+                    f"ialltoall on {self.label!r}: rank {r} provided "
+                    f"{len(row)} blocks, expected {self.size}"
+                )
+            rows.append(row)
+        ck = self.world.checker
+        ck_req = None
+        if ck is not None:
+            ck.check_alltoall_blocks(self, rows)
+            ck_req = ck.lockstep_post(
+                self,
+                "alltoall",
+                {
+                    r: sum(np.asarray(b).nbytes for b in row)
+                    for r, row in zip(self._ranks, rows)
+                },
+            )
+        recv: Dict[int, List[np.ndarray]] = {
+            r: [rows[i][j] for i in range(self.size)]
+            for j, r in enumerate(self._ranks)
+        }
+        nbytes = max(sum(np.asarray(b).nbytes for b in row) for row in rows)
+        pending = self.world.post_collective(
+            "alltoall",
+            self._ranks,
+            nbytes,
+            comm_label=self.label,
+            algorithm=algorithm
+            if algorithm is not None
+            else self.world.cost_model.select_algorithm("alltoall", nbytes),
+        )
+        return Request(self, "alltoall", pending, lambda: recv, ck_req)
 
     def allgather(self, values: Mapping[int, ArrayLike]) -> Dict[int, List[np.ndarray]]:
         """Every member receives every member's contribution.

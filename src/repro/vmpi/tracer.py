@@ -40,6 +40,10 @@ class CollectiveEvent:
         Modeled duration.
     category:
         Phase/category label active when the call was made ("" if none).
+    nonblocking:
+        True when the collective was posted nonblocking (recorded at
+        its wait; ``t_start`` is then the post time and ``cost_s`` the
+        full modeled cost, part of which may have overlapped compute).
     """
 
     seq: int
@@ -52,6 +56,7 @@ class CollectiveEvent:
     t_start: float
     cost_s: float
     category: str
+    nonblocking: bool = False
 
     @property
     def size(self) -> int:
@@ -71,6 +76,7 @@ class CollectiveEvent:
             "t_start": self.t_start,
             "cost_s": self.cost_s,
             "category": self.category,
+            "nonblocking": self.nonblocking,
         }
 
     @staticmethod
@@ -87,6 +93,7 @@ class CollectiveEvent:
             t_start=float(d.get("t_start", 0.0)),
             cost_s=float(d.get("cost_s", 0.0)),
             category=str(d.get("category", "")),
+            nonblocking=bool(d.get("nonblocking", False)),
         )
 
 

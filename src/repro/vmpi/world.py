@@ -21,6 +21,7 @@ ranks involved.
 from __future__ import annotations
 
 import contextlib
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
@@ -31,6 +32,35 @@ from repro.machine.model import MachineModel
 from repro.machine.placement import BlockPlacement, Placement
 from repro.vmpi.cost import CommCostModel
 from repro.vmpi.tracer import CollectiveEvent, TraceLog
+
+
+@dataclass
+class PendingCollective:
+    """An in-flight nonblocking collective, between post and wait.
+
+    Created by :meth:`VirtualWorld.post_collective`; completed (clocks
+    advanced, event recorded) by :meth:`VirtualWorld.complete_collective`.
+    The cost is fixed at post time — the network makes progress
+    concurrently with whatever compute the participants charge next —
+    so at wait time each rank pays only the *uncovered* remainder of
+    the cost window ``[t_post, t_post + cost_s]``.
+    """
+
+    kind: str
+    ranks: "tuple[int, ...]"
+    nbytes: int
+    comm_label: str
+    algorithm: Optional[object]
+    category: str
+    t_post: float
+    cost_s: float
+    last_arrival: int
+    completed: bool = field(default=False)
+
+    @property
+    def t_done(self) -> float:
+        """Simulated time at which the collective's data movement ends."""
+        return self.t_post + self.cost_s
 
 
 class VirtualWorld:
@@ -90,6 +120,17 @@ class VirtualWorld:
         # straggler has low coll_wait and high imposed_wait.
         self.coll_wait_s = np.zeros(self.n_ranks, dtype=np.float64)
         self.imposed_wait_s = np.zeros(self.n_ranks, dtype=np.float64)
+        # Per-rank overlap credit: seconds of nonblocking-collective
+        # cost that were hidden under compute charged between post and
+        # wait.  Purely diagnostic — never double-counted into the
+        # per-category busy time.
+        self.overlapped_s = np.zeros(self.n_ranks, dtype=np.float64)
+        # Open nonblocking collectives, in post order.  The network
+        # engine processes one collective at a time per rank — a later
+        # post on a rank with an earlier window still open starts only
+        # when that window closes — so concurrent requests pipeline
+        # (FIFO) instead of accruing impossibly in parallel.
+        self._nb_inflight: List[PendingCollective] = []
         limit = machine.mem_per_rank_bytes if enforce_memory else None
         self.ledgers: List[MemoryLedger] = [
             MemoryLedger(limit, rank=r) for r in range(self.n_ranks)
@@ -361,6 +402,174 @@ class VirtualWorld:
             ).observe(cost)
         return cost
 
+    def post_collective(
+        self,
+        kind: str,
+        ranks: Sequence[int],
+        nbytes: int,
+        *,
+        comm_label: str,
+        algorithm: Optional[object] = None,
+        category: Optional[str] = None,
+    ) -> PendingCollective:
+        """Post a nonblocking collective; clocks do not advance.
+
+        The cost window opens at ``t_post`` — the moment the last
+        participant has posted (max clock over ``ranks``) — and the
+        modeled cost is fixed here, including any fault-injector
+        multiplier.  If an earlier nonblocking collective sharing a
+        rank is still open, the window instead opens when that one's
+        closes: in-flight requests pipeline FIFO through the network
+        engine rather than progressing in parallel on one NIC.
+        Nothing is charged, traced, or observed yet: that happens at
+        :meth:`complete_collective`, so compute charged on the same
+        ranks in between overlaps with the in-flight cost.
+        """
+        factor = 1.0
+        if self.fault_injector is not None:
+            factor = self.fault_injector.on_collective(kind, ranks, comm_label)
+        idx = np.asarray(ranks, dtype=np.intp)
+        t_post = float(self.clock[idx].max())
+        rank_set = set(int(r) for r in ranks)
+        for open_pending in self._nb_inflight:
+            if rank_set.intersection(open_pending.ranks):
+                t_post = max(t_post, open_pending.t_done)
+        last_arrival = int(idx[int(np.argmax(self.clock[idx]))])
+        cost = factor * self.cost_model.collective_cost(
+            kind, ranks, nbytes, algorithm=algorithm
+        )
+        cat = category if category is not None else self.current_category
+        pending = PendingCollective(
+            kind=kind,
+            ranks=tuple(int(r) for r in ranks),
+            nbytes=int(nbytes),
+            comm_label=comm_label,
+            algorithm=algorithm,
+            category=cat,
+            t_post=t_post,
+            cost_s=cost,
+            last_arrival=last_arrival,
+        )
+        self._nb_inflight.append(pending)
+        return pending
+
+    def abandon_inflight(self) -> None:
+        """Drop all open nonblocking cost windows.
+
+        Fault-recovery hook, mirroring
+        :meth:`~repro.check.CollectiveChecker.abandon_inflight`: after
+        a rank failure the stranded windows can never complete, and
+        must not serialize the replay's fresh posts behind them.
+        """
+        self._nb_inflight.clear()
+
+    def complete_collective(self, pending: PendingCollective) -> float:
+        """Wait on a posted collective; charge the uncovered remainder.
+
+        Per rank, with ``t_done = t_post + cost``: the time still owed
+        is ``wait = max(0, t_done - clock)``; of that, ``min(cost,
+        wait)`` is genuine communication (charged to the post-time
+        category) and the rest is entry synchronisation (booked to
+        ``coll_wait_s``, as for blocking collectives).  The hidden part
+        of the cost, ``cost - min(cost, wait)``, is credited to
+        ``overlapped_s`` — surfaced via the
+        ``vmpi_coll_overlapped_seconds_total`` metric and the span's
+        ``overlapped_s`` attribute, never added to category busy time.
+        Returns the modeled cost.  Raises :class:`VmpiError` on double
+        completion.
+        """
+        if pending.completed:
+            raise VmpiError(
+                f"nonblocking {pending.kind} on {pending.comm_label!r} "
+                "completed twice"
+            )
+        try:
+            self._nb_inflight.remove(pending)
+        except ValueError:
+            pass
+        if self.fault_injector is not None:
+            # dead-rank detection fires at the wait, like a real stalled
+            # collective; the healthy-path factor was applied at post
+            self.fault_injector.on_collective(
+                pending.kind, pending.ranks, pending.comm_label
+            )
+        pending.completed = True
+        idx = np.asarray(pending.ranks, dtype=np.intp)
+        t_done = pending.t_done
+        cost = pending.cost_s
+        waits = np.maximum(0.0, t_done - self.clock[idx])
+        comm = np.minimum(cost, waits)
+        sync = waits - comm
+        overlapped = cost - comm
+        self.coll_wait_s[idx] += sync
+        self.imposed_wait_s[pending.last_arrival] += float(sync.sum())
+        self.overlapped_s[idx] += overlapped
+        self.clock[idx] = np.maximum(self.clock[idx], t_done)
+        cat = pending.category
+        for r, c in zip(pending.ranks, comm):
+            self._add_category_time(int(r), cat, float(c))
+        self._seq += 1
+        event = CollectiveEvent(
+            seq=self._seq,
+            kind=pending.kind,
+            comm_label=pending.comm_label,
+            ranks=pending.ranks,
+            n_nodes=self.cost_model.n_nodes_of(pending.ranks),
+            nbytes=pending.nbytes,
+            algorithm=getattr(pending.algorithm, "value", "")
+            if pending.algorithm
+            else "",
+            t_start=pending.t_post,
+            cost_s=cost,
+            category=cat,
+            nonblocking=True,
+        )
+        self.trace.record(event)
+        if self.checker is not None:
+            self.checker.observe_event(event)
+        if self.tracer is not None:
+            self.tracer.record(
+                f"{pending.kind} [{pending.comm_label}]",
+                "collective",
+                pending.t_post,
+                cost,
+                category=cat,
+                ranks=pending.ranks,
+                nbytes=pending.nbytes,
+                comm=pending.comm_label,
+                last_arrival=pending.last_arrival,
+                nonblocking=True,
+                overlapped_s=float(overlapped.sum()),
+            )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "vmpi_collective_bytes_total",
+                kind=pending.kind,
+                comm=pending.comm_label,
+            ).inc(float(pending.nbytes))
+            self.metrics.counter(
+                "vmpi_collectives_total", kind=pending.kind
+            ).inc()
+            self.metrics.counter(
+                "vmpi_coll_wait_seconds_total", comm=pending.comm_label
+            ).inc(float(sync.sum()))
+            self.metrics.counter(
+                "vmpi_imposed_wait_seconds_total", rank=pending.last_arrival
+            ).inc(float(sync.sum()))
+            self.metrics.counter(
+                "vmpi_coll_overlapped_seconds_total", comm=pending.comm_label
+            ).inc(float(overlapped.sum()))
+            self.metrics.histogram(
+                "vmpi_collective_cost_seconds", kind=pending.kind
+            ).observe(cost)
+        return cost
+
+    def collective_done(self, pending: PendingCollective) -> bool:
+        """Whether the cost window of ``pending`` has fully elapsed on
+        every participant's clock (a test that never advances time)."""
+        idx = np.asarray(pending.ranks, dtype=np.intp)
+        return bool(self.clock[idx].min() >= pending.t_done)
+
     def sync_charge(
         self,
         ranks: Sequence[int],
@@ -449,5 +658,7 @@ class VirtualWorld:
         self.clock[:] = 0.0
         self.coll_wait_s[:] = 0.0
         self.imposed_wait_s[:] = 0.0
+        self.overlapped_s[:] = 0.0
+        self._nb_inflight.clear()
         for times in self._category_time.values():
             times.clear()

@@ -63,6 +63,13 @@ class XgyroEnsemble:
         shared tensor, passed through to
         :class:`~repro.xgyro.shared_cmat.SharedCmatScheme`; ``None``
         keeps the balanced split.  Physics-neutral either way.
+    overlap:
+        One of :data:`~repro.cgyro.solver.OVERLAP_MODES`, forwarded to
+        every member (``str``: pipelined field-solve AllReduces) and to
+        the shared-cmat scheme (``coll``: pipelined ensemble
+        AllToAlls); ``full`` enables both, ``off`` (default) is
+        bit-identical to the historical blocking schedule in both
+        physics *and* modeled cost.
     """
 
     def __init__(
@@ -73,22 +80,29 @@ class XgyroEnsemble:
         ranks: Optional[Sequence[int]] = None,
         charge_cmat_build: bool = True,
         nc_counts: Optional[Sequence[int]] = None,
+        overlap: str = "off",
     ) -> None:
         if len(inputs) == 0:
             raise EnsembleValidationError("an ensemble needs at least one member")
         self.world = world
         self.inputs = tuple(inputs)
+        self.overlap = overlap
         job_ranks = tuple(ranks) if ranks is not None else tuple(range(world.n_ranks))
         blocks = partition_ranks(job_ranks, len(inputs))
         self.scheme = SharedCmatScheme(
-            charge_build=charge_cmat_build, nc_counts=nc_counts
+            charge_build=charge_cmat_build, nc_counts=nc_counts, overlap=overlap
         )
         self.members: List[CgyroSimulation] = []
         for m, (inp, block) in enumerate(zip(inputs, blocks)):
             label = f"xgyro.m{m}.{inp.name}"
             self.members.append(
                 CgyroSimulation(
-                    world, block, inp, collision_scheme=self.scheme, label=label
+                    world,
+                    block,
+                    inp,
+                    collision_scheme=self.scheme,
+                    label=label,
+                    overlap=overlap,
                 )
             )
         self.scheme.finalize()

@@ -112,6 +112,15 @@ class SharedCmatScheme(CollisionScheme):
         so *unbalanced* counts (e.g. speed-proportional ones chosen by
         the :mod:`repro.plan` autotuner on a heterogeneous machine) are
         physics-neutral: results stay bit-identical.
+    overlap:
+        One of :data:`~repro.cgyro.solver.OVERLAP_MODES`.  With
+        ``"coll"`` or ``"full"`` the coll phase pipelines its ensemble
+        AllToAlls: each exchange is split along the configuration axis
+        and posted nonblocking, so all but the head and tail
+        sub-exchanges accrue under the propagator applies.  Physics is
+        bit-identical
+        (the propagator is applied per (ic, n) block); only the modeled
+        schedule changes.
     """
 
     def __init__(
@@ -119,7 +128,15 @@ class SharedCmatScheme(CollisionScheme):
         *,
         charge_build: bool = True,
         nc_counts: "Sequence[int] | None" = None,
+        overlap: str = "off",
     ) -> None:
+        from repro.cgyro.solver import OVERLAP_MODES
+
+        if overlap not in OVERLAP_MODES:
+            raise EnsembleValidationError(
+                f"overlap must be one of {OVERLAP_MODES}, got {overlap!r}"
+            )
+        self.overlap = overlap
         self.members: List["CgyroSimulation"] = []
         self.charge_build = charge_build
         self.nc_counts = None if nc_counts is None else tuple(int(c) for c in nc_counts)
@@ -350,6 +367,9 @@ class SharedCmatScheme(CollisionScheme):
         """Advance every member's coll phase through the shared tensor."""
         if not self._finalized:
             raise EnsembleValidationError("finalize() the ensemble first")
+        if self.overlap in ("coll", "full"):
+            self._collision_step_overlapped()
+            return
         first = self.members[0]
         world = first.world
         decomp = first.decomp
@@ -408,6 +428,135 @@ class SharedCmatScheme(CollisionScheme):
                     for j, idx in enumerate(indexers):
                         out[idx, :, :] = pieces[j]
                     m.h[r] = out
+
+    def _collision_step_overlapped(self) -> None:
+        """Coll phase with nonblocking, configuration-chunked AllToAlls.
+
+        Each group's forward and inverse exchanges are split into up
+        to ``T = 4`` sub-exchanges along the *configuration* axis —
+        every destination shard's owned ic rows are chunked, so every
+        rank sends ``1/T`` of its block per sub-exchange.  All forward
+        sub-exchanges are posted up front (nonblocking collectives on
+        one communicator pipeline FIFO through the network engine);
+        each chunk's apply then overlaps the remaining forward windows
+        and, once posted, the earlier inverse windows.  Only the head
+        (first forward) and tail (last inverse) sub-exchanges are
+        exposed; every other window accrues under ``coll_compute``.
+        The propagator acts independently per (ic, toroidal-mode)
+        block, so the chunked result is bit-identical to the blocking
+        schedule.
+        """
+        first = self.members[0]
+        world = first.world
+        decomp = first.decomp
+        dims = first.dims
+        k = len(self.members)
+        P1 = decomp.n_proc_1
+        nt_loc = decomp.nt_loc
+
+        def sub_index(ics: Tuple[int, ...]) -> Union[slice, List[int]]:
+            if ics and ics[-1] - ics[0] + 1 == len(ics):
+                return slice(ics[0], ics[-1] + 1)
+            return list(ics)
+
+        for i2, comm in self._coll_comm.items():
+            shards = self._shards[i2]
+            T = min(4, min(s.n_ic for s in shards))
+            # per shard: chunk bounds in shard-local row order, plus the
+            # matching global-ic indexer per chunk
+            bounds = [
+                [(t * s.n_ic // T, (t + 1) * s.n_ic // T) for s in shards]
+                for t in range(T)
+            ]
+            chunk_idx = [
+                [
+                    sub_index(s.ic_indices[o0:o1])
+                    for s, (o0, o1) in zip(shards, bounds[t])
+                ]
+                for t in range(T)
+            ]
+            # destination STR blocks, filled chunk by chunk
+            outs: Dict[int, np.ndarray] = {}
+            for m in self.members:
+                for lr in decomp.group_ranks(i2):
+                    outs[m.ranks[lr]] = np.empty(
+                        (dims.nc, decomp.nv_loc, nt_loc), dtype=np.complex128
+                    )
+
+            def post_fwd(t):
+                send: Dict[int, List[np.ndarray]] = {}
+                for m in self.members:
+                    for lr in decomp.group_ranks(i2):
+                        r = m.ranks[lr]
+                        send[r] = [m.h[r][idx, :, :] for idx in chunk_idx[t]]
+                with world.phase("coll_comm"):
+                    return comm.ialltoall(send)
+
+            def apply_chunk(t, recv):
+                applied_t: Dict[int, List[np.ndarray]] = {}
+                for j, r in enumerate(comm.ranks):
+                    o0, o1 = bounds[t][j]
+                    blocks = recv[r]
+                    per_member: List[np.ndarray] = []
+                    for mi in range(k):
+                        lo = mi * P1
+                        member_block = np.concatenate(
+                            blocks[lo : lo + P1], axis=1
+                        )
+                        per_member.append(
+                            apply_propagator(
+                                self._cmat[r][o0:o1], member_block
+                            )
+                        )
+                    applied_t[r] = per_member
+                world.charge_compute(
+                    comm.ranks,
+                    flops={
+                        s.world_rank: k
+                        * apply_flops(o1 - o0, nt_loc, dims.nv)
+                        for s, (o0, o1) in zip(shards, bounds[t])
+                    },
+                    category="coll_compute",
+                )
+                return applied_t
+
+            def post_back(t, applied_t):
+                send: Dict[int, List[np.ndarray]] = {}
+                for r in comm.ranks:
+                    row: List[np.ndarray] = []
+                    for mi in range(k):
+                        updated = applied_t[r][mi]
+                        for i1 in range(P1):
+                            row.append(updated[:, decomp.nv_slice(i1), :])
+                    send[r] = row
+                with world.phase("coll_comm"):
+                    return comm.ialltoall(send)
+
+            def scatter_back(t, back):
+                for m in self.members:
+                    for i1 in range(P1):
+                        r = m.ranks[decomp.local_rank_of(i1, i2)]
+                        pieces = back[r]
+                        for j, idx in enumerate(chunk_idx[t]):
+                            outs[r][idx, :, :] = pieces[j]
+
+            # every forward sub-exchange is posted before any apply:
+            # the windows queue FIFO on the communicator, so only the
+            # head's window is exposed — the rest drain under the
+            # applies.  Each chunk's inverse posts as soon as its apply
+            # finishes and is waited only at scatter time, so all but
+            # the tail inverse window hide under later applies.
+            fwd_reqs = [post_fwd(t) for t in range(T)]
+            back_reqs = []
+            for t in range(T):
+                recv = fwd_reqs[t].wait()
+                back_reqs.append(post_back(t, apply_chunk(t, recv)))
+            for t in range(T):
+                scatter_back(t, back_reqs[t].wait())
+            for m in self.members:
+                for lr in decomp.group_ranks(i2):
+                    r = m.ranks[lr]
+                    m.h[r] = outs[r]
 
     # ------------------------------------------------------------------
     # shrink-and-recover

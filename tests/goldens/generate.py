@@ -9,6 +9,14 @@ The goldens pin the nl03c-scale differential-oracle result in
 (order-identical reduction); the JSON must therefore be byte-stable
 across platforms.  ``tests/test_check_oracle.py`` asserts that a fresh
 oracle run reproduces these bytes exactly.
+
+The overlapped cases run the ensemble side under the fully pipelined
+nonblocking schedule (``overlap="full"``) against *blocking* member
+baselines — still in exact ``member`` mode, because the pipelined
+schedules are arithmetic-order-identical to blocking (aggregated
+AllReduces combine elementwise; the chunked propagator acts per
+configuration point).  A nonzero ``max_abs`` here means the overlap
+machinery changed physics.
 """
 
 from __future__ import annotations
@@ -41,21 +49,28 @@ def nl03c_machine(k: int):
     )
 
 
+#: golden file -> (k, overlap mode of the ensemble side)
 CASES = {
-    "oracle_nl03c_k2.json": 2,
-    "oracle_nl03c_k4.json": 4,
+    "oracle_nl03c_k2.json": (2, "off"),
+    "oracle_nl03c_k4.json": (4, "off"),
+    "oracle_nl03c_k2_overlap.json": (2, "full"),
+    "oracle_nl03c_k4_overlap.json": (4, "full"),
 }
 
 
 def main() -> int:
-    for fname, k in CASES.items():
+    for fname, (k, overlap) in CASES.items():
         report = differential_oracle(
-            nl03c_members(k), nl03c_machine(k), n_reports=1, baseline="member"
+            nl03c_members(k),
+            nl03c_machine(k),
+            n_reports=1,
+            baseline="member",
+            overlap=overlap,
         )
         out = HERE / fname
         out.write_text(report.to_json())
         print(
-            f"{out.name}: k={k}, ok={report.ok}, "
+            f"{out.name}: k={k}, overlap={overlap}, ok={report.ok}, "
             f"max_abs={report.max_abs:.3e}"
         )
         if not report.ok:

@@ -111,3 +111,90 @@ def test_survivors_match_undisturbed_baselines():
     assert report.mode == "resilient"
     assert report.k == 3  # the dead member is gone, survivors compared
     assert report.max_abs == 0.0  # rollback + replay is bit-exact
+
+
+class TestOverlapFaultPath:
+    """Nonblocking requests in flight when a rank dies: the wait must
+    fail fast with the ordinary failure exception — never hang — and
+    the stranded protocol state must not poison the recovery replay."""
+
+    def test_inflight_request_dead_rank_raises_cleanly(self):
+        import numpy as np
+
+        from repro.errors import RankFailure
+        from repro.resilience.injector import FaultInjector
+        from repro.vmpi import Communicator
+
+        machine = generic_cluster(n_nodes=1, ranks_per_node=4)
+        world = VirtualWorld(machine)
+        checker = CollectiveChecker()
+        world.install_checker(checker)
+        injector = FaultInjector(world, FaultPlan.none())
+        world.install_fault_injector(injector)
+        comm = Communicator(world, range(4), label="c")
+        req = comm.iallreduce({r: np.ones(4) for r in comm.ranks})
+        # the rank dies while the request is in flight
+        injector.dead_ranks.add(2)
+        injector.dead_nodes.add(0)
+        with pytest.raises(RankFailure):
+            req.wait()
+        # the checker retires the request before the injector check, so
+        # a wait-path failure leaves no stranded protocol state
+        checker.assert_quiescent()
+        # a failure at *post* time does strand checker-side state: the
+        # lockstep post lands before the world rejects the collective
+        with pytest.raises(RankFailure):
+            comm.iallreduce({r: np.ones(4) for r in comm.ranks})
+        with pytest.raises(Exception):
+            checker.assert_quiescent()
+        # ... which is exactly what the recovery hook clears
+        checker.abandon_inflight()
+        checker.assert_quiescent()
+
+    def test_overlapped_run_recovers_from_node_loss(self):
+        machine = generic_cluster(n_nodes=4, ranks_per_node=4)
+        world = VirtualWorld(machine)
+        checker = CollectiveChecker()
+        inputs = [
+            small_test(name=f"m{i}", dlntdr=(3.0 + 0.1 * i, 3.0 + 0.1 * i))
+            for i in range(4)
+        ]
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(kind="node_loss", at_step=FAIL_STEP, node=DEAD_NODE),
+            )
+        )
+        runner = ResilientXgyroRunner(
+            world, inputs, plan=plan, checker=checker, overlap="full"
+        )
+        result = runner.run_steps(N_STEPS)
+        assert result.steps == N_STEPS
+        assert result.n_members_final == 3
+        assert result.n_recoveries == 1
+        checker.assert_quiescent()
+        rep = lint_trace(world.trace.events)
+        assert rep.ok, rep.render()
+
+    @pytest.mark.oracle
+    def test_overlapped_survivors_match_undisturbed_baselines(self):
+        """Overlap + fault injection, end to end: a request in flight
+        when the node dies surfaces as a clean failure, recovery
+        replays, and every survivor is still bit-exact against an
+        undisturbed blocking baseline."""
+        machine = generic_cluster(n_nodes=4, ranks_per_node=4)
+        inputs = [
+            small_test(name=f"m{i}", dlntdr=(3.0 + 0.1 * i, 3.0 + 0.1 * i))
+            for i in range(4)
+        ]
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(kind="node_loss", at_step=FAIL_STEP, node=DEAD_NODE),
+            )
+        )
+        report = resilient_differential_oracle(
+            inputs, machine, plan, n_steps=N_STEPS, overlap="full"
+        )
+        assert report.ok, report.render()
+        assert report.overlap == "full"
+        assert report.k == 3
+        assert report.max_abs == 0.0

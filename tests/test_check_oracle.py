@@ -110,19 +110,34 @@ def _load_generator():
 
 
 @pytest.mark.oracle
-@pytest.mark.parametrize("fname,k", [("oracle_nl03c_k2.json", 2),
-                                     ("oracle_nl03c_k4.json", 4)])
-def test_nl03c_golden(fname, k):
+@pytest.mark.parametrize(
+    "fname,k,overlap",
+    [
+        ("oracle_nl03c_k2.json", 2, "off"),
+        ("oracle_nl03c_k4.json", 4, "off"),
+        ("oracle_nl03c_k2_overlap.json", 2, "full"),
+        ("oracle_nl03c_k4_overlap.json", 4, "full"),
+    ],
+)
+def test_nl03c_golden(fname, k, overlap):
     """A fresh nl03c-scale oracle run must reproduce the committed
-    golden report byte for byte (member mode: deltas exactly zero)."""
+    golden report byte for byte (member mode: deltas exactly zero).
+
+    The overlapped cases run the ensemble under the fully pipelined
+    nonblocking schedule against blocking baselines — max_abs must
+    still be exactly 0.0, certifying the pipelined schedules preserve
+    arithmetic order bit for bit.
+    """
     gen = _load_generator()
     report = differential_oracle(
         gen.nl03c_members(k),
         gen.nl03c_machine(k),
         n_reports=1,
         baseline="member",
+        overlap=overlap,
     )
     assert report.ok, report.render()
     assert report.max_abs == 0.0
+    assert report.overlap == overlap
     golden = (GOLDEN_DIR / fname).read_text()
     assert report.to_json() == golden

@@ -19,7 +19,7 @@ from hypothesis import given, settings, strategies as st
 from repro.cgyro import CgyroSimulation, small_test
 from repro.errors import ReproError
 from repro.obs import Span, Telemetry, extract_critical_path
-from repro.obs.critical import IDLE, render_telemetry_report
+from repro.obs.critical import IDLE, OVERLAPPED, render_telemetry_report
 from repro.vmpi import VirtualWorld
 from repro.xgyro import XgyroEnsemble
 
@@ -136,6 +136,114 @@ class TestExtractionLaws:
         path = extract_critical_path(spans)
         assert path.span_ids() == (0, 2)  # slow rank chains, fast is off-path
         assert path.idle_s == 0.0
+
+
+@st.composite
+def leaf_spans_with_nonblocking(draw):
+    """Leaf spans where some collectives carry nonblocking windows."""
+    spans = draw(leaf_spans(min_size=2, max_size=24))
+    out = []
+    for s in spans:
+        if s.kind == "collective" and draw(st.booleans()):
+            s = Span(
+                span_id=s.span_id,
+                name=s.name,
+                kind=s.kind,
+                t_start=s.t_start,
+                duration=s.duration,
+                category="coll_comm",
+                ranks=s.ranks,
+                attrs=dict(s.attrs, nonblocking=True),
+            )
+        out.append(s)
+    return out
+
+
+class TestOverlappedAttribution:
+    """The OVERLAPPED re-labeling: exact partition, no double-counting."""
+
+    def test_compute_segment_split_by_hidden_window(self):
+        """A nonblocking window strictly inside a path compute span
+        carves out exactly its intersection as OVERLAPPED."""
+        spans = [
+            Span(0, "apply", "compute", 0.0, 4.0, category="str_compute",
+                 ranks=(0,)),
+            Span(1, "ia2a", "collective", 1.0, 2.0, category="coll_comm",
+                 ranks=(0, 1), attrs={"nonblocking": True}),
+        ]
+        path = extract_critical_path(spans)
+        assert set(path.span_ids()) == {0}  # the hidden window is off-path
+        cats = path.by_category()
+        assert cats["str_compute"] == pytest.approx(2.0)
+        assert cats[OVERLAPPED] == pytest.approx(2.0)
+        assert sum(cats.values()) == pytest.approx(path.total_s, abs=1e-12)
+        # the split pieces tile the compute span contiguously
+        assert [(s.t_start, s.t_end, s.category) for s in path.segments] == [
+            (0.0, 1.0, "str_compute"),
+            (1.0, 3.0, OVERLAPPED),
+            (3.0, 4.0, "str_compute"),
+        ]
+
+    def test_collective_segment_split_by_compute_window(self):
+        """The exposed remainder of a nonblocking collective on the
+        path stays comm; only the covered part is OVERLAPPED."""
+        spans = [
+            Span(0, "apply", "compute", 0.0, 2.0, category="coll_compute",
+                 ranks=(0,)),
+            Span(1, "ia2a", "collective", 1.0, 3.0, category="coll_comm",
+                 ranks=(0, 1), attrs={"nonblocking": True,
+                                      "last_arrival": 0}),
+        ]
+        path = extract_critical_path(spans)
+        cats = path.by_category()
+        assert cats[OVERLAPPED] == pytest.approx(1.0)  # [1, 2] covered
+        assert cats["coll_comm"] == pytest.approx(2.0)  # [2, 4] exposed
+        assert sum(cats.values()) == pytest.approx(path.total_s, abs=1e-12)
+
+    def test_no_nonblocking_spans_means_no_overlapped(self):
+        spans = [
+            Span(0, "a", "compute", 0.0, 2.0, category="str_compute",
+                 ranks=(0,)),
+            Span(1, "ar", "collective", 2.0, 1.0, category="str_comm",
+                 ranks=(0, 1), attrs={"last_arrival": 0}),
+        ]
+        path = extract_critical_path(spans)
+        assert OVERLAPPED not in path.by_category()
+
+    @given(leaf_spans_with_nonblocking())
+    @settings(max_examples=200, deadline=None)
+    def test_partition_invariant_survives_splitting(self, spans):
+        """Overlap splitting never breaks the exact-partition laws:
+        contiguous ascending segments, endpoint total, category sum."""
+        path = extract_critical_path(spans)
+        makespan = max(s.t_end for s in spans)
+        assert path.segments[-1].t_end == makespan
+        for a, b in zip(path.segments, path.segments[1:]):
+            assert a.t_end == b.t_start
+            assert a.duration >= 0
+        assert sum(path.by_category().values()) == pytest.approx(
+            path.total_s, abs=1e-9
+        )
+        # OVERLAPPED only ever replaces time, never adds it
+        assert abs(path.total_s - makespan) <= 1e-9
+
+    def test_instrumented_overlapped_ensemble_partitions_exactly(
+        self, small_machine
+    ):
+        world = VirtualWorld(small_machine)
+        tele = Telemetry()
+        tele.install(world)
+        inputs = [
+            small_test(name=f"m{i}", dlntdr=(3.0 + 0.1 * i, 3.0 + 0.1 * i))
+            for i in range(4)
+        ]
+        ens = XgyroEnsemble(world, inputs, overlap="full")
+        ens.step()
+        path = extract_critical_path(tele.tracer.spans)
+        cats = path.by_category()
+        assert path.total_s == pytest.approx(world.elapsed(), abs=1e-12)
+        assert sum(cats.values()) == pytest.approx(path.total_s, abs=1e-9)
+        assert cats.get(OVERLAPPED, 0.0) > 0.0
 
 
 class TestInstrumentedRuns:
