@@ -132,6 +132,14 @@ class CampaignPacker:
         sub-k tail) falls back to the untuned path.  The plan is also
         re-probed against this machine's ledgers, so a stale artifact
         degrades to the default rather than OOMing.
+    spread_domains:
+        When the machine declares
+        :class:`~repro.machine.topology.FaultDomains`, pick a job's
+        nodes round-robin across domains instead of the first free run
+        — one ``domain_loss`` then costs the job a few members
+        (shrink-and-recover) rather than all of them.  ``False``, or a
+        machine without domains, keeps the first-fit pick bit-identical
+        to the domain-free packer.
     """
 
     def __init__(
@@ -141,11 +149,13 @@ class CampaignPacker:
         prefer_larger_k: bool = True,
         health: "object | None" = None,
         plan: "object | None" = None,
+        spread_domains: bool = True,
     ) -> None:
         self.machine = machine
         self.prefer_larger_k = prefer_larger_k
         self.health = health
         self.plan = plan
+        self.spread_domains = spread_domains
         self._placement = BlockPlacement(machine, machine.n_ranks)
 
     def available_nodes(self) -> List[int]:
@@ -153,6 +163,27 @@ class CampaignPacker:
         if self.health is None:
             return list(range(self.machine.n_nodes))
         return self.health.available_nodes(self.machine.n_nodes)
+
+    def select_nodes(
+        self, candidates: Sequence[int], n_nodes: int
+    ) -> Tuple[int, ...]:
+        """Pick ``n_nodes`` node ids from ``candidates``.
+
+        Without fault domains (or with ``spread_domains=False``) this
+        is the first ``n_nodes`` in machine order — the historical
+        pick.  With domains it takes the round-robin interleave prefix
+        (maximal domain spread), returned sorted so job worlds keep
+        ascending physical ids either way.
+        """
+        if n_nodes > len(candidates):
+            raise CampaignError(
+                f"cannot select {n_nodes} nodes from {len(candidates)} "
+                "candidates"
+            )
+        domains = self.machine.fault_domains
+        if domains is None or not self.spread_domains:
+            return tuple(candidates[:n_nodes])
+        return tuple(sorted(domains.interleave(candidates)[:n_nodes]))
 
     # ------------------------------------------------------------------
     # feasibility
@@ -391,9 +422,10 @@ class CampaignPacker:
                     # no plan job fragments the wave — identical to
                     # the offset-counter packer)
                     free = free_nodes[wave_idx]
-                    nodes = tuple(
-                        n for n in available if n in free
-                    )[: shape.n_nodes]
+                    nodes = self.select_nodes(
+                        [n for n in available if n in free],
+                        shape.n_nodes,
+                    )
                 free_nodes[wave_idx].difference_update(nodes)
                 waves[wave_idx].append(
                     PackedJob(

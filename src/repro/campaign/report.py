@@ -119,6 +119,28 @@ class JobRecord:
             "lost_request_ids": list(self.lost_request_ids),
         }
 
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "JobRecord":
+        """Rebuild from :meth:`to_dict` output (journal replay)."""
+        return cls(
+            job_id=str(d["job_id"]),
+            round=int(d["round"]),  # type: ignore[arg-type]
+            wave=int(d["wave"]),  # type: ignore[arg-type]
+            signature_key=str(d["signature_key"]),
+            k=int(d["k"]),  # type: ignore[arg-type]
+            n_nodes=int(d["n_nodes"]),  # type: ignore[arg-type]
+            nodes=tuple(int(n) for n in d["nodes"]),  # type: ignore[union-attr]
+            steps=int(d["steps"]),  # type: ignore[arg-type]
+            start_s=float(d["start_s"]),  # type: ignore[arg-type]
+            elapsed_s=float(d["elapsed_s"]),  # type: ignore[arg-type]
+            cache_hit=bool(d["cache_hit"]),
+            cmat_build_s=float(d["cmat_build_s"]),  # type: ignore[arg-type]
+            n_recoveries=int(d["n_recoveries"]),  # type: ignore[arg-type]
+            lost_request_ids=tuple(
+                str(r) for r in d["lost_request_ids"]  # type: ignore[union-attr]
+            ),
+        )
+
 
 @dataclass(frozen=True)
 class WaveRecord:
@@ -166,6 +188,16 @@ class AbandonedRecord:
             "last_job_id": self.last_job_id,
             "reason": self.reason,
         }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "AbandonedRecord":
+        """Rebuild from :meth:`to_dict` output (journal replay)."""
+        return cls(
+            request_id=str(d["request_id"]),
+            attempts=int(d["attempts"]),  # type: ignore[arg-type]
+            last_job_id=str(d["last_job_id"]),
+            reason=str(d["reason"]),
+        )
 
 
 @dataclass

@@ -124,6 +124,7 @@ class CampaignRunner:
         retry: Optional[RetryPolicy] = RetryPolicy(),
         health: Optional[NodeHealthTracker] = None,
         telemetry=None,
+        checker_factory=None,
     ) -> None:
         self.machine = machine
         self.batcher = batcher or SignatureBatcher()
@@ -149,6 +150,10 @@ class CampaignRunner:
         self.policy = policy
         self.enforce_memory = enforce_memory
         self.telemetry = telemetry
+        #: zero-arg callable building a fresh protocol checker per
+        #: dispatch (checkers are stateful; sharing one across jobs
+        #: would leak epochs between worlds)
+        self.checker_factory = checker_factory
         self._hold_until: Dict[str, float] = {}
         self._imposed_wait_s = 0.0
 
@@ -554,6 +559,11 @@ class CampaignRunner:
             telemetry=tele,
             nc_counts=nc_counts,
             overlap=overlap,
+            checker=(
+                self.checker_factory()
+                if self.checker_factory is not None
+                else None
+            ),
         )
         try:
             result = runner.run_steps(steps)

@@ -35,6 +35,13 @@ This package is the verification layer for both:
   run an XGYRO shared-cmat ensemble and the sequential CGYRO baseline
   on identical inputs and assert per-member state equivalence,
   reported as an :class:`EquivalenceReport`.
+- :mod:`repro.check.invariants` — the chaos scenario harness: named
+  control-plane fault schedules (crash, rack loss, provision stall,
+  kitchen-sink) run end-to-end through the online service, with the
+  global invariants — request conservation, unique disposition,
+  ledger balance, WAL-replay fidelity, checker-clean waves, bounded
+  SLO degradation, exactly-once crash recovery — asserted as
+  :class:`~repro.errors.InvariantViolation` on breach.
 - :mod:`repro.check.tracelint` — static lint and deterministic replay
   of recorded :class:`~repro.vmpi.tracer.CollectiveEvent` traces,
   including the Figure-1/Figure-3 structural checks.
@@ -45,6 +52,14 @@ from repro.check.checker import (
     CollectivePost,
     ROOTED_KINDS,
     UNIFORM_NBYTES_KINDS,
+)
+from repro.check.invariants import (
+    ChaosReport,
+    ChaosScenario,
+    InvariantCheck,
+    builtin_scenarios,
+    render_chaos_report,
+    run_scenario,
 )
 from repro.check.oracle import (
     MODE_TOLERANCES,
@@ -69,6 +84,12 @@ __all__ = [
     "UNIFORM_NBYTES_KINDS",
     "ROOTED_KINDS",
     "MODE_TOLERANCES",
+    "ChaosReport",
+    "ChaosScenario",
+    "InvariantCheck",
+    "builtin_scenarios",
+    "render_chaos_report",
+    "run_scenario",
     "EquivalenceReport",
     "FieldDelta",
     "MemberCheck",

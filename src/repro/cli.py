@@ -31,6 +31,7 @@ Every command prints human-readable tables; ``run-*`` optionally write
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -737,6 +738,52 @@ def cmd_perf_gate(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.check import (
+        builtin_scenarios,
+        render_chaos_report,
+        run_scenario,
+    )
+    from repro.obs import Telemetry
+
+    scenarios = builtin_scenarios(smoke=args.smoke)
+    if args.scenario:
+        wanted = set(args.scenario)
+        known = {s.name for s in scenarios}
+        missing = sorted(wanted - known)
+        if missing:
+            raise ReproError(
+                f"unknown chaos scenario(s) {missing}; "
+                f"known: {sorted(known)}"
+            )
+        scenarios = tuple(s for s in scenarios if s.name in wanted)
+    if args.seed is not None:
+        scenarios = tuple(
+            dataclasses.replace(s, seed=args.seed) for s in scenarios
+        )
+    telemetry = Telemetry()
+    results = []
+    for scenario in scenarios:
+        print(f"chaos: running {scenario.name!r} ({scenario.description})")
+        results.append(
+            run_scenario(
+                scenario, telemetry=telemetry, raise_on_violation=False
+            )
+        )
+    print(render_chaos_report(results))
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(
+                [r.to_dict() for r in results], indent=1, sort_keys=True
+            )
+            + "\n"
+        )
+        print(f"chaos results written to {args.json}")
+    return 0 if all(r.ok for r in results) else 1
+
+
 def cmd_figure2(args: argparse.Namespace) -> int:
     machine = frontier_like(
         n_nodes=32, mem_per_rank_bytes=NL03C_SCALED_MEM_PER_RANK
@@ -1145,6 +1192,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="relative tolerance band per metric (default 0.05)",
     )
     p.set_defaults(func=cmd_perf_gate)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run the chaos scenario harness: named control-plane "
+        "fault schedules with service invariants (conservation, "
+        "exactly-once WAL recovery, ledger balance) asserted",
+    )
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrunk horizons and crash sweep for the CI lane",
+    )
+    p.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only this scenario (repeatable; default: all)",
+    )
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override every scenario's traffic seed",
+    )
+    p.add_argument(
+        "--json", default=None, help="write per-scenario results as JSON"
+    )
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("figure2", help="regenerate the paper's Figure 2")
     p.add_argument("--measure-steps", type=int, default=1)

@@ -295,3 +295,24 @@ class EnsembleValidationError(ReproError):
     def __init__(self, message: str, *, mismatched_fields: "tuple[str, ...]" = ()) -> None:
         super().__init__(message)
         self.mismatched_fields = tuple(mismatched_fields)
+
+
+class JournalCrash(ServiceError):
+    """The injected write-ahead-log crash point was reached.
+
+    Raised by :class:`~repro.service.journal.ServiceJournal` when its
+    ``crash_at_event`` index comes due: the event is *not* written and
+    the exception unwinds the service loop, simulating the control
+    plane dying mid-flight.  Recovery tests catch it and replay the
+    surviving journal prefix.
+    """
+
+
+class InvariantViolation(ReproError):
+    """A chaos-scenario closed-loop invariant failed.
+
+    Raised by :mod:`repro.check.invariants` when a service run under an
+    injected fault schedule loses or duplicates a request, breaks
+    ledger conservation, diverges from its own write-ahead log, or
+    degrades beyond the scenario's SLO floor.
+    """

@@ -102,6 +102,11 @@ class MachineModel:
     topology: "object | None" = None
     node_speed: Optional[Tuple[float, ...]] = None
     node_bandwidth: Optional[Tuple[float, ...]] = None
+    #: optional :class:`~repro.machine.topology.FaultDomains` grouping
+    #: physical node ids into correlated failure domains (racks); a
+    #: control-plane concept — job worlds never see it.  ``None`` means
+    #: failures are independent per node.
+    fault_domains: "object | None" = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -166,6 +171,23 @@ class MachineModel:
         if node < 0 or node >= self.n_nodes:
             raise MachineError(f"node {node} out of range [0, {self.n_nodes})")
         return 1.0 if self.node_bandwidth is None else self.node_bandwidth[node]
+
+    def domain_of(self, node: int) -> int:
+        """Fault-domain id of ``node`` (0 for every node when the
+        machine declares no fault domains)."""
+        if node < 0 or node >= self.n_nodes:
+            raise MachineError(f"node {node} out of range [0, {self.n_nodes})")
+        if self.fault_domains is None:
+            return 0
+        return self.fault_domains.domain_of(node)
+
+    @property
+    def n_fault_domains(self) -> int:
+        """Correlated failure domains on this machine (1 without a
+        :attr:`fault_domains` declaration)."""
+        if self.fault_domains is None:
+            return 1
+        return self.fault_domains.n_domains(self.n_nodes)
 
     def with_nodes(self, n_nodes: int) -> "MachineModel":
         """Return a copy of this machine resized to ``n_nodes`` nodes.

@@ -19,7 +19,7 @@ scattered placement destroys exactly this (see
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, List, Sequence
 
 from repro.errors import MachineError
 
@@ -72,3 +72,76 @@ class DragonflyTopology:
     def bandwidth_factor(self, nodes: Iterable[int]) -> float:
         """Bandwidth multiplier for a collective over these nodes."""
         return self.global_bandwidth_taper if self.spans_groups(nodes) else 1.0
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultDomains:
+    """Correlated failure domains: racks (or switches) of nodes.
+
+    The cost-model grouping above is about *latency*; this one is about
+    *blast radius*.  Nodes sharing a rack PDU or a leaf switch fail
+    together — a tripped breaker or a dead switch takes out
+    ``nodes_per_domain`` consecutive node ids at once (the
+    ``domain_loss`` fault kind).  The placement consequence is the
+    inverse of the latency argument: a job that *spreads* its nodes
+    across domains survives a domain loss with shrink-and-recover,
+    while a domain-packed job loses every member in one blow.
+
+    Parameters
+    ----------
+    nodes_per_domain:
+        Consecutive node ids per fault domain (the rack size).
+    """
+
+    nodes_per_domain: int
+
+    def __post_init__(self) -> None:
+        if self.nodes_per_domain < 1:
+            raise MachineError(
+                f"nodes_per_domain must be >= 1, got {self.nodes_per_domain}"
+            )
+
+    def domain_of(self, node: int) -> int:
+        """Fault-domain id of a node."""
+        if node < 0:
+            raise MachineError(f"node must be >= 0, got {node}")
+        return node // self.nodes_per_domain
+
+    def n_domains(self, n_nodes: int) -> int:
+        """Domains covering a machine of ``n_nodes`` nodes."""
+        if n_nodes < 1:
+            raise MachineError(f"n_nodes must be >= 1, got {n_nodes}")
+        return (n_nodes + self.nodes_per_domain - 1) // self.nodes_per_domain
+
+    def nodes_in(self, domain: int, n_nodes: int) -> List[int]:
+        """Node ids of ``domain`` on a machine of ``n_nodes`` nodes."""
+        if not 0 <= domain < self.n_domains(n_nodes):
+            raise MachineError(
+                f"domain {domain} out of range "
+                f"[0, {self.n_domains(n_nodes)})"
+            )
+        lo = domain * self.nodes_per_domain
+        return list(range(lo, min(lo + self.nodes_per_domain, n_nodes)))
+
+    def spread(self, nodes: Iterable[int]) -> int:
+        """Distinct fault domains a node set touches."""
+        return len({self.domain_of(n) for n in nodes})
+
+    def interleave(self, nodes: Sequence[int]) -> List[int]:
+        """Reorder ``nodes`` round-robin across domains: the first
+        pick of every domain (ascending), then the second of each, and
+        so on — the spread-maximising selection order.  Taking any
+        prefix of the result touches as many domains as possible."""
+        by_domain: dict = {}
+        for n in sorted(nodes):
+            by_domain.setdefault(self.domain_of(n), []).append(n)
+        out: List[int] = []
+        lanes = [by_domain[d] for d in sorted(by_domain)]
+        depth = 0
+        while len(out) < len(nodes):
+            for lane in lanes:
+                if depth < len(lane):
+                    out.append(lane[depth])
+            depth += 1
+        return out

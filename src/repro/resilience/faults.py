@@ -20,8 +20,15 @@ import numpy as np
 
 from repro.errors import FaultPlanError
 
+#: Data-plane fault kinds (injected into one job's virtual world).
+DATA_KINDS = ("rank_crash", "node_loss", "link_slowdown", "slowdown", "bitflip")
+
+#: Control-plane fault kinds (injected into the online service loop,
+#: keyed by simulated time ``at_s`` rather than ensemble step).
+CONTROL_KINDS = ("service_crash", "provision_fail", "domain_loss")
+
 #: Fault kinds a plan may contain.
-KINDS = ("rank_crash", "node_loss", "link_slowdown", "slowdown", "bitflip")
+KINDS = DATA_KINDS + CONTROL_KINDS
 
 
 @dataclass(frozen=True)
@@ -45,17 +52,30 @@ class FaultSpec:
         it fires at the first matching collective boundary at or after
         that step — the earliest point a lockstep job can observe it.
         (``slowdown`` compute stretching and ``bitflip`` corruption
-        apply from the start of that step.)
+        apply from the start of that step.)  Control-plane kinds ignore
+        it and trigger on ``at_s`` instead.
     rank:
         Target world rank (``rank_crash``, ``bitflip``, and rank-
         targeted ``slowdown``).
     node:
-        Target node id (``node_loss`` and node-targeted ``slowdown``).
+        Target node id (``node_loss`` and node-targeted ``slowdown``),
+        or the *fault-domain* id for ``domain_loss``.
     factor:
         Cost multiplier >= 1 (``link_slowdown`` and ``slowdown``).
     phase:
         Optional category gate (e.g. ``"coll_comm"``): the fault only
         fires/applies inside that phase.  Empty matches any phase.
+    at_s:
+        Simulated-clock trigger time for control-plane kinds
+        (``service_crash`` kills and recovers the service loop,
+        ``provision_fail`` sabotages the next pool grow request,
+        ``domain_loss`` takes out every node of one fault domain).
+        ``-1`` (the default) on data-plane kinds means unused.
+    duration_s:
+        Outage length: downtime of a ``service_crash``, stall added to
+        a ``provision_fail`` grow (``0`` fails the grow outright), and
+        the time until a lost domain's nodes become provisionable
+        again (``0`` keeps them gone for the rest of the run).
     """
 
     kind: str
@@ -64,6 +84,8 @@ class FaultSpec:
     node: int = -1
     factor: float = 1.0
     phase: str = ""
+    at_s: float = -1.0
+    duration_s: float = 0.0
 
     def validate(self, *, n_ranks: int, n_nodes: int) -> None:
         """Raise :class:`FaultPlanError` unless consistent with a world."""
@@ -73,6 +95,15 @@ class FaultSpec:
             )
         if self.at_step < 0:
             raise FaultPlanError(f"at_step must be >= 0, got {self.at_step}")
+        if self.duration_s < 0:
+            raise FaultPlanError(
+                f"duration_s must be >= 0, got {self.duration_s}"
+            )
+        if self.kind in CONTROL_KINDS and self.at_s < 0:
+            raise FaultPlanError(
+                f"{self.kind} is a control-plane fault and needs at_s >= 0, "
+                f"got {self.at_s}"
+            )
         if self.kind == "rank_crash":
             if not 0 <= self.rank < n_ranks:
                 raise FaultPlanError(
@@ -107,6 +138,12 @@ class FaultSpec:
                 raise FaultPlanError(
                     f"bitflip targets rank {self.rank}, world has "
                     f"ranks [0, {n_ranks})"
+                )
+        elif self.kind == "domain_loss":
+            if self.node < 0:
+                raise FaultPlanError(
+                    f"domain_loss targets fault domain {self.node}; "
+                    "the domain id must be >= 0"
                 )
 
 
@@ -144,19 +181,45 @@ class FaultPlan:
         n_ranks: int,
         n_nodes: int,
         n_faults: int = 1,
-        kinds: Sequence[str] = ("rank_crash", "node_loss"),
+        kinds: Union[str, Sequence[str]] = ("rank_crash", "node_loss"),
         detection_timeout_s: float = 30.0,
+        horizon_s: float = 0.0,
+        n_domains: int = 0,
     ) -> "FaultPlan":
         """Seeded random plan (the ensemble-campaign generator).
 
         Steps are drawn uniformly from ``[1, n_steps)`` so step 0 — the
-        initial checkpoint — always completes.
+        initial checkpoint — always completes.  ``kinds`` may be any
+        subset of :data:`KINDS`, the string ``"all"`` (every kind), or
+        ``"data"`` / ``"control"`` for one plane; control-plane kinds
+        need ``horizon_s > 0`` to draw ``at_s`` from, and
+        ``domain_loss`` additionally needs ``n_domains >= 1``.
         """
         if n_steps < 2:
             raise FaultPlanError(f"need n_steps >= 2 to place faults, got {n_steps}")
+        if isinstance(kinds, str):
+            try:
+                kinds = {
+                    "all": KINDS,
+                    "data": DATA_KINDS,
+                    "control": CONTROL_KINDS,
+                }[kinds]
+            except KeyError:
+                raise FaultPlanError(
+                    f"kinds must be a sequence of kinds or one of "
+                    f"'all'/'data'/'control', got {kinds!r}"
+                ) from None
         for k in kinds:
             if k not in KINDS:
                 raise FaultPlanError(f"unknown fault kind {k!r}")
+            if k in CONTROL_KINDS and horizon_s <= 0:
+                raise FaultPlanError(
+                    f"sampling {k!r} needs horizon_s > 0 to draw at_s from"
+                )
+            if k == "domain_loss" and n_domains < 1:
+                raise FaultPlanError(
+                    "sampling 'domain_loss' needs n_domains >= 1"
+                )
         rng = np.random.default_rng(seed)
         specs = []
         for _ in range(n_faults):
@@ -183,12 +246,39 @@ class FaultPlan:
                 specs.append(
                     FaultSpec(kind, at_step, rank=int(rng.integers(n_ranks)))
                 )
-            else:  # link_slowdown
+            elif kind == "link_slowdown":
                 specs.append(
                     FaultSpec(
                         kind,
                         at_step,
                         factor=float(1.0 + 9.0 * rng.random()),
+                    )
+                )
+            elif kind == "service_crash":
+                specs.append(
+                    FaultSpec(
+                        kind,
+                        0,
+                        at_s=float(horizon_s * rng.random()),
+                        duration_s=float(0.05 * horizon_s * rng.random()),
+                    )
+                )
+            elif kind == "provision_fail":
+                specs.append(
+                    FaultSpec(
+                        kind,
+                        0,
+                        at_s=float(horizon_s * rng.random()),
+                        duration_s=float(60.0 * rng.random()),
+                    )
+                )
+            else:  # domain_loss
+                specs.append(
+                    FaultSpec(
+                        kind,
+                        0,
+                        node=int(rng.integers(n_domains)),
+                        at_s=float(horizon_s * rng.random()),
                     )
                 )
         plan = cls(
@@ -206,6 +296,23 @@ class FaultPlan:
         """Check every spec against a world's rank/node ranges."""
         for spec in self.specs:
             spec.validate(n_ranks=n_ranks, n_nodes=n_nodes)
+
+    # ------------------------------------------------------------------
+    # plane selection
+    # ------------------------------------------------------------------
+    def control_specs(self) -> Tuple[FaultSpec, ...]:
+        """Control-plane specs (service crash / provision / domain),
+        ordered by trigger time then plan order."""
+        timed = [
+            (s.at_s, i, s)
+            for i, s in enumerate(self.specs)
+            if s.kind in CONTROL_KINDS
+        ]
+        return tuple(s for _, _, s in sorted(timed))
+
+    def data_specs(self) -> Tuple[FaultSpec, ...]:
+        """Data-plane specs, in plan order."""
+        return tuple(s for s in self.specs if s.kind in DATA_KINDS)
 
     # ------------------------------------------------------------------
     # (de)serialisation
@@ -234,7 +341,10 @@ class FaultPlan:
         if not isinstance(raw_specs, list):
             raise FaultPlanError("fault plan 'specs' must be a list")
         specs = []
-        allowed = {"kind", "at_step", "rank", "node", "factor", "phase"}
+        allowed = {
+            "kind", "at_step", "rank", "node", "factor", "phase",
+            "at_s", "duration_s",
+        }
         for i, raw in enumerate(raw_specs):
             if not isinstance(raw, dict) or "kind" not in raw or "at_step" not in raw:
                 raise FaultPlanError(

@@ -156,6 +156,38 @@ class NodeHealthTracker:
             "incidents": [i.to_dict() for i in self._incidents],
         }
 
+    def restore(self, d: Dict[str, object]) -> None:
+        """Overwrite this tracker in place from :meth:`to_dict` output
+        (journal replay) — in place because the pool, packer, and
+        runner all hold references to one shared tracker.  The incident
+        ledger is replayed verbatim; quarantined nodes the incident
+        counts alone do not explain come back as forced quarantines."""
+        self._incidents = []
+        self._by_node = {}
+        self._forced = set()
+        for inc in d.get("incidents", ()):  # type: ignore[union-attr]
+            self.record(
+                int(inc["node"]),
+                str(inc["kind"]),
+                at_s=float(inc["at_s"]),
+                detail=str(inc["detail"]),
+            )
+        for node in d.get("quarantined", ()):  # type: ignore[union-attr]
+            if not self.is_quarantined(int(node)):
+                self.quarantine(int(node))
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "NodeHealthTracker":
+        """Rebuild a tracker from :meth:`to_dict` output."""
+        threshold = d["quarantine_threshold"]
+        tracker = cls(
+            quarantine_threshold=(
+                None if threshold is None else int(threshold)  # type: ignore[arg-type]
+            )
+        )
+        tracker.restore(d)
+        return tracker
+
 
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)

@@ -18,7 +18,13 @@ from repro.service.admission import (
     FairSharePolicy,
     RejectionRecord,
 )
-from repro.service.loop import OnlineService
+from repro.service.journal import (
+    EVENT_KINDS,
+    ReplayState,
+    ServiceJournal,
+    recover_service,
+)
+from repro.service.loop import RECOVERY_MODES, OnlineService
 from repro.service.pool import ElasticNodePool, PoolSample
 from repro.service.report import (
     SERVICE_TTR_BUCKETS,
@@ -43,21 +49,26 @@ __all__ = [
     "BurstyTraffic",
     "DEFAULT_TENANTS",
     "DiurnalTraffic",
+    "EVENT_KINDS",
     "ElasticNodePool",
     "FairSharePolicy",
     "MovingWindow",
     "OnlineService",
     "PoissonTraffic",
     "PoolSample",
+    "RECOVERY_MODES",
     "RejectionRecord",
+    "ReplayState",
     "ReplayTraffic",
     "SERVICE_TTR_BUCKETS",
     "ServedRecord",
+    "ServiceJournal",
     "ServiceReport",
     "TenantSpec",
     "TrafficModel",
     "UNATTRIBUTED",
     "WindowPolicy",
+    "recover_service",
     "render_service_report",
     "replay",
 ]

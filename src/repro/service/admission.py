@@ -52,6 +52,17 @@ class RejectionRecord:
             "reason": self.reason,
         }
 
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "RejectionRecord":
+        """Rebuild from :meth:`to_dict` output (journal replay)."""
+        return cls(
+            request_id=str(d["request_id"]),
+            tenant=str(d["tenant"]),
+            arrival_s=float(d["arrival_s"]),  # type: ignore[arg-type]
+            pending=int(d["pending"]),  # type: ignore[arg-type]
+            reason=str(d["reason"]),
+        )
+
 
 class AdmissionController:
     """Bounded admission with explicit load shed.
@@ -160,6 +171,11 @@ class FairSharePolicy:
     def served(self) -> Dict[str, float]:
         """Raw node-seconds charged per tenant, sorted by name."""
         return dict(sorted(self._served.items()))
+
+    def restore_served(self, served: Mapping[str, float]) -> None:
+        """Overwrite the per-tenant service ledger from a
+        :meth:`served` snapshot (journal replay)."""
+        self._served = {str(k): float(v) for k, v in served.items()}
 
     # ------------------------------------------------------------------
     def batch_key(

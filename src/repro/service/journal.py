@@ -1,0 +1,629 @@
+"""Write-ahead log and replay recovery for the online service.
+
+PRs 1 and 4 made the *data plane* resilient — a job survives losing
+ranks.  The control plane stayed a single point of failure: kill the
+:class:`~repro.service.loop.OnlineService` loop and the moving window,
+ready queue, in-flight wave manifests, pool lifecycle, and retry
+bookkeeping all evaporate.  This module makes that state durable:
+
+- :class:`ServiceJournal` — an append-only, byte-stable WAL.  Every
+  state transition the loop makes (arrival/shed, window flush,
+  dispatch, completion with its requeues and dead-letters, retry
+  release, pool grow/ready/reclaim/fail, control-plane chaos) is one
+  JSON-safe event, written *atomically*: a crash between events leaves
+  a prefix whose replay is a consistent service state.
+- :class:`ReplayState` — the event-sourced shadow.  The journal
+  applies every appended event to its own shadow state, so replay
+  logic is exercised on every journaled run, and a **snapshot** (taken
+  every ``snapshot_interval`` events) is nothing more than the shadow
+  serialised — by construction identical to replaying the full prefix.
+- :func:`recover_service` — replay a (possibly crash-truncated)
+  journal into a freshly constructed service and resume the simulated
+  clock mid-horizon.  Recovery is **exactly-once**: completed results
+  in the WAL are never re-dispatched, requests that were in flight on
+  a lost wave are requeued (without charging their retry budget — the
+  crash was not their fault), and arrivals are regenerated from the
+  seeded traffic model minus the ids the WAL already saw.
+
+Crash injection is first-class: ``crash_at_event=k`` makes the k-th
+append raise :class:`~repro.errors.JournalCrash` *without* recording
+the event — the property test in ``tests/test_service_journal.py``
+sweeps k over every index and asserts the recovered run's per-request
+dispositions match the uncrashed run exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import JournalCrash, ServiceError
+from repro.service.pool import BUSY, IDLE, OFFLINE, PROVISIONING
+
+#: Event kinds a journal may contain (order here is documentation, not
+#: precedence — precedence lives in the service loop's heap).
+EVENT_KINDS = (
+    "begin",      # run header: horizon, initial pool + health state
+    "arrival",    # one traffic arrival: admitted into the window, or shed
+    "flush",      # a window batch became ready (dispatchable)
+    "dispatch",   # a job was placed and its outcome scheduled
+    "complete",   # a job finished: served / requeued / dead-lettered
+    "release",    # a retry backoff elapsed: request re-entered the window
+    "pool",       # pool lifecycle: grow / ready / reclaim / grow_failed
+    "chaos",      # a control-plane fault fired (or a domain restored)
+    "recover",    # a crash-recovery reconciliation (requeues, releases)
+    "end",        # run finished: closes the pool's node-second integral
+    "snapshot",   # full ReplayState dump (replay fast-forward point)
+)
+
+
+def _copy(obj):
+    """Deep JSON-safe copy (snapshots must not alias live state)."""
+    return json.loads(json.dumps(obj, sort_keys=True))
+
+
+class ReplayState:
+    """Event-sourced mirror of every mutable :class:`OnlineService`
+    field the journal can resurrect.
+
+    Everything inside is plain JSON-safe data (request/record dicts,
+    node-id keyed string states) — :meth:`to_dict` /
+    :meth:`from_dict` round-trip byte-stably, and the service's
+    ``restore`` turns the dicts back into live objects.
+    """
+
+    def __init__(self) -> None:
+        self.t = 0.0
+        self.horizon_s = 0.0
+        self.offered = 0
+        self.admitted = 0
+        self.arrived_ids: set = set()
+        #: request dicts held in the moving window, with hold-since times
+        self.window: List[Dict[str, object]] = []
+        #: flushed-but-unplaced batches: {seq, flushed_at, signature_key,
+        #: requests (dicts)}
+        self.ready: List[Dict[str, object]] = []
+        #: in-flight wave manifests by job id: {requests, nodes, start_s,
+        #: elapsed_s, lost_ids, canceled}
+        self.inflight: Dict[str, Dict[str, object]] = {}
+        #: retry backoffs in flight: {request, release_t}
+        self.pending_release: List[Dict[str, object]] = []
+        self.served: List[Dict[str, object]] = []
+        self.rejections: List[Dict[str, object]] = []
+        self.abandoned: List[Dict[str, object]] = []
+        self.jobs: List[Dict[str, object]] = []
+        self.tenant_served: Dict[str, float] = {}
+        self.job_seq = 0
+        self.batch_seq = 0
+        #: pool mirror: {state, ready_at, idle_since, node_seconds, last_t}
+        self.pool: Optional[Dict[str, object]] = None
+        #: health mirror in NodeHealthTracker.to_dict shape
+        self.health: Dict[str, object] = {
+            "quarantine_threshold": 2,
+            "quarantined": [],
+            "incidents": [],
+        }
+        self.resil: Dict[str, float] = {}
+        self.dead_by_cause: Dict[str, int] = {}
+        #: chaos spec indices that already fired
+        self.consumed_chaos: List[int] = []
+        #: pending domain restores: {t, nodes}
+        self.pending_restores: List[Dict[str, object]] = []
+        self.down_until = 0.0
+
+    # ------------------------------------------------------------------
+    # pool mirror
+    # ------------------------------------------------------------------
+    def _pool_advance(self, t: float) -> None:
+        if self.pool is None:
+            return
+        states = self.pool["state"]
+        provisioned = sum(
+            1 for s in states.values() if s in (IDLE, BUSY)  # type: ignore[union-attr]
+        )
+        last = float(self.pool["last_t"])  # type: ignore[arg-type]
+        if t > last:
+            self.pool["node_seconds"] = (
+                float(self.pool["node_seconds"]) + provisioned * (t - last)  # type: ignore[arg-type]
+            )
+            self.pool["last_t"] = t
+
+    def _pool_set(self, nodes: Iterable[int], state: str, t: float) -> None:
+        assert self.pool is not None
+        for n in nodes:
+            key = str(int(n))
+            self.pool["state"][key] = state  # type: ignore[index]
+            if state == IDLE:
+                self.pool["idle_since"][key] = t  # type: ignore[index]
+                self.pool["ready_at"].pop(key, None)  # type: ignore[union-attr]
+            else:
+                self.pool["idle_since"].pop(key, None)  # type: ignore[union-attr]
+                if state != PROVISIONING:
+                    self.pool["ready_at"].pop(key, None)  # type: ignore[union-attr]
+
+    # ------------------------------------------------------------------
+    # health mirror
+    # ------------------------------------------------------------------
+    def _health_add(self, incidents, quarantine) -> None:
+        self.health["incidents"].extend(_copy(list(incidents)))  # type: ignore[union-attr]
+        for n in quarantine:
+            if int(n) not in self.health["quarantined"]:  # type: ignore[operator]
+                self.health["quarantined"].append(int(n))  # type: ignore[union-attr]
+
+    def _health_reset(self, nodes) -> None:
+        nodes = {int(n) for n in nodes}
+        self.health["quarantined"] = [
+            n for n in self.health["quarantined"] if n not in nodes  # type: ignore[union-attr]
+        ]
+        self.health["incidents"] = [
+            i
+            for i in self.health["incidents"]  # type: ignore[union-attr]
+            if int(i["node"]) not in nodes
+        ]
+
+    # ------------------------------------------------------------------
+    def _bump(self, deltas: Dict[str, object]) -> None:
+        for key, val in deltas.items():
+            if key == "by_cause":
+                for cause, n in val.items():  # type: ignore[union-attr]
+                    self.dead_by_cause[cause] = (
+                        self.dead_by_cause.get(cause, 0) + int(n)
+                    )
+            else:
+                self.resil[key] = self.resil.get(key, 0) + val  # type: ignore[operator]
+
+    def _window_take(self, request_ids: Sequence[str]) -> List[Dict[str, object]]:
+        wanted = set(request_ids)
+        taken = {
+            e["request"]["request_id"]: e["request"]  # type: ignore[index]
+            for e in self.window
+            if e["request"]["request_id"] in wanted  # type: ignore[index]
+        }
+        missing = wanted - set(taken)
+        if missing:
+            raise ServiceError(
+                f"journal flush references requests not in the window: "
+                f"{sorted(missing)}"
+            )
+        self.window = [
+            e
+            for e in self.window
+            if e["request"]["request_id"] not in wanted  # type: ignore[index]
+        ]
+        return [taken[rid] for rid in request_ids]
+
+    # ------------------------------------------------------------------
+    # event application
+    # ------------------------------------------------------------------
+    def apply(self, kind: str, payload: Dict[str, object]) -> None:
+        """Apply one journal event to the mirror (atomic by design:
+        every event carries the complete consequence of its
+        transition)."""
+        t = float(payload["t"])  # type: ignore[arg-type]
+        self._pool_advance(t)
+        self.t = max(self.t, t)
+        if kind == "begin":
+            self.horizon_s = float(payload["horizon_s"])  # type: ignore[arg-type]
+            self.pool = _copy(payload["pool"])
+            self.health = _copy(payload["health"])
+        elif kind == "arrival":
+            self.offered += 1
+            rid = str(payload["request"]["request_id"])  # type: ignore[index]
+            self.arrived_ids.add(rid)
+            if payload["outcome"] == "admit":
+                self.admitted += 1
+                self.window.append(
+                    {"request": _copy(payload["request"]), "since": t}
+                )
+            else:
+                self.rejections.append(_copy(payload["rejection"]))
+                self._bump(payload.get("resil", {}))  # type: ignore[arg-type]
+        elif kind == "flush":
+            requests = self._window_take(payload["request_ids"])  # type: ignore[arg-type]
+            self.ready.append(
+                {
+                    "seq": int(payload["seq"]),  # type: ignore[arg-type]
+                    "flushed_at": t,
+                    "signature_key": str(payload["signature_key"]),
+                    "requests": requests,
+                }
+            )
+            self.batch_seq = max(self.batch_seq, int(payload["seq"]))  # type: ignore[arg-type]
+        elif kind == "dispatch":
+            self._apply_dispatch(payload, t)
+        elif kind == "complete":
+            self._apply_complete(payload, t)
+        elif kind == "release":
+            req = _copy(payload["request"])
+            rid = str(req["request_id"])
+            self.pending_release = [
+                e
+                for e in self.pending_release
+                if e["request"]["request_id"] != rid  # type: ignore[index]
+            ]
+            self.window.append({"request": req, "since": t})
+        elif kind == "pool":
+            self._apply_pool(payload, t)
+        elif kind in ("chaos", "recover"):
+            self._apply_directives(payload, t)
+        elif kind == "end":
+            pass  # the header's _pool_advance covered the idle tail
+        elif kind == "snapshot":
+            pass  # the shadow IS the snapshot; replay() fast-forwards
+        else:
+            raise ServiceError(f"unknown journal event kind {kind!r}")
+
+    def _apply_dispatch(self, payload: Dict[str, object], t: float) -> None:
+        seq = int(payload["ready_seq"])  # type: ignore[arg-type]
+        request_ids = [str(r) for r in payload["request_ids"]]  # type: ignore[union-attr]
+        batch = next((b for b in self.ready if b["seq"] == seq), None)
+        if batch is None:
+            raise ServiceError(
+                f"journal dispatch references unknown ready batch {seq}"
+            )
+        have = [r["request_id"] for r in batch["requests"]]  # type: ignore[index]
+        if have[: len(request_ids)] != request_ids:
+            raise ServiceError(
+                f"journal dispatch members {request_ids} are not the "
+                f"head of ready batch {seq} ({have})"
+            )
+        members = batch["requests"][: len(request_ids)]  # type: ignore[index]
+        del batch["requests"][: len(request_ids)]  # type: ignore[union-attr]
+        if not batch["requests"]:
+            self.ready.remove(batch)
+        nodes = [int(n) for n in payload["nodes"]]  # type: ignore[union-attr]
+        self._pool_set(nodes, BUSY, t)
+        record = _copy(payload["record"])
+        self.jobs.append(record)
+        self.job_seq = max(self.job_seq, int(payload["wave"]) + 1)  # type: ignore[arg-type]
+        self.inflight[str(payload["job_id"])] = {
+            "requests": _copy(members),
+            "nodes": nodes,
+            "start_s": t,
+            "elapsed_s": float(payload["elapsed_s"]),  # type: ignore[arg-type]
+            "lost_ids": [],
+            "canceled": False,
+        }
+        self.tenant_served = _copy(payload["tenant_served"])
+        self._health_add(payload.get("incidents", ()), ())
+
+    def _apply_complete(self, payload: Dict[str, object], t: float) -> None:
+        job_id = str(payload["job_id"])
+        if job_id not in self.inflight:
+            raise ServiceError(
+                f"journal completion for unknown in-flight job {job_id!r}"
+            )
+        del self.inflight[job_id]
+        self._pool_set(payload.get("released_nodes", ()), IDLE, t)  # type: ignore[arg-type]
+        self.served.extend(_copy(list(payload.get("served", ()))))  # type: ignore[arg-type]
+        for entry in payload.get("requeued", ()):  # type: ignore[union-attr]
+            self.pending_release.append(_copy(entry))
+        for entry in payload.get("dead_letter", ()):  # type: ignore[union-attr]
+            self.abandoned.append(_copy(entry["record"]))
+        self._bump(payload.get("resil", {}))  # type: ignore[arg-type]
+
+    def _apply_pool(self, payload: Dict[str, object], t: float) -> None:
+        op = str(payload["op"])
+        nodes = [int(n) for n in payload.get("nodes", ())]  # type: ignore[union-attr]
+        if op == "grow":
+            self._pool_set(nodes, PROVISIONING, t)
+            for n in nodes:
+                self.pool["ready_at"][str(n)] = float(payload["ready_at"])  # type: ignore[index,arg-type]
+        elif op == "ready":
+            self._pool_set(nodes, IDLE, t)
+        elif op == "reclaim":
+            self._pool_set(nodes, OFFLINE, t)
+        elif op == "grow_failed":
+            pass  # nothing changed; the resil/consumed bookkeeping below
+        else:
+            raise ServiceError(f"unknown journal pool op {op!r}")
+        if payload.get("spec_index") is not None:
+            self.consumed_chaos.append(int(payload["spec_index"]))  # type: ignore[arg-type]
+        self._bump(payload.get("resil", {}))  # type: ignore[arg-type]
+
+    def _apply_directives(self, payload: Dict[str, object], t: float) -> None:
+        """Chaos / recovery events are bags of uniform directives —
+        one code path applies them all."""
+        if payload.get("spec_index") is not None:
+            self.consumed_chaos.append(int(payload["spec_index"]))  # type: ignore[arg-type]
+        if payload.get("down_until") is not None:
+            self.down_until = float(payload["down_until"])  # type: ignore[arg-type]
+        for job_id in payload.get("cancel_jobs", ()):  # type: ignore[union-attr]
+            man = self.inflight.get(str(job_id))
+            if man is not None:
+                man["canceled"] = True
+        for job_id, lost_ids in dict(
+            payload.get("manifest_lost", {})  # type: ignore[arg-type]
+        ).items():
+            man = self.inflight.get(str(job_id))
+            if man is not None:
+                man["lost_ids"] = sorted(
+                    set(man["lost_ids"]) | {str(r) for r in lost_ids}  # type: ignore[arg-type]
+                )
+        for job_id, record in dict(
+            payload.get("update_jobs", {})  # type: ignore[arg-type]
+        ).items():
+            for i, existing in enumerate(self.jobs):
+                if existing["job_id"] == job_id:
+                    self.jobs[i] = _copy(record)
+                    break
+        # canceled manifests whose jobs were reconciled are dropped
+        for job_id in payload.get("drop_jobs", ()):  # type: ignore[union-attr]
+            self.inflight.pop(str(job_id), None)
+        self._pool_set(payload.get("released_nodes", ()), IDLE, t)  # type: ignore[arg-type]
+        self._pool_set(payload.get("failed_nodes", ()), OFFLINE, t)  # type: ignore[arg-type]
+        grow = payload.get("pool_grow")
+        if grow:
+            nodes = [int(n) for n in grow["nodes"]]  # type: ignore[index]
+            self._pool_set(nodes, PROVISIONING, t)
+            for n in nodes:
+                self.pool["ready_at"][str(n)] = float(grow["ready_at"])  # type: ignore[index]
+        self._health_add(
+            payload.get("incidents", ()), payload.get("quarantine", ())
+        )
+        if payload.get("reset"):
+            self._health_reset(payload["reset"])  # type: ignore[arg-type]
+            self.pending_restores = [
+                e
+                for e in self.pending_restores
+                if set(e["nodes"]) != {int(n) for n in payload["reset"]}  # type: ignore[arg-type]
+            ]
+        if payload.get("restore_at") is not None:
+            self.pending_restores.append(
+                {
+                    "t": float(payload["restore_at"]),  # type: ignore[arg-type]
+                    "nodes": [int(n) for n in payload.get("quarantine", ())],  # type: ignore[union-attr]
+                }
+            )
+        for entry in payload.get("requeued", ()):  # type: ignore[union-attr]
+            self.pending_release.append(_copy(entry))
+        for entry in payload.get("dead_letter", ()):  # type: ignore[union-attr]
+            self.abandoned.append(_copy(entry["record"]))
+        for rid in payload.get("drop_pending_release", ()):  # type: ignore[union-attr]
+            self.pending_release = [
+                e
+                for e in self.pending_release
+                if e["request"]["request_id"] != rid  # type: ignore[index]
+            ]
+        if payload.get("clear_window"):
+            self.window = []
+            self.ready = []
+        self._bump(payload.get("resil", {}))  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Byte-stable JSON-safe dump of the whole mirror."""
+        return _copy(
+            {
+                "t": self.t,
+                "horizon_s": self.horizon_s,
+                "offered": self.offered,
+                "admitted": self.admitted,
+                "arrived_ids": sorted(self.arrived_ids),
+                "window": self.window,
+                "ready": self.ready,
+                "inflight": self.inflight,
+                "pending_release": self.pending_release,
+                "served": self.served,
+                "rejections": self.rejections,
+                "abandoned": self.abandoned,
+                "jobs": self.jobs,
+                "tenant_served": self.tenant_served,
+                "job_seq": self.job_seq,
+                "batch_seq": self.batch_seq,
+                "pool": self.pool,
+                "health": self.health,
+                "resil": self.resil,
+                "dead_by_cause": self.dead_by_cause,
+                "consumed_chaos": sorted(self.consumed_chaos),
+                "pending_restores": self.pending_restores,
+                "down_until": self.down_until,
+            }
+        )
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "ReplayState":
+        """Inverse of :meth:`to_dict`."""
+        state = cls()
+        data = _copy(d)
+        for key, val in data.items():
+            if key == "arrived_ids":
+                state.arrived_ids = set(val)
+            elif hasattr(state, key):
+                setattr(state, key, val)
+        return state
+
+
+class ServiceJournal:
+    """Append-only WAL with a continuously-validated replay shadow.
+
+    Parameters
+    ----------
+    snapshot_interval:
+        Append a full-state snapshot event after every this many
+        regular events; ``0`` disables snapshots (replay starts from
+        the beginning).
+    crash_at_event:
+        Fault-injection hook: the append that would write event index
+        ``crash_at_event`` raises :class:`~repro.errors.JournalCrash`
+        instead (the event is *lost*, exactly like a process dying
+        before the write hit disk).  ``None`` never crashes.
+    """
+
+    def __init__(
+        self,
+        *,
+        snapshot_interval: int = 0,
+        crash_at_event: Optional[int] = None,
+    ) -> None:
+        if snapshot_interval < 0:
+            raise ServiceError(
+                f"snapshot_interval must be >= 0, got {snapshot_interval}"
+            )
+        self.snapshot_interval = int(snapshot_interval)
+        self.crash_at_event = crash_at_event
+        self._events: List[Tuple[str, Dict[str, object]]] = []
+        self.shadow = ReplayState()
+        self._since_snapshot = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def events(self) -> List[Tuple[str, Dict[str, object]]]:
+        """The journaled events, in append order."""
+        return list(self._events)
+
+    def append(self, kind: str, payload: Dict[str, object]) -> None:
+        """Durably record one event (and advance the shadow).
+
+        Raises :class:`JournalCrash` when the injected crash index
+        comes due — the event is NOT recorded.
+        """
+        if (
+            self.crash_at_event is not None
+            and len(self._events) >= self.crash_at_event
+        ):
+            raise JournalCrash(
+                f"injected control-plane crash at WAL event "
+                f"{len(self._events)} ({kind})"
+            )
+        self._events.append((kind, _copy(payload)))
+        if kind == "snapshot":
+            self._since_snapshot = 0
+            return
+        self.shadow.apply(kind, payload)
+        self._since_snapshot += 1
+        if (
+            self.snapshot_interval
+            and self._since_snapshot >= self.snapshot_interval
+        ):
+            self.append(
+                "snapshot",
+                {"t": self.shadow.t, "state": self.shadow.to_dict()},
+            )
+
+    def seed(self, state: ReplayState) -> None:
+        """Start this journal from a recovered state instead of an
+        empty service: the recovered run's first event is a snapshot
+        of where it resumed."""
+        self._events = []
+        self.shadow = ReplayState.from_dict(state.to_dict())
+        self._since_snapshot = 0
+        self.append("snapshot", {"t": state.t, "state": state.to_dict()})
+
+    # ------------------------------------------------------------------
+    # replay
+    # ------------------------------------------------------------------
+    @staticmethod
+    def replay(
+        events: Sequence[Tuple[str, Dict[str, object]]]
+    ) -> Optional[ReplayState]:
+        """Fold ``events`` into the state they describe, fast-forwarding
+        from the latest snapshot.  ``None`` for an empty journal (the
+        crash predated the first write — recovery is a cold start)."""
+        if not events:
+            return None
+        start = 0
+        state = ReplayState()
+        for i, (kind, payload) in enumerate(events):
+            if kind == "snapshot":
+                state = ReplayState.from_dict(payload["state"])  # type: ignore[arg-type]
+                start = i + 1
+        for kind, payload in list(events)[start:]:
+            state.apply(kind, payload)
+        return state
+
+    # ------------------------------------------------------------------
+    # persistence (byte-stable JSONL)
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """One sorted-keys JSON line per event."""
+        return "\n".join(
+            json.dumps({"kind": k, "payload": p}, sort_keys=True)
+            for k, p in self._events
+        )
+
+    @classmethod
+    def from_jsonl(cls, text: str, **kwargs) -> "ServiceJournal":
+        """Rebuild a journal (and its shadow) from :meth:`to_jsonl`."""
+        journal = cls(**kwargs)
+        events: List[Tuple[str, Dict[str, object]]] = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            events.append((str(obj["kind"]), obj["payload"]))
+        journal._events = events
+        state = cls.replay(events)
+        if state is not None:
+            journal.shadow = state
+        return journal
+
+    def to_file(self, path: Union[str, Path]) -> Path:
+        """Write the JSONL journal to ``path``."""
+        path = Path(path)
+        path.write_text(self.to_jsonl() + "\n")
+        return path
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path], **kwargs) -> "ServiceJournal":
+        """Read a JSONL journal back from ``path``."""
+        return cls.from_jsonl(Path(path).read_text(), **kwargs)
+
+
+# ----------------------------------------------------------------------
+def recover_service(
+    service,
+    journal: Union[ServiceJournal, Sequence[Tuple[str, Dict[str, object]]]],
+    *,
+    horizon_s: Optional[float] = None,
+    mode: str = "resume",
+    resume_delay_s: float = 0.0,
+):
+    """Resurrect a crashed service run and drive it to completion.
+
+    Parameters
+    ----------
+    service:
+        A *freshly constructed* :class:`~repro.service.loop.OnlineService`
+        with the same configuration (machine, traffic seed, window,
+        pool knobs) as the run that crashed.
+    journal:
+        The surviving :class:`ServiceJournal` (or its raw event list) —
+        typically truncated mid-run by the crash.
+    horizon_s:
+        Traffic horizon of the original run; defaults to the horizon
+        recorded in the journal's ``begin`` event.
+    mode:
+        ``"resume"`` — exactly-once recovery: durable results are kept,
+        lost in-flight waves are requeued (no retry-budget charge), and
+        the window/ready backlog continues where it stood.  ``"cold"``
+        — the naive restart-from-empty baseline: everything in flight
+        or queued is dead-lettered and the pool reboots at its floor.
+    resume_delay_s:
+        Simulated downtime between the crash and the recovered loop
+        taking over (detection + restart).
+
+    Returns the final :class:`~repro.service.report.ServiceReport`.
+    """
+    events = journal.events if isinstance(journal, ServiceJournal) else list(
+        journal
+    )
+    state = ServiceJournal.replay(events)
+    if state is None:
+        # the crash predated the first write: nothing to recover
+        if horizon_s is None:
+            raise ServiceError(
+                "cannot recover from an empty journal without horizon_s"
+            )
+        return service.run(horizon_s)
+    if horizon_s is None:
+        horizon_s = state.horizon_s
+    service.restore(state, mode=mode, resume_delay_s=resume_delay_s)
+    return service.resume(horizon_s)

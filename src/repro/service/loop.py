@@ -27,15 +27,36 @@ simulation on one deterministic clock:
   :class:`~repro.resilience.health.RetryPolicy` backoff, or land on
   the dead-letter list once the attempt cap is spent.
 
-Every quantity of interest lands in a :class:`ServiceReport`; every
-decision (arrival, shed, dispatch, retry, completion, SLO miss) emits
+The control plane itself is now a fault domain (this is the durable
+half of the robustness PR):
+
+- with a :class:`~repro.service.journal.ServiceJournal` installed,
+  every state transition is written to the WAL *as it happens* — a
+  crash at any point leaves a journal whose replay
+  (:func:`~repro.service.journal.recover_service` →
+  :meth:`restore` → :meth:`resume`) resumes the simulated clock
+  mid-horizon with exactly-once semantics: served results stay
+  served, in-flight waves are requeued without charging their retry
+  budget, and regenerated traffic minus the already-seen arrival ids
+  fills in the rest of the horizon;
+- a ``chaos`` :class:`~repro.resilience.faults.FaultPlan` arms
+  control-plane faults on the sim clock: ``service_crash`` (downtime
+  + in-flight loss, handled per the ``recovery`` mode),
+  ``provision_fail`` (a grow request fails outright or stalls), and
+  ``domain_loss`` (a whole fault domain of nodes rips out, taking the
+  member shards placed on it; survivors shrink-and-recover because
+  domain-aware placement spread them across racks).
+
+Every quantity of interest lands in a :class:`ServiceReport`
+(including the ``resilience`` counter block); every decision emits
 counters/histograms through the shared
 :class:`~repro.obs.Telemetry` bundle when one is installed.
 
 The event heap orders ``(time, kind-rank, sequence)`` so same-instant
 events resolve deterministically: capacity comes up and completions
-release nodes *before* new arrivals are admitted, and window flush
-timers run last.  Same seed, same knobs — byte-identical report.
+release nodes before chaos strikes, chaos strikes before new arrivals
+are admitted, and window flush timers run last.  Same seed, same
+knobs — byte-identical report.
 """
 
 from __future__ import annotations
@@ -44,7 +65,7 @@ import dataclasses
 import heapq
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.errors import ServiceError
 from repro.campaign.cache import CmatCache
@@ -52,13 +73,16 @@ from repro.campaign.packer import CampaignPacker, PackedJob
 from repro.campaign.report import AbandonedRecord, JobRecord
 from repro.campaign.request import SimRequest
 from repro.campaign.runner import CampaignRunner
+from repro.resilience.faults import CONTROL_KINDS, FaultPlan, FaultSpec
 from repro.resilience.health import NodeHealthTracker, RetryPolicy
+from repro.resilience.ledger import RecoveryEvent, RecoveryLedger
 from repro.service.admission import (
     UNATTRIBUTED,
     AdmissionController,
     FairSharePolicy,
+    RejectionRecord,
 )
-from repro.service.pool import ElasticNodePool
+from repro.service.pool import BUSY, OFFLINE, ElasticNodePool
 from repro.service.report import (
     SERVICE_TTR_BUCKETS,
     ServedRecord,
@@ -68,15 +92,24 @@ from repro.service.traffic import TrafficModel
 from repro.service.window import MovingWindow, WindowPolicy
 
 #: Same-instant event precedence: capacity first, then completions
-#: (free nodes), then new work, then retries, then timers.
+#: (free nodes), then control-plane faults (chaos sees the post-
+#: completion state), then new work, then retries, then timers.
 _EVENT_RANK = {
     "ready": 0,
     "complete": 1,
-    "arrival": 2,
-    "release": 3,
-    "flush": 4,
-    "reclaim": 5,
+    "chaos": 2,
+    "arrival": 3,
+    "release": 4,
+    "flush": 5,
+    "reclaim": 6,
 }
+
+#: Recovery modes for a control-plane crash (in-run ``service_crash``
+#: chaos and :meth:`OnlineService.restore` alike): ``resume`` keeps
+#: durable state and requeues in-flight work; ``cold`` is the naive
+#: restart-from-empty baseline — everything in the system is
+#: dead-lettered and the pool reboots at its floor.
+RECOVERY_MODES = ("resume", "cold")
 
 
 @dataclass
@@ -97,7 +130,9 @@ class OnlineService:
     machine:
         The machine whose nodes the pool manages.
     traffic:
-        Arrival stream generator (seeded — reruns are byte-identical).
+        Arrival stream generator (seeded — reruns are byte-identical,
+        and a recovered run regenerates the stream to re-derive the
+        arrivals the crash never saw).
     window:
         Moving-window flush policy (default: ``WindowPolicy()``).
     max_pending:
@@ -117,6 +152,28 @@ class OnlineService:
         ``provision_delay_s`` / ``idle_reclaim_s``.
     prefer_larger_k:
         Packer sharing mode; ``False`` is the k=1 FIFO baseline.
+    spread_domains:
+        Interleave grow picks and placements across the machine's
+        fault domains (no-op without declared domains); ``False`` is
+        the naive pack-a-rack baseline.
+    journal:
+        Optional :class:`~repro.service.journal.ServiceJournal`; when
+        installed every transition is WAL-logged (and a crash injected
+        by the journal propagates as
+        :class:`~repro.errors.JournalCrash`).
+    chaos:
+        Optional :class:`~repro.resilience.faults.FaultPlan` whose
+        *control-plane* specs fire on the sim clock (data-plane specs
+        in the plan are ignored here — route those through
+        ``node_faults``).
+    recovery:
+        How an in-run ``service_crash`` is handled: ``"resume"``
+        (durable control plane) or ``"cold"`` (restart-from-empty
+        baseline).
+    checker_factory:
+        Zero-arg callable building a fresh protocol checker per
+        dispatch, forwarded to the :class:`CampaignRunner` (chaos
+        scenarios run every wave checker-verified).
     cache / use_cache / retry / health / node_faults /
     checkpoint_interval / policy / telemetry:
         Forwarded to the underlying :class:`CampaignRunner` — dispatch
@@ -142,6 +199,11 @@ class OnlineService:
         provision_delay_s: float = 0.0,
         idle_reclaim_s: float = float("inf"),
         prefer_larger_k: bool = True,
+        spread_domains: bool = True,
+        journal=None,
+        chaos: Optional[FaultPlan] = None,
+        recovery: str = "resume",
+        checker_factory=None,
         cache: Optional[CmatCache] = None,
         use_cache: bool = True,
         retry: Optional[RetryPolicy] = RetryPolicy(),
@@ -154,18 +216,27 @@ class OnlineService:
     ) -> None:
         self.machine = machine
         self.traffic = traffic
+        self._window_policy = window
         self.window = MovingWindow(window)
         self.admission = AdmissionController(max_pending)
         self.fairness = FairSharePolicy(weights)
         self.default_slo_s = default_slo_s
         self.steps = steps
         self.telemetry = telemetry
+        self.journal = journal
+        self.chaos = chaos
+        if recovery not in RECOVERY_MODES:
+            raise ServiceError(
+                f"recovery must be one of {RECOVERY_MODES}, got {recovery!r}"
+            )
+        self.recovery = recovery
         if max_dispatches < 1:
             raise ServiceError(
                 f"max_dispatches must be >= 1, got {max_dispatches}"
             )
         self.max_dispatches = int(max_dispatches)
         shared_health = health if health is not None else NodeHealthTracker()
+        self.health = shared_health
         self.pool = pool if pool is not None else ElasticNodePool(
             machine,
             min_nodes=min_nodes,
@@ -173,13 +244,17 @@ class OnlineService:
             provision_delay_s=provision_delay_s,
             idle_reclaim_s=idle_reclaim_s,
             health=shared_health,
+            spread_domains=spread_domains,
         )
         if self.pool.machine is not machine:
             raise ServiceError(
                 "the pool must manage the same machine the service runs on"
             )
         self.packer = CampaignPacker(
-            machine, prefer_larger_k=prefer_larger_k, health=shared_health
+            machine,
+            prefer_larger_k=prefer_larger_k,
+            health=shared_health,
+            spread_domains=spread_domains,
         )
         self.runner = CampaignRunner(
             machine,
@@ -192,7 +267,9 @@ class OnlineService:
             checkpoint_interval=checkpoint_interval,
             policy=policy,
             telemetry=telemetry,
+            checker_factory=checker_factory,
         )
+        self.ledger = RecoveryLedger()
         # mutable run state (reset by run())
         self._heap: List[Tuple[float, int, int, str, object]] = []
         self._seq = 0
@@ -207,6 +284,21 @@ class OnlineService:
         self._jobs: List[JobRecord] = []
         self._flush_timers: set = set()
         self._reclaim_timers: set = set()
+        # in-flight wave manifests by job id; the heap's "complete"
+        # payload is the job id, so chaos can reconcile a wave (cancel
+        # it, kill members) before its completion fires
+        self._inflight: Dict[str, Dict[str, object]] = {}
+        # retry backoffs awaiting release: request_id -> (request, t)
+        self._pending_release: Dict[str, Tuple[SimRequest, float]] = {}
+        self._release_cancel: Set[str] = set()
+        self._down_until = 0.0
+        self._resil: Dict[str, float] = {}
+        self._dead_by_cause: Dict[str, int] = {}
+        self._consumed_chaos: Set[int] = set()
+        self._provision_faults: List[Tuple[int, FaultSpec]] = []
+        self._pending_restores: List[Tuple[float, Tuple[int, ...]]] = []
+        self._health_mark = 0
+        self._recovered: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     # event plumbing
@@ -222,6 +314,22 @@ class OnlineService:
         bound's denominator): window holds plus flushed-unplaced."""
         return len(self.window) + sum(len(b.requests) for b in self._ready)
 
+    def _log(self, kind: str, payload: Dict[str, object]) -> None:
+        """WAL-append one event stamped at the current sim clock (a
+        no-op without a journal; an injected crash propagates)."""
+        if self.journal is not None:
+            self.journal.append(kind, {"t": self._now, **payload})
+
+    def _health_delta(self) -> List[Dict[str, object]]:
+        """Incidents recorded since the last delta, as dicts."""
+        incidents = self.health.incidents()
+        fresh = incidents[self._health_mark:]
+        self._health_mark = len(incidents)
+        return [i.to_dict() for i in fresh]
+
+    def _bump(self, key: str, amount: float = 1) -> None:
+        self._resil[key] = self._resil.get(key, 0) + amount
+
     # ------------------------------------------------------------------
     # the loop
     # ------------------------------------------------------------------
@@ -233,8 +341,38 @@ class OnlineService:
         if tele is not None:
             tele.tracer.time_offset = 0.0
             tele.tracer.begin("service", "service", 0.0)
+        self._log(
+            "begin",
+            {
+                "horizon_s": float(horizon_s),
+                "pool": self.pool.to_dict(),
+                "health": self.health.to_dict(),
+            },
+        )
         for req in requests:
             self._push(req.arrival_s, "arrival", req)
+        self._arm_chaos(0.0)
+        self._loop()
+        return self._finish(horizon_s)
+
+    def _arm_chaos(self, t_floor: float) -> None:
+        """Schedule the plan's control-plane specs (skipping consumed
+        ones — recovery re-arms only what has not fired)."""
+        if self.chaos is None:
+            return
+        self._provision_faults = []
+        for i, spec in enumerate(self.chaos.specs):
+            if spec.kind not in CONTROL_KINDS or i in self._consumed_chaos:
+                continue
+            if spec.kind == "provision_fail":
+                self._provision_faults.append((i, spec))
+            else:
+                self._push(
+                    max(spec.at_s, t_floor), "chaos", {"spec_index": i}
+                )
+        self._provision_faults.sort(key=lambda e: (e[1].at_s, e[0]))
+
+    def _loop(self) -> None:
         while self._heap or self.window or self._ready:
             if not self._heap:
                 # nothing scheduled but requests still held: only
@@ -249,20 +387,32 @@ class OnlineService:
                 )  # pragma: no cover - _maybe_grow raises first
             t, _, _, kind, payload = heapq.heappop(self._heap)
             self._now = max(self._now, t)
-            self.pool.on_ready(self._now)
+            came_up = self.pool.on_ready(self._now)
+            if came_up:
+                self._log("pool", {"op": "ready", "nodes": came_up})
             if kind == "arrival":
                 self._on_arrival(payload)
             elif kind == "complete":
                 self._on_complete(payload)
             elif kind == "release":
                 self._on_release(payload)
+            elif kind == "chaos":
+                self._on_chaos(payload)
             elif kind == "flush":
                 self._flush_timers.discard(t)
             elif kind == "reclaim":
                 self._reclaim_timers.discard(t)
             # "ready" has no payload: on_ready above did the work
+            if self._now < self._down_until:
+                continue  # control plane is down: no scheduling
             self._schedule()
+
+    def _finish(self, horizon_s: float) -> ServiceReport:
+        # close the WAL at the final clock so a replay's pool integral
+        # covers the idle tail after the last state transition
+        self._log("end", {})
         self.pool.finish(self._now)
+        tele = self.telemetry
         if tele is not None:
             tele.tracer.time_offset = 0.0
             tele.tracer.end(self._now)
@@ -290,7 +440,37 @@ class OnlineService:
             pool_node_seconds=self.pool.node_seconds,
             pool_timeline=self.pool.timeline_dicts(),
             tenant_node_seconds=self.fairness.served(),
+            resilience=self._resilience_summary(),
         )
+
+    def _resilience_summary(self) -> Dict[str, object]:
+        """The report's resilience block (empty on a fault-free run)."""
+        if not (self._resil or self._dead_by_cause or self.ledger.events):
+            return {}
+        return {
+            "retries": int(self._resil.get("retries", 0)),
+            "dead_letters": int(self._resil.get("dead_letters", 0)),
+            "dead_letters_by_cause": {
+                k: int(v) for k, v in sorted(self._dead_by_cause.items())
+            },
+            "recovery_seconds": float(
+                self._resil.get("recovery_seconds", 0.0)
+            ),
+            "crashes": int(self._resil.get("crashes", 0)),
+            "provision_failures": int(
+                self._resil.get("provision_failures", 0)
+            ),
+            "provision_stall_seconds": float(
+                self._resil.get("provision_stall_seconds", 0.0)
+            ),
+            "domain_losses": int(self._resil.get("domain_losses", 0)),
+            "downtime_shed": int(self._resil.get("downtime_shed", 0)),
+            "wal_recoveries": int(self._resil.get("wal_recoveries", 0)),
+            "data_plane_recoveries": int(
+                sum(j.n_recoveries for j in self._jobs)
+            ),
+            "control_ledger": dict(self.ledger.totals()),
+        }
 
     # ------------------------------------------------------------------
     # event handlers
@@ -302,12 +482,51 @@ class OnlineService:
             tele.metrics.counter(
                 "service_arrivals_total", tenant=tenant
             ).inc()
+        if self._now < self._down_until:
+            # the control plane is down: the front door is closed and
+            # the arrival is shed by the (conceptual) load balancer —
+            # recorded explicitly so request conservation still holds
+            self.admission.offered += 1
+            rejection = RejectionRecord(
+                request_id=req.request_id,
+                tenant=tenant,
+                arrival_s=req.arrival_s,
+                pending=self._in_system(),
+                reason=(
+                    f"service down until t={self._down_until:.3f} "
+                    "(control-plane crash)"
+                ),
+            )
+            self.admission.rejections.append(rejection)
+            self._bump("downtime_shed")
+            if tele is not None:
+                tele.metrics.counter(
+                    "service_shed_total", tenant=tenant
+                ).inc()
+            self._log(
+                "arrival",
+                {
+                    "request": req.to_dict(),
+                    "outcome": "shed",
+                    "rejection": rejection.to_dict(),
+                    "resil": {"downtime_shed": 1},
+                },
+            )
+            return
         rejection = self.admission.try_admit(req, self._in_system())
         if rejection is not None:
             if tele is not None:
                 tele.metrics.counter(
                     "service_shed_total", tenant=tenant
                 ).inc()
+            self._log(
+                "arrival",
+                {
+                    "request": req.to_dict(),
+                    "outcome": "shed",
+                    "rejection": rejection.to_dict(),
+                },
+            )
             return
         if req.deadline_s is None and self.default_slo_s is not None:
             req = dataclasses.replace(
@@ -315,19 +534,85 @@ class OnlineService:
             )
         self._by_id[req.request_id] = req
         self.window.add(req, self._now)
+        self._log(
+            "arrival", {"request": req.to_dict(), "outcome": "admit"}
+        )
 
     def _on_release(self, req: SimRequest) -> None:
         """A retry's backoff elapsed: back into the window (admission
         was already paid on first arrival)."""
+        if req.request_id in self._release_cancel:
+            # the request was dead-lettered by a cold crash while its
+            # backoff was pending — the timer fires into the void
+            self._release_cancel.discard(req.request_id)
+            return
+        self._pending_release.pop(req.request_id, None)
         self._by_id[req.request_id] = req
         self.window.add(req, self._now)
+        self._log("release", {"request": req.to_dict()})
 
-    def _on_complete(self, payload) -> None:
-        job, record, completed, lost = payload
-        self._running -= 1
-        self.pool.release(job.nodes, self._now)
+    def _requeue(
+        self, req: SimRequest, release_t: float
+    ) -> Dict[str, object]:
+        """Schedule ``req`` to re-enter the window at ``release_t`` and
+        return the journal entry describing it."""
+        self._pending_release[req.request_id] = (req, release_t)
+        self._push(release_t, "release", req)
+        return {"request": req.to_dict(), "release_t": release_t}
+
+    def _handle_lost(
+        self, req: SimRequest, job_id: str, cause: str
+    ) -> Tuple[str, Dict[str, object]]:
+        """Retry-or-dead-letter one fault-lost member.  Returns
+        ``("requeue", entry)`` or ``("dead", entry)`` with the journal
+        entry for the outcome."""
         tele = self.telemetry
-        for rec in completed:
+        retry = self.runner.retry
+        attempts_done = req.attempt + 1
+        if retry is not None and not retry.allows(attempts_done + 1):
+            if tele is not None:
+                tele.metrics.counter("service_dead_letters_total").inc()
+            self._by_id.pop(req.request_id, None)
+            record = AbandonedRecord(
+                request_id=req.request_id,
+                attempts=attempts_done,
+                last_job_id=job_id,
+                reason=(
+                    f"lost to faults on all {attempts_done} "
+                    "dispatch(es); retry policy "
+                    f"max_attempts={retry.max_attempts}"
+                ),
+            )
+            self._abandoned.append(record)
+            self._bump("dead_letters")
+            self._dead_by_cause[cause] = (
+                self._dead_by_cause.get(cause, 0) + 1
+            )
+            return ("dead", {"record": record.to_dict(), "cause": cause})
+        backoff = (
+            retry.backoff_s(attempts_done, key=req.request_id)
+            if retry is not None
+            else 0.0
+        )
+        if tele is not None:
+            tele.metrics.counter("service_retries_total").inc()
+        self._bump("retries")
+        return (
+            "requeue",
+            self._requeue(req.requeued(), self._now + backoff),
+        )
+
+    def _on_complete(self, job_id: str) -> None:
+        man = self._inflight.pop(job_id, None)
+        if man is None or man["canceled"]:
+            return  # the wave was reconciled away by a crash
+        self._running -= 1
+        job: PackedJob = man["job"]  # type: ignore[assignment]
+        live = [n for n in job.nodes if n not in man["dead_nodes"]]  # type: ignore[operator]
+        self.pool.release(live, self._now)
+        tele = self.telemetry
+        served_entries: List[Dict[str, object]] = []
+        for rec in man["completed"]:  # type: ignore[union-attr]
             req = self._by_id.pop(rec.request_id)
             served = ServedRecord(
                 request_id=rec.request_id,
@@ -341,6 +626,7 @@ class OnlineService:
                 job_id=rec.job_id,
             )
             self._served.append(served)
+            served_entries.append(served.to_dict())
             if tele is not None:
                 tele.metrics.counter(
                     "service_completions_total", tenant=served.tenant
@@ -355,34 +641,403 @@ class OnlineService:
                     tele.metrics.counter(
                         "service_slo_miss_total", tenant=served.tenant
                     ).inc()
-        retry = self.runner.retry
-        for req in lost:
-            attempts_done = req.attempt + 1
-            if retry is not None and not retry.allows(attempts_done + 1):
-                if tele is not None:
-                    tele.metrics.counter("service_dead_letters_total").inc()
-                self._by_id.pop(req.request_id, None)
-                self._abandoned.append(
-                    AbandonedRecord(
-                        request_id=req.request_id,
-                        attempts=attempts_done,
-                        last_job_id=record.job_id,
-                        reason=(
-                            f"lost to faults on all {attempts_done} "
-                            "dispatch(es); retry policy "
-                            f"max_attempts={retry.max_attempts}"
-                        ),
-                    )
-                )
-                continue
-            backoff = (
-                retry.backoff_s(attempts_done, key=req.request_id)
-                if retry is not None
-                else 0.0
+        requeued: List[Dict[str, object]] = []
+        dead: List[Dict[str, object]] = []
+        retries_before = self._resil.get("retries", 0)
+        deads_before = self._resil.get("dead_letters", 0)
+        cause_before = dict(self._dead_by_cause)
+        for req, cause in man["lost"]:  # type: ignore[union-attr]
+            outcome, entry = self._handle_lost(req, job_id, cause)
+            (requeued if outcome == "requeue" else dead).append(entry)
+        resil: Dict[str, object] = {}
+        if self._resil.get("retries", 0) > retries_before:
+            resil["retries"] = self._resil["retries"] - retries_before
+        if self._resil.get("dead_letters", 0) > deads_before:
+            resil["dead_letters"] = (
+                self._resil["dead_letters"] - deads_before
             )
-            if tele is not None:
-                tele.metrics.counter("service_retries_total").inc()
-            self._push(self._now + backoff, "release", req.requeued())
+            resil["by_cause"] = {
+                k: v - cause_before.get(k, 0)
+                for k, v in self._dead_by_cause.items()
+                if v > cause_before.get(k, 0)
+            }
+        self._log(
+            "complete",
+            {
+                "job_id": job_id,
+                "served": served_entries,
+                "requeued": requeued,
+                "dead_letter": dead,
+                "released_nodes": sorted(live),
+                "resil": resil,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # control-plane chaos
+    # ------------------------------------------------------------------
+    def _on_chaos(self, payload: Dict[str, object]) -> None:
+        if "restore" in payload:
+            self._restore_domain(tuple(payload["restore"]))  # type: ignore[arg-type]
+            return
+        index = int(payload["spec_index"])  # type: ignore[arg-type]
+        if index in self._consumed_chaos:
+            return  # already fired before a crash; replay consumed it
+        spec = self.chaos.specs[index]
+        self._consumed_chaos.add(index)
+        if spec.kind == "service_crash":
+            self._on_service_crash(index, spec)
+        elif spec.kind == "domain_loss":
+            self._on_domain_loss(index, spec)
+
+    def _cancel_wave(
+        self, job_id: str, man: Dict[str, object]
+    ) -> List[int]:
+        """Cancel one in-flight wave and release its surviving nodes;
+        returns the released node ids."""
+        man["canceled"] = True
+        self._running -= 1
+        job: PackedJob = man["job"]  # type: ignore[assignment]
+        live = [n for n in job.nodes if n not in man["dead_nodes"]]  # type: ignore[operator]
+        self.pool.release(live, self._now)
+        return live
+
+    def _on_service_crash(self, index: int, spec: FaultSpec) -> None:
+        """The control plane dies for ``spec.duration_s``: in-flight
+        waves are lost (the completion event fires into the void) and
+        arrivals shed until the service is back.  What happens to the
+        lost work depends on the ``recovery`` mode."""
+        down_until = self._now + spec.duration_s
+        self._down_until = max(self._down_until, down_until)
+        self._bump("crashes")
+        self._bump("recovery_seconds", spec.duration_s)
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter("service_crashes_total").inc()
+        inflight = [
+            (job_id, man)
+            for job_id, man in sorted(self._inflight.items())
+            if not man["canceled"]
+        ]
+        members_before = sum(len(m["job"].requests) for _, m in inflight)  # type: ignore[union-attr]
+        lost_work = sum(
+            self._now - float(m["start_s"]) for _, m in inflight  # type: ignore[arg-type]
+        )
+        directives: Dict[str, object] = {
+            "spec_index": index,
+            "down_until": self._down_until,
+            "resil": {"crashes": 1, "recovery_seconds": spec.duration_s},
+        }
+        if self.recovery == "resume":
+            self._crash_resume(inflight, directives)
+        else:
+            self._crash_cold(spec, directives)
+        self.ledger.record(
+            RecoveryEvent(
+                step=0,
+                rolled_back_steps=0,
+                detected_at_s=self._now,
+                detection_s=spec.duration_s,
+                lost_work_s=lost_work,
+                reassembly_s=0.0,
+                rebuilt_blocks=0,
+                failed_ranks=(),
+                failed_nodes=(),
+                lost_members=(),
+                n_members_before=members_before,
+                n_members_after=0,
+            )
+        )
+        self._push(self._down_until, "ready")
+        self._log("chaos", directives)
+
+    def _crash_resume(self, inflight, directives: Dict[str, object]) -> None:
+        """Durable-mode crash: in-flight waves cancel, their members
+        requeue at the recovery time *without* an attempt bump (the
+        crash was not their fault), and everything queued survives."""
+        canceled: List[str] = []
+        released: List[int] = []
+        requeued: List[Dict[str, object]] = []
+        for job_id, man in inflight:
+            released.extend(self._cancel_wave(job_id, man))
+            canceled.append(job_id)
+            for req in man["job"].requests:  # type: ignore[union-attr]
+                requeued.append(self._requeue(req, self._down_until))
+            del self._inflight[job_id]
+        directives.update(
+            {
+                "cancel_jobs": canceled,
+                "drop_jobs": canceled,
+                "released_nodes": sorted(released),
+                "requeued": requeued,
+            }
+        )
+
+    def _crash_cold(
+        self, spec: FaultSpec, directives: Dict[str, object]
+    ) -> None:
+        """Naive-restart crash: every request in the system (held,
+        flushed, in flight, backing off) is dead-lettered, all online
+        capacity is lost, and the pool regrows from its floor after
+        the outage."""
+        dead: List[Dict[str, object]] = []
+
+        def _abandon(req: SimRequest, attempts: int, job_id: str) -> None:
+            record = AbandonedRecord(
+                request_id=req.request_id,
+                attempts=attempts,
+                last_job_id=job_id,
+                reason="lost in control-plane crash (cold restart)",
+            )
+            self._abandoned.append(record)
+            self._bump("dead_letters")
+            self._dead_by_cause["service_crash"] = (
+                self._dead_by_cause.get("service_crash", 0) + 1
+            )
+            dead.append(
+                {"record": record.to_dict(), "cause": "service_crash"}
+            )
+
+        canceled: List[str] = []
+        for job_id, man in sorted(self._inflight.items()):
+            if not man["canceled"]:
+                man["canceled"] = True
+                self._running -= 1
+                canceled.append(job_id)
+                for req in man["job"].requests:  # type: ignore[union-attr]
+                    _abandon(req, req.attempt + 1, job_id)
+        self._inflight.clear()
+        for req in self.window.pending():
+            _abandon(req, req.attempt, "")
+        for rb in self._ready:
+            for req in rb.requests:
+                _abandon(req, req.attempt, "")
+        dropped_releases = sorted(self._pending_release)
+        for rid, (req, _) in sorted(self._pending_release.items()):
+            self._release_cancel.add(rid)
+            _abandon(req, req.attempt, "")
+        self._pending_release.clear()
+        self.window = MovingWindow(self._window_policy)
+        self._ready = []
+        self._by_id.clear()
+        doomed = [
+            n
+            for n in range(self.machine.n_nodes)
+            if self.pool.state_of(n) != OFFLINE
+        ]
+        self.pool.fail_nodes(doomed, self._now)
+        grow: Optional[Dict[str, object]] = None
+        ready_at = self.pool.request_grow(
+            self.pool.min_nodes, self._now, extra_delay_s=spec.duration_s
+        )
+        if ready_at is not None:
+            grow = {
+                "nodes": sorted(self.pool.last_grown),
+                "ready_at": ready_at,
+            }
+            self._push(ready_at, "ready")
+        directives.update(
+            {
+                "cancel_jobs": canceled,
+                "drop_jobs": canceled,
+                "dead_letter": dead,
+                "drop_pending_release": dropped_releases,
+                "clear_window": True,
+                "failed_nodes": sorted(doomed),
+                "pool_grow": grow,
+            }
+        )
+        resil = directives["resil"]
+        resil["dead_letters"] = len(dead)  # type: ignore[index]
+        resil["by_cause"] = {"service_crash": len(dead)}  # type: ignore[index]
+
+    def _on_domain_loss(self, index: int, spec: FaultSpec) -> None:
+        """A whole fault domain (or single node, without declared
+        domains) rips out: its nodes hard-fail, member shards placed
+        on them are lost, survivors shrink-and-recover."""
+        domains = self.machine.fault_domains
+        if domains is not None:
+            nodes = [
+                n
+                for n in domains.nodes_in(spec.node, self.machine.n_nodes)
+            ]
+        else:
+            nodes = (
+                [spec.node] if spec.node < self.machine.n_nodes else []
+            )
+        self._bump("domain_losses")
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(
+                "service_domain_losses_total"
+            ).inc()
+        self.pool.fail_nodes(nodes, self._now)
+        for node in nodes:
+            self.health.record(
+                node,
+                "crash",
+                at_s=self._now,
+                detail=f"fault domain {spec.node} lost",
+            )
+            self.health.quarantine(node)
+        failed = set(nodes)
+        directives: Dict[str, object] = {
+            "spec_index": index,
+            "failed_nodes": sorted(failed),
+            "quarantine": sorted(failed),
+            "resil": {"domain_losses": 1},
+        }
+        canceled: List[str] = []
+        dropped: List[str] = []
+        released: List[int] = []
+        requeued: List[Dict[str, object]] = []
+        dead: List[Dict[str, object]] = []
+        manifest_lost: Dict[str, List[str]] = {}
+        update_jobs: Dict[str, Dict[str, object]] = {}
+        all_lost_members = []
+        retries_before = self._resil.get("retries", 0)
+        deads_before = self._resil.get("dead_letters", 0)
+        for job_id, man in sorted(self._inflight.items()):
+            if man["canceled"]:
+                continue
+            job: PackedJob = man["job"]  # type: ignore[assignment]
+            hit = failed & set(job.nodes)
+            if not hit:
+                continue
+            man["dead_nodes"].update(hit)  # type: ignore[union-attr]
+            lost_ids = []
+            for m, req in enumerate(job.requests):
+                if self._member_nodes(job, m) & failed:
+                    lost_ids.append(req.request_id)
+            if not lost_ids:
+                continue  # rack died under ranks of no whole member
+            lost_set = set(lost_ids)
+            survivors = [
+                rec
+                for rec in man["completed"]  # type: ignore[union-attr]
+                if rec.request_id not in lost_set
+            ]
+            newly_lost = [
+                req
+                for req in job.requests
+                if req.request_id in lost_set
+                and not any(
+                    r.request_id == req.request_id
+                    for r, _ in man["lost"]  # type: ignore[union-attr]
+                )
+            ]
+            man["completed"] = survivors
+            man["lost"] = list(man["lost"]) + [  # type: ignore[arg-type]
+                (req, "domain_loss") for req in newly_lost
+            ]
+            manifest_lost[job_id] = sorted(lost_set)
+            all_lost_members.extend(lost_ids)
+            record: JobRecord = man["record"]  # type: ignore[assignment]
+            new_record = dataclasses.replace(
+                record,
+                lost_request_ids=tuple(
+                    sorted(set(record.lost_request_ids) | lost_set)
+                ),
+            )
+            man["record"] = new_record
+            for i, existing in enumerate(self._jobs):
+                if existing.job_id == job_id:
+                    self._jobs[i] = new_record
+                    break
+            update_jobs[job_id] = new_record.to_dict()
+            if not survivors:
+                # every member lost: the wave dies here, not at its
+                # completion event — reconcile its losses immediately
+                released.extend(self._cancel_wave(job_id, man))
+                canceled.append(job_id)
+                dropped.append(job_id)
+                del self._inflight[job_id]
+                for req, cause in man["lost"]:  # type: ignore[union-attr]
+                    outcome, entry = self._handle_lost(
+                        req, job_id, cause
+                    )
+                    (requeued if outcome == "requeue" else dead).append(
+                        entry
+                    )
+        resil = directives["resil"]
+        if self._resil.get("retries", 0) > retries_before:
+            resil["retries"] = (  # type: ignore[index]
+                self._resil["retries"] - retries_before
+            )
+        if self._resil.get("dead_letters", 0) > deads_before:
+            resil["dead_letters"] = (  # type: ignore[index]
+                self._resil["dead_letters"] - deads_before
+            )
+            resil["by_cause"] = {  # type: ignore[index]
+                "domain_loss": self._resil["dead_letters"] - deads_before
+            }
+        directives.update(
+            {
+                "cancel_jobs": canceled,
+                "drop_jobs": dropped,
+                "released_nodes": sorted(released),
+                "requeued": requeued,
+                "dead_letter": dead,
+                "manifest_lost": manifest_lost,
+                "update_jobs": update_jobs,
+                "incidents": self._health_delta(),
+            }
+        )
+        self.ledger.record(
+            RecoveryEvent(
+                step=0,
+                rolled_back_steps=0,
+                detected_at_s=self._now,
+                detection_s=0.0,
+                lost_work_s=sum(
+                    self._now - float(self._inflight[j]["start_s"])  # type: ignore[arg-type]
+                    for j in manifest_lost
+                    if j in self._inflight
+                ),
+                reassembly_s=0.0,
+                rebuilt_blocks=0,
+                failed_ranks=(),
+                failed_nodes=tuple(sorted(failed)),
+                lost_members=(),
+                n_members_before=len(all_lost_members)
+                + sum(
+                    len(m["completed"])  # type: ignore[arg-type]
+                    for m in self._inflight.values()
+                ),
+                n_members_after=sum(
+                    len(m["completed"])  # type: ignore[arg-type]
+                    for m in self._inflight.values()
+                ),
+            )
+        )
+        if spec.duration_s > 0:
+            restore_t = self._now + spec.duration_s
+            self._pending_restores.append((restore_t, tuple(sorted(failed))))
+            self._push(
+                restore_t, "chaos", {"restore": sorted(failed)}
+            )
+            directives["restore_at"] = restore_t
+        self._log("chaos", directives)
+
+    def _member_nodes(self, job: PackedJob, member: int) -> set:
+        """Physical node ids member ``member``'s ranks occupy."""
+        rpm = job.shape.ranks_per_member
+        rpn = self.machine.ranks_per_node
+        return {
+            job.nodes[r // rpn]
+            for r in range(member * rpm, (member + 1) * rpm)
+        }
+
+    def _restore_domain(self, nodes: Tuple[int, ...]) -> None:
+        """A lost domain's hardware comes back: clear its health
+        ledger so the pool can provision those nodes again."""
+        for node in nodes:
+            self.health.reset(node)
+        self._health_mark = len(self.health.incidents())
+        self._pending_restores = [
+            (t, ns)
+            for t, ns in self._pending_restores
+            if set(ns) != set(nodes)
+        ]
+        self._log("chaos", {"reset": sorted(nodes)})
 
     # ------------------------------------------------------------------
     # scheduling
@@ -396,13 +1051,20 @@ class OnlineService:
 
     def _admit_batch(self, batch) -> None:
         self._batch_seq += 1
-        self._ready.append(
-            _ReadyBatch(
-                seq=self._batch_seq,
-                flushed_at=self._now,
-                signature_key=batch.signature_key,
-                requests=list(batch.requests),
-            )
+        rb = _ReadyBatch(
+            seq=self._batch_seq,
+            flushed_at=self._now,
+            signature_key=batch.signature_key,
+            requests=list(batch.requests),
+        )
+        self._ready.append(rb)
+        self._log(
+            "flush",
+            {
+                "seq": rb.seq,
+                "signature_key": rb.signature_key,
+                "request_ids": [r.request_id for r in rb.requests],
+            },
         )
 
     def _schedule(self) -> None:
@@ -429,7 +1091,12 @@ class OnlineService:
             # is overdue (reclaim deferred while batches were blocked)
             due = self.pool.next_reclaim()
             if due is not None and due <= self._now:
-                self.pool.reclaim_idle(self._now)
+                reclaimed = self.pool.reclaim_idle(self._now)
+                if reclaimed:
+                    self._log(
+                        "pool",
+                        {"op": "reclaim", "nodes": sorted(reclaimed)},
+                    )
         self._arm_timers()
 
     def _try_place(self, rb: _ReadyBatch) -> bool:
@@ -454,7 +1121,7 @@ class OnlineService:
                 "(retry storm or misconfigured window?)"
             )
         members = rb.requests[: shape.k]
-        nodes = tuple(free[: shape.n_nodes])
+        nodes = self.packer.select_nodes(free, shape.n_nodes)
         self.pool.allocate(nodes, self._now)
         job = PackedJob(
             job_id=f"svc{self._job_seq:05d}",
@@ -476,12 +1143,45 @@ class OnlineService:
             self.telemetry.metrics.gauge("service_pool_busy_nodes").max(
                 float(self.pool.busy)
             )
-        self._push(self._now + record.elapsed_s, "complete",
-                   (job, record, completed, lost))
+        self._inflight[job.job_id] = {
+            "job": job,
+            "record": record,
+            "completed": list(completed),
+            "lost": [(req, "data_faults") for req in lost],
+            "canceled": False,
+            "dead_nodes": set(),
+            "start_s": self._now,
+        }
+        self._push(self._now + record.elapsed_s, "complete", job.job_id)
+        self._log(
+            "dispatch",
+            {
+                "job_id": job.job_id,
+                "wave": job.wave,
+                "signature_key": rb.signature_key,
+                "nodes": sorted(nodes),
+                "elapsed_s": record.elapsed_s,
+                "ready_seq": rb.seq,
+                "request_ids": [r.request_id for r in members],
+                "record": record.to_dict(),
+                "incidents": self._health_delta(),
+                "tenant_served": self.fairness.served(),
+            },
+        )
         del rb.requests[: shape.k]
         if not rb.requests:
             self._ready.remove(rb)
         return True
+
+    def _next_provision_fault(self) -> Optional[Tuple[int, FaultSpec]]:
+        """The earliest armed ``provision_fail`` whose trigger time has
+        passed, or ``None``."""
+        for index, spec in self._provision_faults:
+            if index in self._consumed_chaos:
+                continue
+            if spec.at_s <= self._now:
+                return (index, spec)
+        return None
 
     def _maybe_grow(self) -> None:
         """Ask the pool for the most underserved blocked batch's
@@ -508,11 +1208,72 @@ class OnlineService:
         provisioning = self.pool.committed - self.pool.provisioned
         deficit = target.n_nodes - free - provisioning
         if deficit > 0:
-            ready_at = self.pool.request_grow(deficit, self._now)
-            if ready_at is not None:
-                self._push(ready_at, "ready")
-                return
+            fault = self._next_provision_fault()
+            if fault is not None:
+                index, spec = fault
+                self._consumed_chaos.add(index)
+                if spec.duration_s <= 0:
+                    # the provider refuses outright: charge the
+                    # failure and retry the grow a beat later
+                    self._bump("provision_failures")
+                    if self.telemetry is not None:
+                        self.telemetry.metrics.counter(
+                            "service_provision_failures_total"
+                        ).inc()
+                    self._log(
+                        "pool",
+                        {
+                            "op": "grow_failed",
+                            "nodes": [],
+                            "spec_index": index,
+                            "resil": {"provision_failures": 1},
+                        },
+                    )
+                    self._push(
+                        self._now
+                        + max(self.pool.provision_delay_s, 1.0),
+                        "ready",
+                    )
+                    return
+                # the grow goes through, late
+                self._bump("provision_stall_seconds", spec.duration_s)
+                ready_at = self.pool.request_grow(
+                    deficit, self._now, extra_delay_s=spec.duration_s
+                )
+                if ready_at is not None:
+                    self._log(
+                        "pool",
+                        {
+                            "op": "grow",
+                            "nodes": sorted(self.pool.last_grown),
+                            "ready_at": ready_at,
+                            "stall_s": spec.duration_s,
+                            "spec_index": index,
+                            "resil": {
+                                "provision_stall_seconds": spec.duration_s
+                            },
+                        },
+                    )
+                    self._push(ready_at, "ready")
+                    return
+            else:
+                ready_at = self.pool.request_grow(deficit, self._now)
+                if ready_at is not None:
+                    self._log(
+                        "pool",
+                        {
+                            "op": "grow",
+                            "nodes": sorted(self.pool.last_grown),
+                            "ready_at": ready_at,
+                        },
+                    )
+                    self._push(ready_at, "ready")
+                    return
         if self._running == 0 and provisioning == 0 and deficit > 0:
+            if self._pending_restores or self._now < self._down_until:
+                # capacity is coming back (a lost domain heals, or the
+                # outage ends) — a chaos/ready event is already armed
+                return
             raise ServiceError(
                 f"service deadlocked: batch of {len(rb.requests)} "
                 f"(signature {rb.signature_key}) needs {target.n_nodes} "
@@ -540,3 +1301,233 @@ class OnlineService:
         ):
             self._reclaim_timers.add(reclaim)
             self._push(reclaim, "reclaim")
+
+    # ------------------------------------------------------------------
+    # crash recovery (journal replay)
+    # ------------------------------------------------------------------
+    def restore(
+        self,
+        state,
+        *,
+        mode: str = "resume",
+        resume_delay_s: float = 0.0,
+    ) -> None:
+        """Load a :class:`~repro.service.journal.ReplayState` into this
+        freshly-constructed service, reconciling whatever the crash
+        interrupted.  Follow with :meth:`resume`.
+
+        ``mode`` is ``"resume"`` (exactly-once: keep durable results,
+        requeue in-flight) or ``"cold"`` (restart-from-empty baseline);
+        ``resume_delay_s`` models detection + restart downtime.
+        """
+        if mode not in RECOVERY_MODES:
+            raise ServiceError(
+                f"mode must be one of {RECOVERY_MODES}, got {mode!r}"
+            )
+        if resume_delay_s < 0:
+            raise ServiceError(
+                f"resume_delay_s must be >= 0, got {resume_delay_s}"
+            )
+        if self._now != 0.0 or self._served or self._jobs:
+            raise ServiceError(
+                "restore() needs a freshly constructed service"
+            )
+        t_rec = float(state.t) + float(resume_delay_s)
+        self._now = t_rec
+        # --- bookkeeping that survives any crash mode
+        self.admission.offered = int(state.offered)
+        self.admission.admitted = int(state.admitted)
+        self.admission.rejections = [
+            RejectionRecord.from_dict(d) for d in state.rejections
+        ]
+        self._served = [ServedRecord.from_dict(d) for d in state.served]
+        self._abandoned = [
+            AbandonedRecord.from_dict(d) for d in state.abandoned
+        ]
+        self._jobs = [JobRecord.from_dict(d) for d in state.jobs]
+        self.fairness.restore_served(state.tenant_served)
+        self._job_seq = int(state.job_seq)
+        self._batch_seq = int(state.batch_seq)
+        self._resil = dict(state.resil)
+        self._dead_by_cause = dict(state.dead_by_cause)
+        self._consumed_chaos = set(state.consumed_chaos)
+        self._down_until = float(state.down_until)
+        if state.pool is not None:
+            self.pool.restore(state.pool)
+        self.health.restore(state.health)
+        self._health_mark = len(self.health.incidents())
+        self._bump("wal_recoveries")
+        self._bump("recovery_seconds", resume_delay_s)
+        directives: Dict[str, object] = {
+            "mode": mode,
+            "resil": {
+                "wal_recoveries": 1,
+                "recovery_seconds": resume_delay_s,
+            },
+        }
+        if mode == "resume":
+            self._restore_resume(state, t_rec, directives)
+        else:
+            self._restore_cold(state, t_rec, directives)
+        # pending provisioning completions become wake-ups again
+        for rt in self.pool.ready_times():
+            self._push(max(rt, t_rec), "ready")
+        # domain restores that had not fired yet
+        for entry in state.pending_restores:
+            restore_t = max(float(entry["t"]), t_rec)
+            nodes = tuple(int(n) for n in entry["nodes"])
+            self._pending_restores.append((restore_t, nodes))
+            self._push(restore_t, "chaos", {"restore": sorted(nodes)})
+        self._arm_chaos(t_rec)
+        if self._down_until > t_rec:
+            self._push(self._down_until, "ready")
+        if self.journal is not None:
+            self.journal.seed(state)
+            self._log("recover", directives)
+        self._recovered = {
+            "arrived_ids": set(state.arrived_ids),
+            "t_rec": t_rec,
+            "horizon_s": float(state.horizon_s),
+        }
+
+    def _restore_resume(
+        self, state, t_rec: float, directives: Dict[str, object]
+    ) -> None:
+        """Exactly-once reconciliation: queued work survives, in-flight
+        waves requeue without an attempt bump, retry backoffs keep
+        their release times."""
+        for entry in state.window:
+            req = SimRequest.from_dict(entry["request"])
+            self._by_id[req.request_id] = req
+            self.window.add(req, float(entry["since"]))
+        for b in state.ready:
+            reqs = [SimRequest.from_dict(d) for d in b["requests"]]
+            for r in reqs:
+                self._by_id[r.request_id] = r
+            self._ready.append(
+                _ReadyBatch(
+                    seq=int(b["seq"]),
+                    flushed_at=float(b["flushed_at"]),
+                    signature_key=str(b["signature_key"]),
+                    requests=reqs,
+                )
+            )
+        released: List[int] = []
+        requeued: List[Dict[str, object]] = []
+        dropped: List[str] = []
+        for job_id, man in sorted(state.inflight.items()):
+            dropped.append(job_id)
+            if not man["canceled"]:
+                live = [
+                    n
+                    for n in man["nodes"]
+                    if self.pool.state_of(int(n)) == BUSY
+                ]
+                self.pool.release(live, t_rec)
+                released.extend(live)
+                # the wave's results were never durable — every member
+                # goes back in the window, attempt budget untouched
+                for d in man["requests"]:
+                    req = SimRequest.from_dict(d)
+                    requeued.append(self._requeue(req, t_rec))
+        for entry in state.pending_release:
+            req = SimRequest.from_dict(entry["request"])
+            release_t = max(float(entry["release_t"]), t_rec)
+            self._pending_release[req.request_id] = (req, release_t)
+            self._push(release_t, "release", req)
+        directives.update(
+            {
+                "drop_jobs": dropped,
+                "released_nodes": sorted(released),
+                "requeued": requeued,
+            }
+        )
+
+    def _restore_cold(
+        self, state, t_rec: float, directives: Dict[str, object]
+    ) -> None:
+        """Restart-from-empty reconciliation: nothing in the system
+        survives; the pool reboots at its floor."""
+        dead: List[Dict[str, object]] = []
+
+        def _abandon(req: SimRequest, attempts: int, job_id: str) -> None:
+            record = AbandonedRecord(
+                request_id=req.request_id,
+                attempts=attempts,
+                last_job_id=job_id,
+                reason="lost in control-plane crash (cold restart)",
+            )
+            self._abandoned.append(record)
+            self._bump("dead_letters")
+            self._dead_by_cause["service_crash"] = (
+                self._dead_by_cause.get("service_crash", 0) + 1
+            )
+            dead.append(
+                {"record": record.to_dict(), "cause": "service_crash"}
+            )
+
+        for entry in state.window:
+            req = SimRequest.from_dict(entry["request"])
+            _abandon(req, req.attempt, "")
+        for b in state.ready:
+            for d in b["requests"]:
+                req = SimRequest.from_dict(d)
+                _abandon(req, req.attempt, "")
+        dropped: List[str] = []
+        for job_id, man in sorted(state.inflight.items()):
+            dropped.append(job_id)
+            if not man["canceled"]:
+                for d in man["requests"]:
+                    req = SimRequest.from_dict(d)
+                    _abandon(req, req.attempt + 1, job_id)
+        drop_release = []
+        for entry in state.pending_release:
+            req = SimRequest.from_dict(entry["request"])
+            drop_release.append(req.request_id)
+            _abandon(req, req.attempt, "")
+        doomed = [
+            n
+            for n in range(self.machine.n_nodes)
+            if self.pool.state_of(n) != OFFLINE
+        ]
+        self.pool.fail_nodes(doomed, t_rec)
+        grow: Optional[Dict[str, object]] = None
+        ready_at = self.pool.request_grow(self.pool.min_nodes, t_rec)
+        if ready_at is not None:
+            grow = {
+                "nodes": sorted(self.pool.last_grown),
+                "ready_at": ready_at,
+            }
+            self._push(ready_at, "ready")
+        directives.update(
+            {
+                "drop_jobs": dropped,
+                "dead_letter": dead,
+                "drop_pending_release": drop_release,
+                "clear_window": True,
+                "failed_nodes": sorted(doomed),
+                "pool_grow": grow,
+            }
+        )
+        resil = directives["resil"]
+        resil["dead_letters"] = len(dead)  # type: ignore[index]
+        resil["by_cause"] = {"service_crash": len(dead)}  # type: ignore[index]
+
+    def resume(self, horizon_s: float) -> ServiceReport:
+        """Finish a restored run: regenerate the traffic horizon, skip
+        arrivals the journal already saw, and drive the loop to empty.
+        Only valid after :meth:`restore`."""
+        if self._recovered is None:
+            raise ServiceError("resume() requires restore() first")
+        arrived = self._recovered["arrived_ids"]
+        t_rec = float(self._recovered["t_rec"])  # type: ignore[arg-type]
+        tele = self.telemetry
+        if tele is not None:
+            tele.tracer.time_offset = 0.0
+            tele.tracer.begin("service", "service", t_rec)
+        for req in self.traffic.generate(horizon_s):
+            if req.request_id in arrived:  # type: ignore[operator]
+                continue
+            self._push(max(req.arrival_s, t_rec), "arrival", req)
+        self._loop()
+        return self._finish(horizon_s)

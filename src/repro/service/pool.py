@@ -75,7 +75,15 @@ class ElasticNodePool:
         Idle time after which a node above the floor is reclaimed.
     health:
         Optional :class:`~repro.resilience.health.NodeHealthTracker`;
-        quarantined nodes are excluded from :meth:`free_nodes`.
+        quarantined nodes are excluded from :meth:`free_nodes` and
+        skipped when growing.
+    spread_domains:
+        When the machine declares
+        :class:`~repro.machine.topology.FaultDomains`, grow requests
+        provision offline nodes round-robin across domains, so online
+        capacity (and hence every placement drawn from it) straddles
+        racks.  Without domains the pick is the historical
+        lowest-id-first one.
     """
 
     def __init__(
@@ -87,6 +95,7 @@ class ElasticNodePool:
         provision_delay_s: float = 0.0,
         idle_reclaim_s: float = float("inf"),
         health: "object | None" = None,
+        spread_domains: bool = True,
     ) -> None:
         max_nodes = machine.n_nodes if max_nodes is None else max_nodes
         if not 1 <= min_nodes <= max_nodes <= machine.n_nodes:
@@ -108,9 +117,12 @@ class ElasticNodePool:
         self.provision_delay_s = float(provision_delay_s)
         self.idle_reclaim_s = float(idle_reclaim_s)
         self.health = health
+        self.spread_domains = spread_domains
         self._state: Dict[int, str] = {
             n: OFFLINE for n in range(machine.n_nodes)
         }
+        #: node ids the most recent :meth:`request_grow` started
+        self.last_grown: Tuple[int, ...] = ()
         self._ready_at: Dict[int, float] = {}  # provisioning -> online time
         self._idle_since: Dict[int, float] = {}
         self.timeline: List[PoolSample] = []
@@ -189,28 +201,55 @@ class ElasticNodePool:
         """Earliest pending provisioning completion, or ``None``."""
         return min(self._ready_at.values()) if self._ready_at else None
 
-    def request_grow(self, n_nodes: int, now: float) -> Optional[float]:
+    def ready_times(self) -> List[float]:
+        """Distinct pending provisioning-completion times, sorted —
+        a recovered service re-arms one wake-up per entry."""
+        return sorted(set(self._ready_at.values()))
+
+    def request_grow(
+        self, n_nodes: int, now: float, *, extra_delay_s: float = 0.0
+    ) -> Optional[float]:
         """Start provisioning up to ``n_nodes`` more nodes.
 
         Returns the time they come online, or ``None`` when the pool
-        is already at ``max_nodes`` (nothing started).
+        is already at ``max_nodes`` (nothing started).  Quarantined
+        offline nodes are never provisioned.  ``extra_delay_s`` stalls
+        this particular grow beyond the nominal delay (the
+        ``provision_fail`` fault charges its stall here).
         """
         if n_nodes < 1:
             raise ServiceError(f"n_nodes must be >= 1, got {n_nodes}")
+        if extra_delay_s < 0:
+            raise ServiceError(
+                f"extra_delay_s must be >= 0, got {extra_delay_s}"
+            )
         self._advance_cost(now)
         headroom = self.max_nodes - self.committed
         take = min(n_nodes, headroom)
         if take <= 0:
             return None
-        ready_at = now + self.provision_delay_s
-        started = 0
-        for n in sorted(self._state):
-            if started == take:
+        ready_at = now + self.provision_delay_s + extra_delay_s
+        candidates = [
+            n
+            for n in sorted(self._state)
+            if self._state[n] == OFFLINE
+            and not (
+                self.health is not None and self.health.is_quarantined(n)
+            )
+        ]
+        domains = self.machine.fault_domains
+        if domains is not None and self.spread_domains:
+            candidates = domains.interleave(candidates)
+        grown: List[int] = []
+        for n in candidates:
+            if len(grown) == take:
                 break
-            if self._state[n] == OFFLINE:
-                self._state[n] = PROVISIONING
-                self._ready_at[n] = ready_at
-                started += 1
+            self._state[n] = PROVISIONING
+            self._ready_at[n] = ready_at
+            grown.append(n)
+        if not grown:
+            return None
+        self.last_grown = tuple(grown)
         self._sample(now)
         return ready_at
 
@@ -286,6 +325,30 @@ class ElasticNodePool:
             return None
         return min(self._idle_since.values()) + self.idle_reclaim_s
 
+    def fail_nodes(self, nodes: Sequence[int], now: float) -> List[int]:
+        """Hard-fail ``nodes``: force them offline from *any* state at
+        ``now`` (a ``domain_loss`` rips a rack out regardless of what
+        each node was doing).  Returns the subset that was busy, so the
+        caller can reconcile in-flight jobs."""
+        self._advance_cost(now)
+        was_busy: List[int] = []
+        changed = False
+        for n in nodes:
+            state = self._state.get(n)
+            if state is None:
+                raise ServiceError(f"node {n} is not in the pool")
+            if state == OFFLINE:
+                continue
+            if state == BUSY:
+                was_busy.append(n)
+            self._state[n] = OFFLINE
+            self._ready_at.pop(n, None)
+            self._idle_since.pop(n, None)
+            changed = True
+        if changed:
+            self._sample(now)
+        return was_busy
+
     # ------------------------------------------------------------------
     def finish(self, now: float) -> None:
         """Close the cost integral at the service end time."""
@@ -295,3 +358,45 @@ class ElasticNodePool:
     def timeline_dicts(self) -> List[Dict[str, object]]:
         """JSON-safe pool timeline."""
         return [s.to_dict() for s in self.timeline]
+
+    # ------------------------------------------------------------------
+    # snapshot / restore (service journal)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot of every mutable field the journal needs
+        to resurrect the pool mid-horizon (timeline excluded — the
+        recovered service restarts it at the restore time)."""
+        return {
+            "state": {str(n): s for n, s in sorted(self._state.items())},
+            "ready_at": {
+                str(n): t for n, t in sorted(self._ready_at.items())
+            },
+            "idle_since": {
+                str(n): t for n, t in sorted(self._idle_since.items())
+            },
+            "node_seconds": self.node_seconds,
+            "last_t": self._last_t,
+        }
+
+    def restore(self, snap: Dict[str, object]) -> None:
+        """Overwrite this pool's mutable state from :meth:`to_dict`
+        output (configuration — floors, delays, machine — comes from
+        the constructor, not the snapshot)."""
+        state = {int(n): s for n, s in snap["state"].items()}  # type: ignore[union-attr]
+        if set(state) != set(self._state):
+            raise ServiceError(
+                "pool snapshot node set does not match this machine"
+            )
+        self._state = state
+        self._ready_at = {
+            int(n): float(t)
+            for n, t in snap["ready_at"].items()  # type: ignore[union-attr]
+        }
+        self._idle_since = {
+            int(n): float(t)
+            for n, t in snap["idle_since"].items()  # type: ignore[union-attr]
+        }
+        self.node_seconds = float(snap["node_seconds"])  # type: ignore[arg-type]
+        self._last_t = float(snap["last_t"])  # type: ignore[arg-type]
+        self.timeline = []
+        self._sample(self._last_t)

@@ -87,6 +87,23 @@ class ServedRecord:
             "slo_met": self.slo_met,
         }
 
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "ServedRecord":
+        """Rebuild from :meth:`to_dict` output (journal replay);
+        derived keys (``ttr_s`` etc.) are ignored."""
+        deadline = d["deadline_s"]
+        return cls(
+            request_id=str(d["request_id"]),
+            tenant=str(d["tenant"]),
+            arrival_s=float(d["arrival_s"]),  # type: ignore[arg-type]
+            start_s=float(d["start_s"]),  # type: ignore[arg-type]
+            finish_s=float(d["finish_s"]),  # type: ignore[arg-type]
+            deadline_s=None if deadline is None else float(deadline),  # type: ignore[arg-type]
+            steps=int(d["steps"]),  # type: ignore[arg-type]
+            attempts=int(d["attempts"]),  # type: ignore[arg-type]
+            job_id=str(d["job_id"]),
+        )
+
 
 @dataclass
 class ServiceReport:
@@ -105,6 +122,11 @@ class ServiceReport:
     pool_node_seconds: float = 0.0
     pool_timeline: List[Dict[str, object]] = field(default_factory=list)
     tenant_node_seconds: Dict[str, float] = field(default_factory=dict)
+    #: resilience counters the loop accumulates — retries, dead-letters
+    #: broken down by cause, data-plane recoveries, control-plane
+    #: crashes/recovery seconds, provisioning failures and stalls,
+    #: domain losses (empty on a fault-free run)
+    resilience: Dict[str, object] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -245,6 +267,7 @@ class ServiceReport:
             "pool_utilisation": self.pool_utilisation,
             "peak_pool_nodes": self.peak_pool_nodes,
             "cache": dict(self.cache),
+            "resilience": dict(self.resilience),
             "tenants": self.tenant_summary(),
             "rejections": [r.to_dict() for r in self.rejections],
             "abandoned": [a.to_dict() for a in self.abandoned],
@@ -283,6 +306,34 @@ def render_service_report(report: ServiceReport) -> str:
         f"{report.pool_node_seconds:.0f} node-s provisioned, "
         f"{100.0 * report.pool_utilisation:.1f}% busy",
     ]
+    res = report.resilience
+    if res:
+        causes = res.get("dead_letters_by_cause") or {}
+        cause_txt = (
+            " (" + ", ".join(f"{k} {v}" for k, v in sorted(causes.items())) + ")"
+            if causes
+            else ""
+        )
+        lines.append(
+            f"  resilience       : {res.get('retries', 0)} retries, "
+            f"{res.get('dead_letters', 0)} dead-letters{cause_txt}, "
+            f"{res.get('recovery_seconds', 0.0):.1f} s recovering"
+        )
+        control = []
+        if res.get("crashes"):
+            control.append(f"{res['crashes']} service crash(es)")
+        if res.get("provision_failures"):
+            control.append(
+                f"{res['provision_failures']} provision failure(s)"
+            )
+        if res.get("provision_stall_seconds"):
+            control.append(
+                f"{res['provision_stall_seconds']:.0f} s provisioning stall"
+            )
+        if res.get("domain_losses"):
+            control.append(f"{res['domain_losses']} domain loss(es)")
+        if control:
+            lines.append("  control faults   : " + ", ".join(control))
     tenants = report.tenant_summary()
     if len(tenants) > 1:
         lines.append("  tenants:")
