@@ -488,6 +488,21 @@ class CampaignRunner:
         tele.metrics.counter("campaign_imposed_wait_seconds_total").inc(
             job_imposed
         )
+        # the same wait attributed to fault domains: rank -> job-local
+        # node -> physical node -> domain, so the monitoring plane can
+        # see one rack imposing anomalous collective wait
+        per_domain: Dict[int, float] = {}
+        for rank in range(int(world.imposed_wait_s.size)):
+            wait = float(world.imposed_wait_s[rank])
+            if wait <= 0.0:
+                continue
+            node = job.nodes[world.placement.node_of(rank)]
+            dom = self.machine.domain_of(node)
+            per_domain[dom] = per_domain.get(dom, 0.0) + wait
+        for dom, wait in sorted(per_domain.items()):
+            tele.metrics.counter(
+                "campaign_domain_imposed_wait_seconds_total", domain=dom
+            ).inc(wait)
 
     # ------------------------------------------------------------------
     def _dispatch(

@@ -97,7 +97,7 @@ class ChaosScenario:
             ),
         )
 
-    def build(self, *, journal=None, telemetry=None):
+    def build(self, *, journal=None, telemetry=None, monitor=None):
         """A fresh :class:`~repro.service.loop.OnlineService` for one run."""
         from repro.cgyro.presets import small_test
         from repro.check.checker import CollectiveChecker
@@ -124,6 +124,7 @@ class ChaosScenario:
             spread_domains=self.spread_domains,
             checker_factory=CollectiveChecker,
             telemetry=telemetry,
+            monitor=monitor,
         )
 
 

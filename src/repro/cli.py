@@ -22,7 +22,11 @@ a launcher invocation — against the virtual machine:
     python -m repro trace      [FILE] [--nl03c] [--spans-out S.jsonl]
                                [--chrome-out T.json]
     python -m repro metrics    [FILE] [--nl03c] [--json M.json]
+                               [--load M.json --quantile NAME:q]
     python -m repro perf-gate  BENCH.json BASELINE.json [--tolerance 0.05]
+    python -m repro monitor    [--smoke --scenario NAME --window S
+                                --rules RULES.json --json OUT.json
+                                --rollups-out DIR]
 
 Every command prints human-readable tables; ``run-*`` optionally write
 ``out.cgyro.timing`` CSVs next to the inputs.
@@ -34,7 +38,7 @@ import argparse
 import dataclasses
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
 from repro.cgyro import CgyroSimulation, render_report
@@ -715,16 +719,56 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_quantile_spec(spec: str) -> Tuple[str, float]:
+    """Split a ``NAME:q`` spec (e.g. ``ttr_seconds:0.99``)."""
+    name, sep, qtext = spec.rpartition(":")
+    if not sep or not name:
+        raise ReproError(
+            f"--quantile wants NAME:q (e.g. vmpi_wait_seconds:0.99), "
+            f"got {spec!r}"
+        )
+    try:
+        q = float(qtext)
+    except ValueError:
+        raise ReproError(f"--quantile fraction is not a number: {qtext!r}")
+    return name, q
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
     import json
 
-    tele, _world, _ensemble = _traced_run(args)
+    if args.load:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry.from_dict(
+            json.loads(Path(args.load).read_text())
+        )
+    else:
+        tele, _world, _ensemble = _traced_run(args)
+        registry = tele.metrics
     if args.json:
         Path(args.json).write_text(
-            json.dumps(tele.metrics.to_dict(), indent=1, sort_keys=True) + "\n"
+            json.dumps(registry.to_dict(), indent=1, sort_keys=True) + "\n"
         )
         print(f"metrics snapshot written to {args.json}")
-    print(tele.metrics.render_prometheus(), end="")
+    for spec in args.quantile or []:
+        from repro.obs import Histogram
+
+        name, q = _parse_quantile_spec(spec)
+        series = registry.histograms_named(name)
+        if not series:
+            raise ReproError(f"no histogram named {name!r} in the registry")
+        merged = Histogram(series[0][1].buckets)
+        for _labels, hist in series:
+            merged.merge(hist)
+        value = merged.quantile(q)
+        shown = "n/a" if value != value else f"{value:.6g}"
+        print(
+            f"{name} q={q:g}: {shown} "
+            f"({merged.count} observation(s), {len(series)} series merged)"
+        )
+    if not args.quantile:
+        print(registry.render_prometheus(), end="")
     return 0
 
 
@@ -782,6 +826,66 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         )
         print(f"chaos results written to {args.json}")
     return 0 if all(r.ok for r in results) else 1
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.check import builtin_scenarios
+    from repro.obs import (
+        ServiceMonitor,
+        Telemetry,
+        default_rulebook,
+        export_rollups_jsonl,
+        load_rulebook,
+        render_monitor_report,
+    )
+
+    scenarios = builtin_scenarios(smoke=args.smoke)
+    if args.scenario:
+        wanted = set(args.scenario)
+        known = {s.name for s in scenarios}
+        missing = sorted(wanted - known)
+        if missing:
+            raise ReproError(
+                f"unknown chaos scenario(s) {missing}; "
+                f"known: {sorted(known)}"
+            )
+        scenarios = tuple(s for s in scenarios if s.name in wanted)
+    rules = (
+        load_rulebook(args.rules) if args.rules else default_rulebook()
+    )
+    summaries: dict = {}
+    for scenario in scenarios:
+        telemetry = Telemetry()
+        monitor = ServiceMonitor(window_s=args.window, rules=rules)
+        service = scenario.build(telemetry=telemetry, monitor=monitor)
+        service.run(scenario.horizon_s)
+        summaries[scenario.name] = monitor.summary()
+        print(f"monitor: {scenario.name} ({scenario.description})")
+        print(render_monitor_report(monitor.summary()))
+        if args.rollups_out:
+            out_dir = Path(args.rollups_out)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            path = out_dir / f"{scenario.name}.jsonl"
+            export_rollups_jsonl(monitor.rollups, path)
+            print(f"{len(monitor.rollups)} rollup(s) written to {path}")
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(summaries, indent=1, sort_keys=True) + "\n"
+        )
+        print(f"monitor summaries written to {args.json}")
+    # a page left firing at the end of the horizon is a failed drill:
+    # the fault cleared but the alert did not resolve
+    stuck = {
+        name: list(s["firing_at_end"])
+        for name, s in summaries.items()
+        if s["firing_at_end"]
+    }
+    if stuck:
+        print(f"unresolved alerts at end of horizon: {stuck}")
+        return 1
+    return 0
 
 
 def cmd_figure2(args: argparse.Namespace) -> int:
@@ -1176,6 +1280,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--json", default=None, help="also write the snapshot as JSON"
     )
+    p.add_argument(
+        "--load",
+        default=None,
+        metavar="M.json",
+        help="skip the run and load a previously exported snapshot",
+    )
+    p.add_argument(
+        "--quantile",
+        action="append",
+        default=None,
+        metavar="NAME:q",
+        help="print an interpolated histogram quantile (repeatable; "
+        "series with the same name are merged across labels)",
+    )
     p.set_defaults(func=cmd_metrics)
 
     p = sub.add_parser(
@@ -1221,6 +1339,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, help="write per-scenario results as JSON"
     )
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "monitor",
+        help="run the chaos schedules under the live monitoring plane: "
+        "streaming rollups, burn-rate/anomaly/threshold alerts, and "
+        "automated incident diagnosis (zero model impact)",
+    )
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrunk horizons for the CI lane",
+    )
+    p.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only this scenario (repeatable; default: all)",
+    )
+    p.add_argument(
+        "--window",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="rollup window length in simulated seconds (default 60)",
+    )
+    p.add_argument(
+        "--rules",
+        default=None,
+        metavar="RULES.json",
+        help="alert rulebook to load (default: the committed rulebook)",
+    )
+    p.add_argument(
+        "--json",
+        default=None,
+        help="write per-scenario monitoring summaries as JSON",
+    )
+    p.add_argument(
+        "--rollups-out",
+        default=None,
+        metavar="DIR",
+        help="write per-scenario window rollups as JSONL into DIR",
+    )
+    p.set_defaults(func=cmd_monitor)
 
     p = sub.add_parser("figure2", help="regenerate the paper's Figure 2")
     p.add_argument("--measure-steps", type=int, default=1)

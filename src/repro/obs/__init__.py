@@ -13,7 +13,10 @@ and metric set for a whole campaign.  On top of that sit:
 - :mod:`repro.obs.export` — byte-stable JSONL span logs and nested
   Chrome/Perfetto traces (pid=member, tid=rank, counter tracks);
 - :mod:`repro.obs.gate` — the bench-record schema and the CI
-  perf-regression gate.
+  perf-regression gate;
+- :mod:`repro.obs.monitor` — the live monitoring plane for the online
+  service: streaming window rollups, burn-rate/anomaly alert rules,
+  and automated incident diagnosis.
 """
 
 from __future__ import annotations
@@ -40,7 +43,27 @@ from repro.obs.gate import (
     run_gate,
     write_bench_records,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+)
+from repro.obs.monitor import (
+    AlertEngine,
+    AlertEvent,
+    AlertRule,
+    IncidentReport,
+    ServiceMonitor,
+    WindowRollup,
+    default_rulebook,
+    dump_rulebook,
+    export_rollups_jsonl,
+    load_rollups_jsonl,
+    load_rulebook,
+    render_monitor_report,
+)
 from repro.obs.span import LEAF_KINDS, Span, SpanTracer
 
 
@@ -70,7 +93,20 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "HistogramSnapshot",
     "MetricsRegistry",
+    "AlertEngine",
+    "AlertEvent",
+    "AlertRule",
+    "IncidentReport",
+    "ServiceMonitor",
+    "WindowRollup",
+    "default_rulebook",
+    "dump_rulebook",
+    "export_rollups_jsonl",
+    "load_rollups_jsonl",
+    "load_rulebook",
+    "render_monitor_report",
     "CriticalPath",
     "CriticalSegment",
     "extract_critical_path",

@@ -18,7 +18,7 @@ Export formats:
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import Dict, Iterator, List, Mapping, NamedTuple, Optional, Tuple
 
 from repro.errors import ReproError
 
@@ -55,6 +55,18 @@ class Counter:
             raise ReproError(f"counter increment must be >= 0, got {amount}")
         self.value += amount
 
+    def snapshot(self) -> float:
+        """The cumulative value, frozen for later :meth:`delta`."""
+        return self.value
+
+    def delta(self, since: float) -> float:
+        """Growth since a :meth:`snapshot` (monotone, so never < 0)."""
+        if since > self.value:
+            raise ReproError(
+                f"counter snapshot {since} is ahead of value {self.value}"
+            )
+        return self.value - since
+
 
 class Gauge:
     """Last-write-wins instantaneous value."""
@@ -71,6 +83,23 @@ class Gauge:
     def max(self, value: float) -> None:
         """Raise the gauge to ``value`` if larger (high-water marks)."""
         self.value = max(self.value, float(value))
+
+    def snapshot(self) -> float:
+        """The current value, frozen for later :meth:`delta`."""
+        return self.value
+
+    def delta(self, since: float) -> float:
+        """Signed change since a :meth:`snapshot` (gauges may fall)."""
+        return self.value - since
+
+
+class HistogramSnapshot(NamedTuple):
+    """Immutable histogram state, the unit of windowed deltas."""
+
+    buckets: Tuple[float, ...]
+    counts: Tuple[int, ...]
+    sum: float
+    count: int
 
 
 class Histogram:
@@ -131,6 +160,73 @@ class Histogram:
         # finite bound): report the largest finite bound
         return self.buckets[-1]
 
+    # ------------------------------------------------------------------
+    # windowed-delta protocol
+    # ------------------------------------------------------------------
+    def snapshot(self) -> HistogramSnapshot:
+        """Immutable copy of the cumulative state for later :meth:`delta`."""
+        return HistogramSnapshot(
+            self.buckets, tuple(self.counts), self.sum, self.count
+        )
+
+    def delta(self, since: HistogramSnapshot) -> "Histogram":
+        """The histogram of observations recorded *after* ``since``.
+
+        Bucket counts are subtracted exactly — no re-bucketing of raw
+        observations — so quantiles of a window delta are as precise as
+        quantiles of the cumulative histogram.
+        """
+        if since.buckets != self.buckets:
+            raise ReproError(
+                f"histogram delta across different buckets: "
+                f"{since.buckets} vs {self.buckets}"
+            )
+        out = Histogram(self.buckets)
+        out.counts = [c - p for c, p in zip(self.counts, since.counts)]
+        if any(c < 0 for c in out.counts) or self.count < since.count:
+            raise ReproError("histogram snapshot is ahead of the histogram")
+        out.sum = self.sum - since.sum
+        out.count = self.count - since.count
+        return out
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Add ``other``'s observations into this histogram, in place.
+
+        The exact inverse of :meth:`delta`: merging every window delta
+        back together reproduces the cumulative histogram bit-for-bit
+        (bucket counts and totals are integer/float sums, and the
+        buckets must match exactly).
+        """
+        if other.buckets != self.buckets:
+            raise ReproError(
+                f"cannot merge histograms with different buckets: "
+                f"{other.buckets} vs {self.buckets}"
+            )
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        self.sum += other.sum
+        self.count += other.count
+        return self
+
+    @classmethod
+    def from_state(
+        cls,
+        buckets: Tuple[float, ...],
+        counts: Tuple[int, ...],
+        total: float,
+        count: int,
+    ) -> "Histogram":
+        """Rebuild a histogram from exported state (see ``to_dict``)."""
+        out = cls(tuple(float(b) for b in buckets))
+        if len(counts) != len(out.buckets):
+            raise ReproError(
+                f"histogram state has {len(counts)} counts for "
+                f"{len(out.buckets)} buckets"
+            )
+        out.counts = [int(c) for c in counts]
+        out.sum = float(total)
+        out.count = int(count)
+        return out
+
 
 class MetricsRegistry:
     """Get-or-create registry of labelled metrics."""
@@ -188,6 +284,22 @@ class MetricsRegistry:
                 total += c.value
         return total
 
+    def histogram_or_none(
+        self, name: str, **labels: object
+    ) -> Optional[Histogram]:
+        """The histogram if it exists — a read that never creates."""
+        return self._histograms.get((name, _label_key(labels)))
+
+    def histograms_named(
+        self, name: str
+    ) -> List[Tuple[Dict[str, str], Histogram]]:
+        """Every labelling of histogram ``name``, sorted by labels."""
+        out = []
+        for (n, key), h in sorted(self._histograms.items()):
+            if n == name:
+                out.append((dict(key), h))
+        return out
+
     def names(self) -> Tuple[str, ...]:
         """Distinct metric names, sorted."""
         out = {n for n, _ in self._counters}
@@ -237,6 +349,34 @@ class MetricsRegistry:
             "gauges": scalar(self._gauges, "value"),
             "histograms": hists,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`to_dict` output.
+
+        Round-trips exactly: ``from_dict(r.to_dict()).to_dict()`` is
+        byte-identical to ``r.to_dict()``.  This is what lets the CLI
+        interrogate an exported metrics JSON (quantiles, totals)
+        without re-running the simulation that produced it.
+        """
+        reg = cls()
+        for row in payload.get("counters", ()):  # type: ignore[union-attr]
+            reg.counter(str(row["name"]), **row.get("labels", {})).inc(
+                float(row["value"])
+            )
+        for row in payload.get("gauges", ()):  # type: ignore[union-attr]
+            reg.gauge(str(row["name"]), **row.get("labels", {})).set(
+                float(row["value"])
+            )
+        for row in payload.get("histograms", ()):  # type: ignore[union-attr]
+            key = (str(row["name"]), _label_key(row.get("labels", {})))
+            reg._histograms[key] = Histogram.from_state(
+                tuple(row["buckets"]),
+                tuple(row["counts"]),
+                float(row["sum"]),
+                int(row["count"]),
+            )
+        return reg
 
     def render_prometheus(self) -> str:
         """Prometheus text exposition of every metric, sorted."""

@@ -272,6 +272,35 @@ class SpanTracer:
         """Spans of a leaf kind (see :data:`LEAF_KINDS`)."""
         return tuple(s for s in self.spans if s.kind in LEAF_KINDS)
 
+    def open_spans(self, t_now: float) -> Tuple[Span, ...]:
+        """The live view: still-open spans synthesised as of ``t_now``.
+
+        Each entry on the open stack becomes a :class:`Span` whose
+        duration runs to ``t_now`` (pre-offset, like :meth:`end`) and
+        whose ``attrs`` carry ``open: True``.  Nothing is closed or
+        recorded — this is a pure read, outermost first, for live
+        consumers (the monitoring plane's incident diagnosis) that
+        must inspect in-flight work without perturbing the tree.
+        """
+        out: List[Span] = []
+        parent: Optional[int] = None
+        for span_id, name, kind, t0, category, ranks, attrs in self._stack:
+            out.append(
+                Span(
+                    span_id=span_id,
+                    name=name,
+                    kind=kind,
+                    t_start=t0,
+                    duration=max(0.0, t_now + self.time_offset - t0),
+                    parent=parent,
+                    category=category,
+                    ranks=ranks,
+                    attrs={**attrs, "open": True},
+                )
+            )
+            parent = span_id
+        return tuple(out)
+
     def render_tree(self, *, max_children: int = 8) -> str:
         """Indented text rendering of the span tree (debug aid)."""
         lines: List[str] = []

@@ -39,6 +39,7 @@ from repro.resilience.health import (
     NodeHealthTracker,
     RetryPolicy,
     StragglerDetector,
+    robust_cutoff,
 )
 from repro.resilience.injector import FaultInjector
 from repro.resilience.ledger import (
@@ -67,6 +68,7 @@ __all__ = [
     "RunResult",
     "SdcEvent",
     "StragglerDetector",
+    "robust_cutoff",
     "TriageReport",
     "classify",
     "shrink_and_recover",

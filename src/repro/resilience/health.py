@@ -116,6 +116,18 @@ class NodeHealthTracker:
             return tuple(self._incidents)
         return tuple(i for i in self._incidents if i.node == node)
 
+    def incidents_between(
+        self, t0_s: float, t1_s: float
+    ) -> Tuple[HealthIncident, ...]:
+        """Incidents observed in ``[t0_s, t1_s)``, in record order.
+
+        The monitoring plane's diagnosis lookback: "what went wrong on
+        the nodes in the windows leading up to this alert".
+        """
+        return tuple(
+            i for i in self._incidents if t0_s <= i.at_s < t1_s
+        )
+
     def incident_count(self, node: int) -> int:
         """Incidents recorded against ``node``."""
         return self._by_node.get(int(node), 0)
@@ -255,6 +267,26 @@ class RetryPolicy:
 
 
 # ----------------------------------------------------------------------
+def robust_cutoff(
+    values: Sequence[float], *, threshold: float, rel_floor: float
+) -> Tuple[float, float, float]:
+    """``(median, MAD, median + threshold * max(MAD, rel_floor*median))``.
+
+    The robust deviation statistic shared by the straggler detector
+    (per-rank imposed wait) and the monitoring plane's anomaly rules
+    (per-window metric history): an upper cutoff that one extreme
+    sample cannot drag upward, with a relative floor so near-constant
+    series (MAD ~ 0) don't flag noise.
+    """
+    vals = np.asarray(list(values), dtype=np.float64)
+    if vals.size == 0:
+        return 0.0, 0.0, 0.0
+    med = float(np.median(vals))
+    mad = float(np.median(np.abs(vals - med)))
+    return med, mad, med + threshold * max(mad, rel_floor * med)
+
+
+# ----------------------------------------------------------------------
 @dataclass
 class StragglerDetector:
     """Flags ranks that persistently stall their peers' collectives.
@@ -301,9 +333,9 @@ class StragglerDetector:
         if idx.size < 3:
             return ()  # too few peers for a robust deviation
         vals = waits[idx]
-        med = float(np.median(vals))
-        mad = float(np.median(np.abs(vals - med)))
-        cutoff = med + self.threshold * max(mad, self.rel_floor * med)
+        _med, _mad, cutoff = robust_cutoff(
+            vals, threshold=self.threshold, rel_floor=self.rel_floor
+        )
         floor = self.min_wait_s
         if interval_s is not None:
             floor = max(floor, self.interval_frac * float(interval_s))

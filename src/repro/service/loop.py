@@ -178,6 +178,11 @@ class OnlineService:
     checkpoint_interval / policy / telemetry:
         Forwarded to the underlying :class:`CampaignRunner` — dispatch
         semantics are identical to the batch path.
+    monitor:
+        Optional :class:`~repro.obs.monitor.ServiceMonitor` — the live
+        monitoring plane (windowed rollups, alert rules, incident
+        diagnosis).  Requires ``telemetry``; purely observational, so
+        dispositions and clocks are bit-identical with or without it.
     max_dispatches:
         Hard cap on total dispatches, a backstop against a retry
         configuration that never converges.
@@ -212,6 +217,7 @@ class OnlineService:
         checkpoint_interval: int = 1,
         policy=None,
         telemetry=None,
+        monitor=None,
         max_dispatches: int = 100_000,
     ) -> None:
         self.machine = machine
@@ -223,6 +229,14 @@ class OnlineService:
         self.default_slo_s = default_slo_s
         self.steps = steps
         self.telemetry = telemetry
+        self.monitor = monitor
+        if monitor is not None:
+            if telemetry is None:
+                raise ServiceError(
+                    "monitor= requires telemetry= (rollups are windowed "
+                    "deltas over its metrics registry)"
+                )
+            monitor.bind(telemetry)
         self.journal = journal
         self.chaos = chaos
         if recovery not in RECOVERY_MODES:
@@ -314,6 +328,27 @@ class OnlineService:
         bound's denominator): window holds plus flushed-unplaced."""
         return len(self.window) + sum(len(b.requests) for b in self._ready)
 
+    # ------------------------------------------------------------------
+    # read-only state for the monitoring plane (pure observations; the
+    # monitor must never mutate service state)
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Requests admitted but not yet dispatched, right now."""
+        return self._in_system()
+
+    @property
+    def inflight_jobs(self) -> int:
+        """Waves dispatched but not yet completed (or canceled)."""
+        return sum(
+            1 for man in self._inflight.values() if not man["canceled"]
+        )
+
+    def resilience_counters(self) -> Dict[str, float]:
+        """A copy of the raw resilience tallies (monitor rollups read
+        deltas of these; keys as in the report's resilience block)."""
+        return {k: float(v) for k, v in self._resil.items()}
+
     def _log(self, kind: str, payload: Dict[str, object]) -> None:
         """WAL-append one event stamped at the current sim clock (a
         no-op without a journal; an injected crash propagates)."""
@@ -341,6 +376,8 @@ class OnlineService:
         if tele is not None:
             tele.tracer.time_offset = 0.0
             tele.tracer.begin("service", "service", 0.0)
+        if self.monitor is not None:
+            self.monitor.begin(self, 0.0)
         self._log(
             "begin",
             {
@@ -387,9 +424,19 @@ class OnlineService:
                 )  # pragma: no cover - _maybe_grow raises first
             t, _, _, kind, payload = heapq.heappop(self._heap)
             self._now = max(self._now, t)
+            if self.monitor is not None:
+                # before handling: every metric still reflects events
+                # strictly earlier than t, so windows ending <= t close
+                # on exactly their own events
+                self.monitor.advance(self, self._now)
             came_up = self.pool.on_ready(self._now)
             if came_up:
                 self._log("pool", {"op": "ready", "nodes": came_up})
+                if self.telemetry is not None:
+                    self.telemetry.tracer.record(
+                        "pool.ready", "marker", self._now, 0.0,
+                        nodes=sorted(came_up),
+                    )
             if kind == "arrival":
                 self._on_arrival(payload)
             elif kind == "complete":
@@ -412,6 +459,11 @@ class OnlineService:
         # covers the idle tail after the last state transition
         self._log("end", {})
         self.pool.finish(self._now)
+        monitoring = (
+            self.monitor.finish(self, self._now)
+            if self.monitor is not None
+            else {}
+        )
         tele = self.telemetry
         if tele is not None:
             tele.tracer.time_offset = 0.0
@@ -441,6 +493,7 @@ class OnlineService:
             pool_timeline=self.pool.timeline_dicts(),
             tenant_node_seconds=self.fairness.served(),
             resilience=self._resilience_summary(),
+            monitoring=monitoring,
         )
 
     def _resilience_summary(self) -> Dict[str, object]:
@@ -713,6 +766,10 @@ class OnlineService:
         self._bump("recovery_seconds", spec.duration_s)
         if self.telemetry is not None:
             self.telemetry.metrics.counter("service_crashes_total").inc()
+            self.telemetry.tracer.record(
+                "service.crash", "marker", self._now, 0.0,
+                down_until=self._down_until,
+            )
         inflight = [
             (job_id, man)
             for job_id, man in sorted(self._inflight.items())
@@ -869,6 +926,10 @@ class OnlineService:
             self.telemetry.metrics.counter(
                 "service_domain_losses_total"
             ).inc()
+            self.telemetry.tracer.record(
+                "service.domain_loss", "marker", self._now, 0.0,
+                domain=int(spec.node), nodes=sorted(nodes),
+            )
         self.pool.fail_nodes(nodes, self._now)
         for node in nodes:
             self.health.record(
@@ -1220,6 +1281,10 @@ class OnlineService:
                         self.telemetry.metrics.counter(
                             "service_provision_failures_total"
                         ).inc()
+                        self.telemetry.tracer.record(
+                            "pool.provision_fail", "marker",
+                            self._now, 0.0, deficit=int(deficit),
+                        )
                     self._log(
                         "pool",
                         {
@@ -1237,6 +1302,11 @@ class OnlineService:
                     return
                 # the grow goes through, late
                 self._bump("provision_stall_seconds", spec.duration_s)
+                if self.telemetry is not None:
+                    self.telemetry.tracer.record(
+                        "pool.provision_stall", "marker", self._now, 0.0,
+                        stall_s=float(spec.duration_s),
+                    )
                 ready_at = self.pool.request_grow(
                     deficit, self._now, extra_delay_s=spec.duration_s
                 )
@@ -1525,9 +1595,16 @@ class OnlineService:
         if tele is not None:
             tele.tracer.time_offset = 0.0
             tele.tracer.begin("service", "service", t_rec)
+        if self.monitor is not None:
+            self.monitor.begin(self, t_rec)
         for req in self.traffic.generate(horizon_s):
             if req.request_id in arrived:  # type: ignore[operator]
                 continue
             self._push(max(req.arrival_s, t_rec), "arrival", req)
+        if self._now >= self._down_until:
+            # the crash may have landed between a flush and its
+            # dispatch: the restored ready batches have no pending
+            # event to place them, so schedule once at recovery time
+            self._schedule()
         self._loop()
         return self._finish(horizon_s)

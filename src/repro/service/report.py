@@ -127,6 +127,10 @@ class ServiceReport:
     #: crashes/recovery seconds, provisioning failures and stalls,
     #: domain losses (empty on a fault-free run)
     resilience: Dict[str, object] = field(default_factory=dict)
+    #: live-monitoring summary (:meth:`ServiceMonitor.summary` — window
+    #: rollout counts, alert timeline, incident reports; empty when the
+    #: service ran without a monitor)
+    monitoring: Dict[str, object] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -268,6 +272,7 @@ class ServiceReport:
             "peak_pool_nodes": self.peak_pool_nodes,
             "cache": dict(self.cache),
             "resilience": dict(self.resilience),
+            "monitoring": dict(self.monitoring),
             "tenants": self.tenant_summary(),
             "rejections": [r.to_dict() for r in self.rejections],
             "abandoned": [a.to_dict() for a in self.abandoned],
@@ -280,6 +285,12 @@ class ServiceReport:
 def _json_float(x: float) -> Optional[float]:
     """NaN is not JSON; quantiles of an empty service render as None."""
     return None if x != x else float(x)
+
+
+def _fmt_seconds(x: float) -> str:
+    """Render a quantile: ``n/a`` for NaN (the text twin of the JSON
+    ``None`` convention above), else one-decimal seconds."""
+    return "n/a" if x != x else f"{x:.1f} s"
 
 
 # ----------------------------------------------------------------------
@@ -296,8 +307,8 @@ def render_service_report(report: ServiceReport) -> str:
         f"  shed             : {report.n_shed} "
         f"({100.0 * report.shed_rate:.1f}%)",
         f"  SLO attainment   : {100.0 * report.slo_attainment:.1f}%",
-        f"  TTR p50 / p99    : {report.p50_ttr_s:.1f} s / "
-        f"{report.p99_ttr_s:.1f} s",
+        f"  TTR p50 / p99    : {_fmt_seconds(report.p50_ttr_s)} / "
+        f"{_fmt_seconds(report.p99_ttr_s)}",
         f"  goodput          : {report.goodput_member_steps_per_s:.1f} "
         "member-steps/s",
         f"  jobs (mean k)    : {len(report.jobs)} ({report.mean_k:.2f})",
@@ -334,6 +345,16 @@ def render_service_report(report: ServiceReport) -> str:
             control.append(f"{res['domain_losses']} domain loss(es)")
         if control:
             lines.append("  control faults   : " + ", ".join(control))
+    mon = report.monitoring
+    if mon:
+        lines.append(
+            f"  monitoring       : {mon.get('n_windows', 0)} windows x "
+            f"{float(mon.get('window_s', 0.0)):g} s, "
+            f"{mon.get('n_fired', 0)} alert(s) fired / "
+            f"{mon.get('n_resolved', 0)} resolved"
+        )
+        for inc in mon.get("incidents", []):  # type: ignore[union-attr]
+            lines.append(f"    {inc['narrative']}")
     tenants = report.tenant_summary()
     if len(tenants) > 1:
         lines.append("  tenants:")

@@ -213,3 +213,88 @@ class TestServe:
             "--horizon", "120", "--fifo", "--seed", "3",
         ]) == 0
         assert "mean k" in capsys.readouterr().out
+
+
+class TestMetricsQuantiles:
+    @pytest.fixture
+    def snapshot(self, tmp_path):
+        import json
+
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        for tenant, values in (("a", [0.2, 0.4]), ("b", [0.8])):
+            h = reg.histogram("ttr_seconds", tenant=tenant)
+            for v in values:
+                h.observe(v)
+        p = tmp_path / "metrics.json"
+        p.write_text(json.dumps(reg.to_dict(), sort_keys=True))
+        return p
+
+    def test_load_and_quantile_merges_series(self, snapshot, capsys):
+        assert main(
+            ["metrics", "--load", str(snapshot),
+             "--quantile", "ttr_seconds:0.5",
+             "--quantile", "ttr_seconds:0.99"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ttr_seconds q=0.5:" in out
+        assert "2 series merged" in out
+        assert "3 observation(s)" in out
+
+    def test_load_without_quantile_renders_prometheus(
+        self, snapshot, capsys
+    ):
+        assert main(["metrics", "--load", str(snapshot)]) == 0
+        assert "ttr_seconds_bucket" in capsys.readouterr().out
+
+    def test_bad_quantile_spec_fails_cleanly(self, snapshot, capsys):
+        assert main(
+            ["metrics", "--load", str(snapshot), "--quantile", "bogus"]
+        ) == 2
+        assert "NAME:q" in capsys.readouterr().err
+
+    def test_unknown_histogram_fails_cleanly(self, snapshot, capsys):
+        assert main(
+            ["metrics", "--load", str(snapshot), "--quantile", "ghost:0.5"]
+        ) == 2
+        assert "no histogram" in capsys.readouterr().err
+
+
+class TestMonitor:
+    def test_smoke_single_scenario_with_outputs(self, tmp_path, capsys):
+        summary = tmp_path / "mon.json"
+        rollups = tmp_path / "rollups"
+        assert main(
+            ["monitor", "--smoke", "--scenario", "crash-resume",
+             "--json", str(summary), "--rollups-out", str(rollups)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "FIRED" in out and "control-crash" in out
+        assert "service_crash" in out
+        import json
+
+        doc = json.loads(summary.read_text())
+        assert doc["crash-resume"]["format"] == "repro-monitor-v1"
+        assert (rollups / "crash-resume.jsonl").exists()
+
+    def test_custom_rulebook(self, tmp_path, capsys):
+        from repro.obs import AlertRule, dump_rulebook
+
+        rules = tmp_path / "rules.json"
+        dump_rulebook(
+            [AlertRule(name="only-crash", kind="threshold",
+                       metric="crashes")],
+            rules,
+        )
+        assert main(
+            ["monitor", "--smoke", "--scenario", "crash-resume",
+             "--rules", str(rules)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "only-crash" in out
+        assert "shed-burn" not in out
+
+    def test_unknown_scenario_fails_cleanly(self, capsys):
+        assert main(["monitor", "--smoke", "--scenario", "ghost"]) == 2
+        assert "unknown chaos scenario" in capsys.readouterr().err

@@ -119,3 +119,68 @@ class TestVmpiChromeMemberLanes:
         export_chrome_trace(world.trace, path, collapse_members=True)
         events = json.loads(path.read_text())["traceEvents"]
         assert {e["pid"] for e in events} == {0}
+
+
+class TestServiceSpanExport:
+    """Service-level span trees (scheduler lane + marker events)."""
+
+    @staticmethod
+    def _service_telemetry():
+        from repro.check import builtin_scenarios
+        from repro.obs import ServiceMonitor
+
+        scenario = next(
+            s
+            for s in builtin_scenarios(smoke=True)
+            if s.name == "crash-resume"
+        )
+        tele = Telemetry()
+        service = scenario.build(
+            telemetry=tele, monitor=ServiceMonitor(window_s=60.0)
+        )
+        service.run(scenario.horizon_s)
+        return tele
+
+    def test_chrome_trace_has_service_lane_and_markers(self, tmp_path):
+        tele = self._service_telemetry()
+        p = tmp_path / "svc.json"
+        n = export_spans_chrome(tele.tracer.spans, p)
+        assert n == len(tele.tracer.spans)
+        doc = json.loads(p.read_text())
+        events = doc["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        # scheduler-level spans (no owning member) land on pid 0
+        names = {e["name"] for e in complete if e["pid"] == 0}
+        assert "service" in names
+        markers = [e for e in complete if e["cat"] == "marker"]
+        assert markers, "control-plane marker spans missing"
+        assert {m["name"] for m in markers} >= {"service.crash"}
+        assert all(m["dur"] == 0.0 for m in markers)
+        meta = [e for e in events if e["ph"] == "M"]
+        assert any(
+            e["pid"] == 0 and e["args"]["name"] == "ensemble" for e in meta
+        )
+
+    def test_service_span_jsonl_round_trip(self, tmp_path):
+        tele = self._service_telemetry()
+        p1, p2 = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        export_spans_jsonl(tele.tracer.spans, p1)
+        loaded = load_spans_jsonl(p1)
+        assert tuple(loaded) == tele.tracer.spans
+        export_spans_jsonl(loaded, p2)
+        assert p1.read_bytes() == p2.read_bytes()
+
+    def test_open_spans_synthesized_at_now(self):
+        from repro.obs import SpanTracer
+
+        tracer = SpanTracer()
+        tracer.begin("service", "service", 0.0)
+        tracer.begin("svc.job", "job", 10.0)
+        live = tracer.open_spans(25.0)
+        assert [s.name for s in live] == ["service", "svc.job"]
+        assert all(s.attrs.get("open") for s in live)
+        job = live[-1]
+        assert job.duration == 15.0
+        assert job.parent == live[0].span_id
+        # pure read: the stack is untouched
+        assert len(tracer.open_spans(30.0)) == 2

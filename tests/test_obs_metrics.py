@@ -6,6 +6,7 @@ import json
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import ReproError
 from repro.obs import MetricsRegistry, Telemetry
@@ -149,3 +150,110 @@ class TestHistogramQuantile:
             h.quantile(-0.1)
         with pytest.raises(ReproError):
             h.quantile(1.1)
+
+
+class TestWindowedDeltaProtocol:
+    """snapshot()/delta()/merge(): the monitor's rollup primitive."""
+
+    BUCKETS = (0.5, 1.0, 5.0, 25.0)
+
+    # multiples of 0.5 keep every partial sum exactly representable,
+    # so the bit-for-bit claim below holds for .sum too
+    values = st.lists(
+        st.integers(min_value=0, max_value=200).map(lambda k: k * 0.5),
+        max_size=20,
+    )
+
+    @given(windows=st.lists(values, max_size=6))
+    @settings(deadline=None)
+    def test_window_deltas_merge_back_to_cumulative(self, windows):
+        cum = Histogram(buckets=self.BUCKETS)
+        merged = Histogram(buckets=self.BUCKETS)
+        mark = cum.snapshot()
+        for window in windows:
+            for v in window:
+                cum.observe(v)
+            delta = cum.delta(mark)
+            mark = cum.snapshot()
+            assert delta.count == len(window)
+            merged.merge(delta)
+        assert merged.counts == cum.counts
+        assert merged.count == cum.count
+        assert merged.sum == cum.sum
+        if cum.count:
+            for q in (0.5, 0.99):
+                assert merged.quantile(q) == cum.quantile(q)
+
+    def test_snapshot_is_immutable(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        snap = h.snapshot()
+        h.observe(0.5)
+        assert snap.count == 0 and h.count == 1
+        assert h.delta(snap).count == 1
+
+    def test_delta_rejects_mismatched_buckets(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        other = Histogram(buckets=(1.0, 3.0))
+        with pytest.raises(ReproError, match="different buckets"):
+            h.delta(other.snapshot())
+        with pytest.raises(ReproError, match="different buckets"):
+            h.merge(other)
+
+    def test_delta_rejects_snapshot_from_the_future(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(0.5)
+        ahead = h.snapshot()
+        fresh = Histogram(buckets=(1.0, 2.0))
+        with pytest.raises(ReproError, match="ahead"):
+            fresh.delta(ahead)
+
+    def test_from_state_round_trip(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(1.5)
+        snap = h.snapshot()
+        back = Histogram.from_state(
+            snap.buckets, snap.counts, snap.sum, snap.count
+        )
+        assert back.counts == h.counts
+        assert back.sum == h.sum and back.count == h.count
+        with pytest.raises(ReproError, match="counts"):
+            Histogram.from_state((1.0, 2.0), (1,), 0.5, 1)
+
+    def test_counter_and_gauge_deltas(self):
+        reg = MetricsRegistry()
+        c = reg.counter("events")
+        c.inc(3.0)
+        mark = c.snapshot()
+        c.inc(2.0)
+        assert c.delta(mark) == 2.0
+        with pytest.raises(ReproError, match="ahead"):
+            reg.counter("other").delta(1.0)
+        g = reg.gauge("depth")
+        g.set(5.0)
+        mark = g.snapshot()
+        g.set(2.0)
+        assert g.delta(mark) == -3.0  # gauges may fall
+
+    def test_registry_read_only_lookups(self):
+        reg = MetricsRegistry()
+        assert reg.histogram_or_none("ttr") is None
+        reg.histogram("ttr", tenant="a").observe(1.0)
+        reg.histogram("ttr", tenant="b").observe(2.0)
+        assert reg.histogram_or_none("ttr", tenant="a") is not None
+        named = reg.histograms_named("ttr")
+        assert [labels for labels, _ in named] == [
+            {"tenant": "a"}, {"tenant": "b"}
+        ]
+        assert sum(h.count for _, h in named) == 2
+
+    def test_registry_from_dict_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", kind="a").inc(2.0)
+        reg.gauge("depth").set(7.0)
+        reg.histogram("ttr").observe(0.3)
+        back = MetricsRegistry.from_dict(reg.to_dict())
+        assert back.to_dict() == reg.to_dict()
+        assert json.dumps(back.to_dict(), sort_keys=True) == json.dumps(
+            reg.to_dict(), sort_keys=True
+        )

@@ -16,6 +16,7 @@ from repro.obs import Telemetry
 from repro.resilience import FaultPlan, FaultSpec, RetryPolicy
 from repro.service import (
     OnlineService,
+    ServiceReport,
     PoissonTraffic,
     TenantSpec,
     WindowPolicy,
@@ -256,3 +257,21 @@ class TestTelemetry:
         )
         hist = metrics.histogram("service_ttr_seconds")
         assert hist.count == report.n_served
+
+
+class TestEmptyServiceRender:
+    def test_empty_service_quantiles_render_na_not_nan(self):
+        report = ServiceReport(
+            machine_name="generic-cluster-8n",
+            machine_n_nodes=8,
+            horizon_s=100.0,
+            duration_s=0.0,
+            offered=0,
+        )
+        assert report.p50_ttr_s != report.p50_ttr_s  # NaN in memory
+        text = render_service_report(report)
+        assert "n/a" in text
+        assert "nan" not in text
+        # and the JSON side serialises the same NaN as null
+        d = report.to_dict()
+        assert d["p50_ttr_s"] is None and d["p99_ttr_s"] is None
